@@ -1,0 +1,9 @@
+// Reproduces Fig. 4: HTTP parsing and serialization time vs number of
+// transformations, with linear regression and correlation coefficient.
+#include "report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protoobf::bench;
+  print_time_figure("Figure 4", http_workload(), runs_from_argv(argc, argv));
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Fig. 6: HTTP normalized potency metrics vs number of
+// transformations applied on the graph.
+#include "report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protoobf::bench;
+  print_potency_figure("Figure 6", http_workload(),
+                       runs_from_argv(argc, argv));
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "harness.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "codegen/generator.hpp"
+#include "protocols/http.hpp"
+#include "protocols/modbus.hpp"
+
+namespace protoobf::bench {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+Message make_modbus(std::size_t which, const Graph& g, Rng& rng) {
+  return which == 0 ? modbus::random_request(g, rng)
+                    : modbus::random_response(g, rng);
+}
+
+Message make_http(std::size_t /*which*/, const Graph& g, Rng& rng) {
+  return http::random_request(g, rng);
+}
+
+}  // namespace
+
+Workload modbus_workload() {
+  Workload w;
+  w.name = "TCP-Modbus";
+  w.graphs.push_back(Framework::load_spec(modbus::request_spec()).value());
+  w.graphs.push_back(Framework::load_spec(modbus::response_spec()).value());
+  w.make = make_modbus;
+  return w;
+}
+
+Workload http_workload() {
+  Workload w;
+  w.name = "HTTP";
+  w.graphs.push_back(Framework::load_spec(http::request_spec()).value());
+  w.make = make_http;
+  return w;
+}
+
+Baseline measure_baseline(const Workload& w) {
+  Baseline base;
+  for (const Graph& g : w.graphs) {
+    ObfuscationConfig cfg;
+    cfg.per_node = 0;
+    auto protocol = Framework::generate(g, cfg);
+    const GeneratedCode code = generate_cpp(protocol.value());
+    base.lines += static_cast<double>(code.metrics.lines);
+    base.structs += static_cast<double>(code.metrics.structs);
+    base.cg_size += static_cast<double>(code.metrics.callgraph_size);
+    base.cg_depth = std::max(
+        base.cg_depth, static_cast<double>(code.metrics.callgraph_depth));
+  }
+  return base;
+}
+
+Scenario run_scenario(const Workload& w, const Baseline& base, int per_node,
+                      int runs, int messages_per_run, std::uint64_t seed0) {
+  Scenario scenario;
+  scenario.per_node = per_node;
+
+  for (int run = 0; run < runs; ++run) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(run) * 7919;
+    RunResult result;
+
+    // --- generation: obfuscate every graph and emit the library ------------
+    std::vector<ObfuscatedProtocol> protocols;
+    const auto gen_start = std::chrono::steady_clock::now();
+    double lines = 0, structs = 0, cg_size = 0, cg_depth = 0;
+    for (std::size_t i = 0; i < w.graphs.size(); ++i) {
+      ObfuscationConfig cfg;
+      cfg.per_node = per_node;
+      cfg.seed = seed + i;
+      auto protocol = Framework::generate(w.graphs[i], cfg);
+      if (!protocol.ok()) continue;
+      result.applied += static_cast<double>(protocol->stats().applied);
+      const GeneratedCode code = generate_cpp(*protocol);
+      lines += static_cast<double>(code.metrics.lines);
+      structs += static_cast<double>(code.metrics.structs);
+      cg_size += static_cast<double>(code.metrics.callgraph_size);
+      cg_depth = std::max(cg_depth,
+                          static_cast<double>(code.metrics.callgraph_depth));
+      protocols.push_back(std::move(protocol.value()));
+    }
+    result.gen_ms = ms_since(gen_start);
+    result.lines = lines / base.lines;
+    result.structs = structs / base.structs;
+    result.cg_size = cg_size / base.cg_size;
+    result.cg_depth = cg_depth / base.cg_depth;
+
+    // --- execution: serialize/parse random messages ------------------------
+    Rng workload_rng(seed ^ 0xabcdef);
+    double parse_total = 0, ser_total = 0;
+    int counted = 0;
+    for (int m = 0; m < messages_per_run; ++m) {
+      const std::size_t which = protocols.size() > 1
+                                    ? workload_rng.below(protocols.size())
+                                    : 0;
+      const ObfuscatedProtocol& protocol = protocols[which];
+      Message msg = w.make(which, w.graphs[which], workload_rng);
+
+      const auto ser_start = std::chrono::steady_clock::now();
+      auto wire = protocol.serialize(msg.root(), seed + 1000u + m);
+      const double ser_ms = ms_since(ser_start);
+      if (!wire.ok()) continue;
+
+      const auto parse_start = std::chrono::steady_clock::now();
+      auto parsed = protocol.parse(*wire);
+      const double parse_ms = ms_since(parse_start);
+      if (!parsed.ok()) continue;
+
+      ser_total += ser_ms;
+      parse_total += parse_ms;
+      result.buffers.push_back(static_cast<double>(wire->size()));
+      ++counted;
+    }
+    if (counted > 0) {
+      result.parse_ms = parse_total / counted;
+      result.ser_ms = ser_total / counted;
+    }
+
+    scenario.applied.add(result.applied);
+    scenario.lines.add(result.lines);
+    scenario.structs.add(result.structs);
+    scenario.cg_size.add(result.cg_size);
+    scenario.cg_depth.add(result.cg_depth);
+    scenario.gen_ms.add(result.gen_ms);
+    scenario.parse_ms.add(result.parse_ms);
+    scenario.ser_ms.add(result.ser_ms);
+    for (double b : result.buffers) scenario.buffer_bytes.add(b);
+    scenario.runs.push_back(std::move(result));
+  }
+  return scenario;
+}
+
+int runs_from_argv(int argc, char** argv, int fallback) {
+  if (argc > 1) {
+    const int runs = std::atoi(argv[1]);
+    if (runs > 0) return runs;
+  }
+  return fallback;
+}
+
+std::string cell(const Series& s, int precision) {
+  return s.summary().format(precision);
+}
+
+}  // namespace protoobf::bench

@@ -1,0 +1,80 @@
+// Shared experiment driver for the evaluation benches (paper §VII).
+//
+// One "experiment" follows §VII-A exactly: pick a number of obfuscations
+// per node, select transformations randomly, generate the library (here:
+// both the runtime protocol object and the generated C++ source for the
+// potency metrics), compile-equivalent done, then run the core application
+// to serialize and parse random messages, collecting:
+//   potency  — lines / structs / call-graph size / call-graph depth of the
+//              generated code, normalized by the non-obfuscated values;
+//   costs    — generation time, per-message parsing and serialization
+//              times, serialized buffer sizes.
+//
+// The paper runs 1000 experiments per obfuscation level; these benches
+// default to 200 (override with argv[1]) — distributions stabilize well
+// before that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protoobf.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace protoobf::bench {
+
+/// A protocol under test: one or more graphs (Modbus needs request and
+/// response sides) and a per-graph random message factory.
+struct Workload {
+  std::string name;
+  std::vector<Graph> graphs;
+  // Builds a random message for graphs[which].
+  Message (*make)(std::size_t which, const Graph& g, Rng& rng);
+};
+
+Workload modbus_workload();
+Workload http_workload();
+
+struct RunResult {
+  double applied = 0;    // transformations applied across the graphs
+  double lines = 0;      // normalized potency metrics
+  double structs = 0;
+  double cg_size = 0;
+  double cg_depth = 0;
+  double gen_ms = 0;     // absolute costs
+  double parse_ms = 0;   // average per message
+  double ser_ms = 0;
+  std::vector<double> buffers;  // serialized sizes, one per message
+};
+
+struct Scenario {
+  int per_node = 1;
+  Series applied;
+  Series lines, structs, cg_size, cg_depth;       // normalized
+  Series gen_ms, parse_ms, ser_ms, buffer_bytes;  // absolute
+  std::vector<RunResult> runs;                    // per-run scatter points
+};
+
+struct Baseline {
+  double lines = 0;
+  double structs = 0;
+  double cg_size = 0;
+  double cg_depth = 0;
+};
+
+/// Potency baseline: generated-code metrics of the non-obfuscated protocol.
+Baseline measure_baseline(const Workload& w);
+
+/// Runs `runs` experiments at the given obfuscation level.
+Scenario run_scenario(const Workload& w, const Baseline& base, int per_node,
+                      int runs, int messages_per_run, std::uint64_t seed0);
+
+/// argv helper: benches accept an optional run count.
+int runs_from_argv(int argc, char** argv, int fallback = 200);
+
+/// Paper-style table row: "avg[min; max]".
+std::string cell(const Series& s, int precision);
+
+}  // namespace protoobf::bench

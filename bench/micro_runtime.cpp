@@ -1,0 +1,94 @@
+// Hot-path micro-benchmarks (google-benchmark): per-message serialization
+// and parsing latency at each obfuscation level. Complements the
+// table/figure harnesses with statistically disciplined timing.
+#include <benchmark/benchmark.h>
+
+#include "core/protoobf.hpp"
+#include "protocols/http.hpp"
+#include "protocols/modbus.hpp"
+
+namespace {
+
+using namespace protoobf;
+
+struct Fixture {
+  Graph graph;
+  ObfuscatedProtocol protocol;
+  Bytes wire;
+  InstPtr message;
+};
+
+Fixture make_fixture(bool is_http, int per_node) {
+  Graph graph = Framework::load_spec(is_http ? http::request_spec()
+                                             : modbus::request_spec())
+                    .value();
+  ObfuscationConfig cfg;
+  cfg.per_node = per_node;
+  cfg.seed = 1234;
+  auto protocol = Framework::generate(graph, cfg).value();
+
+  Rng rng(99);
+  Message msg = is_http ? http::random_request(graph, rng)
+                        : modbus::random_request(graph, rng);
+  Bytes wire = protocol.serialize(msg.root(), 7).value();
+  InstPtr root = ast::clone(msg.root());
+  return Fixture{std::move(graph), std::move(protocol), std::move(wire),
+                 std::move(root)};
+}
+
+void BM_SerializeModbus(benchmark::State& state) {
+  Fixture f = make_fixture(false, static_cast<int>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto wire = f.protocol.serialize(*f.message, ++seed);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+
+void BM_ParseModbus(benchmark::State& state) {
+  Fixture f = make_fixture(false, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto parsed = f.protocol.parse(f.wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+
+void BM_SerializeHttp(benchmark::State& state) {
+  Fixture f = make_fixture(true, static_cast<int>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto wire = f.protocol.serialize(*f.message, ++seed);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+
+void BM_ParseHttp(benchmark::State& state) {
+  Fixture f = make_fixture(true, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto parsed = f.protocol.parse(f.wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+
+void BM_Obfuscate(benchmark::State& state) {
+  const Graph graph =
+      Framework::load_spec(modbus::request_spec()).value();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ObfuscationConfig cfg;
+    cfg.per_node = static_cast<int>(state.range(0));
+    cfg.seed = ++seed;
+    auto result = Framework::generate(graph, cfg);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SerializeModbus)->DenseRange(0, 4, 1);
+BENCHMARK(BM_ParseModbus)->DenseRange(0, 4, 1);
+BENCHMARK(BM_SerializeHttp)->DenseRange(0, 4, 1);
+BENCHMARK(BM_ParseHttp)->DenseRange(0, 4, 1);
+BENCHMARK(BM_Obfuscate)->DenseRange(0, 4, 1);
+
+BENCHMARK_MAIN();

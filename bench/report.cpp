@@ -1,0 +1,132 @@
+#include "report.hpp"
+
+#include <cstdio>
+
+namespace protoobf::bench {
+
+namespace {
+constexpr int kMessagesPerRun = 25;
+constexpr std::uint64_t kSeed0 = 20180625;  // DSN 2018
+
+std::vector<Scenario> sweep(const Workload& w, const Baseline& base,
+                            int runs, int lo, int hi) {
+  std::vector<Scenario> scenarios;
+  for (int o = lo; o <= hi; ++o) {
+    scenarios.push_back(
+        run_scenario(w, base, o, runs, kMessagesPerRun, kSeed0 + o * 131071));
+  }
+  return scenarios;
+}
+}  // namespace
+
+void print_comparative_table(const char* title, const Workload& w, int runs) {
+  const Baseline base = measure_baseline(w);
+  std::printf("%s — comparative results for %s protocol (%d runs/scenario, "
+              "%d messages/run)\n",
+              title, w.name.c_str(), runs, kMessagesPerRun);
+  std::printf("baseline (0 obf): %.0f lines, %.0f structs, call graph size "
+              "%.0f, depth %.0f\n\n",
+              base.lines, base.structs, base.cg_size, base.cg_depth);
+
+  const auto scenarios = sweep(w, base, runs, 1, 4);
+  const auto row = [&](const char* label, auto getter, int precision) {
+    std::printf("%-22s", label);
+    for (const Scenario& s : scenarios) {
+      std::printf(" %26s", cell(getter(s), precision).c_str());
+    }
+    std::printf("\n");
+  };
+
+  std::printf("%-22s", "Nb. transf. per node");
+  for (const Scenario& s : scenarios) std::printf(" %26d", s.per_node);
+  std::printf("\n");
+  row("Nb. transf. applied",
+      [](const Scenario& s) -> const Series& { return s.applied; }, 0);
+  std::printf("Potency (normalized)\n");
+  row("  Nb. lines",
+      [](const Scenario& s) -> const Series& { return s.lines; }, 1);
+  row("  Nb. structs",
+      [](const Scenario& s) -> const Series& { return s.structs; }, 1);
+  row("  Call graph size",
+      [](const Scenario& s) -> const Series& { return s.cg_size; }, 1);
+  row("  Call graph depth",
+      [](const Scenario& s) -> const Series& { return s.cg_depth; }, 1);
+  std::printf("Costs (absolute)\n");
+  row("  Generation time (ms)",
+      [](const Scenario& s) -> const Series& { return s.gen_ms; }, 2);
+  row("  Parsing time (ms)",
+      [](const Scenario& s) -> const Series& { return s.parse_ms; }, 4);
+  row("  Serialization (ms)",
+      [](const Scenario& s) -> const Series& { return s.ser_ms; }, 4);
+  row("  Buffer size (bytes)",
+      [](const Scenario& s) -> const Series& { return s.buffer_bytes; }, 0);
+}
+
+void print_time_figure(const char* title, const Workload& w, int runs) {
+  const Baseline base = measure_baseline(w);
+  std::printf("%s — parsing and serialization time vs transformations "
+              "applied (%s, %d runs per level, o=0..4)\n\n",
+              title, w.name.c_str(), runs);
+
+  const auto scenarios = sweep(w, base, runs, 0, 4);
+  std::vector<double> xs, parse_ys, ser_ys;
+  std::printf("%-6s %14s %14s %14s\n", "o", "applied(avg)", "parse ms(avg)",
+              "serialize ms(avg)");
+  for (const Scenario& s : scenarios) {
+    std::printf("%-6d %14.1f %14.4f %14.4f\n", s.per_node,
+                s.applied.summary().avg, s.parse_ms.summary().avg,
+                s.ser_ms.summary().avg);
+    for (const RunResult& r : s.runs) {
+      xs.push_back(r.applied);
+      parse_ys.push_back(r.parse_ms);
+      ser_ys.push_back(r.ser_ms);
+    }
+  }
+  const LinearFit parse_fit = LinearFit::of(xs, parse_ys);
+  const LinearFit ser_fit = LinearFit::of(xs, ser_ys);
+  std::printf("\nlinear regression over %zu experiments:\n", xs.size());
+  std::printf("  parsing:       time = %.6f * n + %.6f   (r = %.3f)\n",
+              parse_fit.slope, parse_fit.intercept, parse_fit.correlation);
+  std::printf("  serialization: time = %.6f * n + %.6f   (r = %.3f)\n",
+              ser_fit.slope, ser_fit.intercept, ser_fit.correlation);
+}
+
+void print_potency_figure(const char* title, const Workload& w, int runs) {
+  const Baseline base = measure_baseline(w);
+  std::printf("%s — normalized potency metrics vs transformations applied "
+              "(%s, %d runs per level)\n\n",
+              title, w.name.c_str(), runs);
+  const auto scenarios = sweep(w, base, runs, 0, 4);
+  std::printf("%-6s %12s %10s %10s %12s %12s\n", "o", "applied", "lines",
+              "structs", "cg size", "cg depth");
+  for (const Scenario& s : scenarios) {
+    std::printf("%-6d %12.1f %10.2f %10.2f %12.2f %12.2f\n", s.per_node,
+                s.applied.summary().avg, s.lines.summary().avg,
+                s.structs.summary().avg, s.cg_size.summary().avg,
+                s.cg_depth.summary().avg);
+  }
+  // Slope of each metric in the applied-transformations count.
+  std::vector<double> xs;
+  std::vector<double> lines, structs, size, depth;
+  for (const Scenario& s : scenarios) {
+    for (const RunResult& r : s.runs) {
+      xs.push_back(r.applied);
+      lines.push_back(r.lines);
+      structs.push_back(r.structs);
+      size.push_back(r.cg_size);
+      depth.push_back(r.cg_depth);
+    }
+  }
+  std::printf("\ngrowth per applied transformation (linear fit, r):\n");
+  const auto fit_row = [&](const char* label, const std::vector<double>& ys) {
+    const LinearFit fit = LinearFit::of(xs, ys);
+    std::printf("  %-16s slope %.4f, r = %.3f\n", label, fit.slope,
+                fit.correlation);
+  };
+  fit_row("lines", lines);
+  fit_row("structs", structs);
+  fit_row("call graph size", size);
+  fit_row("call graph depth", depth);
+}
+
+}  // namespace protoobf::bench

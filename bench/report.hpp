@@ -1,0 +1,20 @@
+// Table/figure printers shared by the per-experiment bench binaries.
+#pragma once
+
+#include "harness.hpp"
+
+namespace protoobf::bench {
+
+/// Tables III / IV: comparative results for one protocol, o = 1..4,
+/// potency normalized by the non-obfuscated baseline, absolute costs.
+void print_comparative_table(const char* title, const Workload& w, int runs);
+
+/// Figures 4 / 5: parsing and serialization time vs number of applied
+/// transformations, with linear regressions and correlation coefficients.
+void print_time_figure(const char* title, const Workload& w, int runs);
+
+/// Figures 6 / 7: normalized potency metrics vs number of applied
+/// transformations.
+void print_potency_figure(const char* title, const Workload& w, int runs);
+
+}  // namespace protoobf::bench

@@ -1,0 +1,166 @@
+// Reproduces the resilience assessment of §VII-D with automated PRE
+// instruments instead of a human Netzob expert (see DESIGN.md §3).
+//
+// The paper's anecdote: an expert recovered the exact non-obfuscated Modbus
+// format in under half an hour from a 4-message trace, and obtained nothing
+// relevant from the 1-obfuscation-per-field version after two hours. Here
+// the "analyst" is the PRE toolchain of src/pre:
+//   1. signature DPI (nDPI-style): is the protocol even recognized?
+//   2. alignment clustering: are message types recovered?
+//   3. consensus field inference: are field boundaries recovered?
+// all scored against ground truth the framework knows (true type labels and
+// true wire field spans).
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+#include "pre/alignment.hpp"
+#include "pre/clustering.hpp"
+#include "pre/dpi.hpp"
+#include "pre/field_inference.hpp"
+
+namespace protoobf::bench {
+namespace {
+
+struct TraceResult {
+  double dpi_rate = 0;
+  double type_similarity = 0;  // avg alignment similarity within true types
+  pre::ClusterQuality clusters;
+  double boundary_f1 = 0;
+};
+
+TraceResult analyze(const Workload& w, int per_node, std::uint64_t seed,
+                    int messages) {
+  std::vector<ObfuscatedProtocol> protocols;
+  for (std::size_t i = 0; i < w.graphs.size(); ++i) {
+    ObfuscationConfig cfg;
+    cfg.per_node = per_node;
+    cfg.seed = seed + i;
+    protocols.push_back(Framework::generate(w.graphs[i], cfg).value());
+  }
+
+  Rng rng(seed ^ 0x5151);
+  std::vector<Bytes> trace;
+  std::vector<int> labels;  // ground-truth message type = (graph, fn/method)
+  std::vector<std::vector<std::size_t>> truth_boundaries;
+
+  int dpi_hits = 0;
+  for (int m = 0; m < messages; ++m) {
+    const std::size_t which =
+        protocols.size() > 1 ? rng.below(protocols.size()) : 0;
+    Message msg = w.make(which, w.graphs[which], rng);
+    std::vector<FieldSpan> spans;
+    auto wire = protocols[which].serialize(msg.root(), seed + 100 + m, &spans);
+    if (!wire.ok()) continue;
+
+    // Type label: the first distinguishing byte of the logical message
+    // (function code for Modbus, method letter for HTTP) + direction.
+    InstPtr canonical = ast::clone(msg.root());
+    protocols[which].canonicalize(*canonical);
+    int label = static_cast<int>(which) * 1000;
+    const Graph& g = w.graphs[which];
+    if (const Inst* fn = ast::find_path(g, *canonical, "adu.tail.fn")) {
+      label += fn->value.empty() ? 0 : fn->value[0];
+    } else if (const Inst* method =
+                   ast::find_path(g, *canonical, "request.method")) {
+      label += method->value.empty() ? 0 : method->value[0];
+    }
+    labels.push_back(label);
+
+    std::vector<std::size_t> bounds;
+    for (const FieldSpan& span : spans) bounds.push_back(span.offset);
+    truth_boundaries.push_back(std::move(bounds));
+
+    if (pre::classify(*wire) != pre::Protocol::Unknown) ++dpi_hits;
+    trace.push_back(std::move(*wire));
+  }
+
+  TraceResult result;
+  result.dpi_rate =
+      trace.empty() ? 0.0
+                    : static_cast<double>(dpi_hits) /
+                          static_cast<double>(trace.size());
+
+  // Alignment similarity between messages of the same true type — what
+  // sequence-alignment classifiers fundamentally rely on (§II-C.2).
+  double sim_total = 0;
+  int sim_pairs = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    for (std::size_t j = i + 1; j < trace.size() && sim_pairs < 200; ++j) {
+      if (labels[i] != labels[j]) continue;
+      sim_total += pre::similarity(trace[i], trace[j]);
+      ++sim_pairs;
+    }
+  }
+  result.type_similarity = sim_pairs == 0 ? 0.0 : sim_total / sim_pairs;
+
+  // An analyst tunes the clustering threshold until the classification
+  // looks sane; give the attacker that advantage by sweeping thresholds and
+  // keeping the one closest to the true type count.
+  std::vector<std::vector<std::size_t>> clusters;
+  double best_score = -1.0;
+  for (double threshold : {0.25, 0.35, 0.45, 0.55, 0.65}) {
+    auto candidate = pre::cluster_messages(trace, threshold);
+    const auto quality = pre::score_clustering(candidate, labels);
+    // Balanced classification quality: pure clusters, and about as many of
+    // them as there are true types (both §II-C.3 failure modes penalized).
+    const double balance =
+        static_cast<double>(std::min(quality.clusters, quality.true_types)) /
+        static_cast<double>(std::max(quality.clusters, quality.true_types));
+    const double score = quality.purity * balance;
+    if (score > best_score) {
+      best_score = score;
+      clusters = std::move(candidate);
+    }
+  }
+  result.clusters = pre::score_clustering(clusters, labels);
+
+  // Field inference per recovered cluster; F1 weighted by cluster size.
+  double f1_sum = 0;
+  std::size_t scored = 0;
+  for (const auto& cluster : clusters) {
+    std::vector<Bytes> members;
+    for (std::size_t idx : cluster) members.push_back(trace[idx]);
+    const pre::InferredFormat format = pre::infer_format(members);
+    const auto score = pre::score_boundaries(
+        format.boundaries, truth_boundaries[cluster.front()], 1);
+    f1_sum += score.f1 * static_cast<double>(cluster.size());
+    scored += cluster.size();
+  }
+  result.boundary_f1 = scored == 0 ? 0.0 : f1_sum / static_cast<double>(scored);
+  return result;
+}
+
+void report(const Workload& w, int messages) {
+  std::printf("\n%s — trace of %d messages\n", w.name.c_str(), messages);
+  std::printf("%-14s %10s %10s %10s %10s %10s %12s\n", "obf/node",
+              "DPI rate", "type sim", "clusters", "types", "purity",
+              "boundary F1");
+  for (int o : {0, 1, 2}) {
+    const TraceResult r = analyze(w, o, 90125 + o, messages);
+    std::printf("%-14d %9.0f%% %10.2f %10zu %10zu %10.2f %12.2f\n", o,
+                100.0 * r.dpi_rate, r.type_similarity, r.clusters.clusters,
+                r.clusters.true_types, r.clusters.purity, r.boundary_f1);
+  }
+}
+
+}  // namespace
+}  // namespace protoobf::bench
+
+int main(int argc, char** argv) {
+  using namespace protoobf::bench;
+  const int messages = runs_from_argv(argc, argv, 48);
+  std::printf("Resilience assessment (§VII-D substitute): automated PRE "
+              "toolchain vs obfuscation level\n");
+  std::printf("DPI rate      : fraction of messages identified by the "
+              "nDPI-style signature engine\n");
+  std::printf("clusters/types: message classes recovered by alignment "
+              "clustering vs ground truth\n");
+  std::printf("purity        : majority-type fraction inside recovered "
+              "clusters\n");
+  std::printf("boundary F1   : field-boundary inference score vs true wire "
+              "field map\n");
+  report(modbus_workload(), messages);
+  report(http_workload(), messages);
+  return 0;
+}

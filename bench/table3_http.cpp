@@ -1,0 +1,9 @@
+// Reproduces Table III: comparative results for the HTTP protocol.
+#include "report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protoobf::bench;
+  print_comparative_table("Table III", http_workload(),
+                          runs_from_argv(argc, argv));
+  return 0;
+}

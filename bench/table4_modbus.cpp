@@ -1,0 +1,9 @@
+// Reproduces Table IV: comparative results for the TCP-Modbus protocol.
+#include "report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protoobf::bench;
+  print_comparative_table("Table IV", modbus_workload(),
+                          runs_from_argv(argc, argv));
+  return 0;
+}

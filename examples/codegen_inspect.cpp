@@ -1,0 +1,46 @@
+// Inspecting the generated serialization library (§VI).
+//
+// Emits the C++ source the framework generates for an obfuscated protocol
+// — the artifact an attacker reversing the *binary* would face — together
+// with the complexity metrics of §VII-B. Pass a file name to write the
+// source; default prints a summary and the first lines.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "codegen/generator.hpp"
+#include "protocols/modbus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protoobf;
+
+  auto graph = Framework::load_spec(modbus::request_spec()).value();
+
+  for (int per_node : {0, 1, 2}) {
+    ObfuscationConfig cfg;
+    cfg.per_node = per_node;
+    cfg.seed = 31337;
+    auto proto = Framework::generate(graph, cfg).value();
+    const GeneratedCode code = generate_cpp(proto);
+    std::cout << "obfuscations/node = " << per_node << ": "
+              << proto.stats().applied << " transformations -> "
+              << code.metrics.lines << " lines, " << code.metrics.structs
+              << " structs, call graph size " << code.metrics.callgraph_size
+              << ", depth " << code.metrics.callgraph_depth << "\n";
+
+    if (per_node == 1 && argc > 1) {
+      std::ofstream out(argv[1]);
+      out << code.source;
+      std::cout << "wrote generated library to " << argv[1] << "\n";
+    } else if (per_node == 1) {
+      std::cout << "\n--- first lines of the generated library ---\n";
+      std::istringstream lines(code.source);
+      std::string line;
+      for (int i = 0; i < 40 && std::getline(lines, line); ++i) {
+        std::cout << line << "\n";
+      }
+      std::cout << "... (" << code.metrics.lines << " lines total)\n\n";
+    }
+  }
+  return 0;
+}

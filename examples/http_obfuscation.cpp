@@ -1,0 +1,61 @@
+// Obfuscating HTTP (the paper's text protocol, §VII).
+//
+// Shows what specification-level obfuscation does to a protocol built
+// around delimiters: the request line separators disappear (BoundaryChange
+// turns them into length fields), keywords get split or rewritten
+// (SplitAdd/ConstXor on the method defeats keyword-based classification),
+// the header list becomes a counted A^m B^m structure (RepSplit turns a
+// regular language into a context-free one), and parts of the message read
+// right to left (ReadFromEnd).
+#include <iostream>
+
+#include "pre/dpi.hpp"
+#include "protocols/http.hpp"
+
+int main() {
+  using namespace protoobf;
+
+  auto graph = Framework::load_spec(http::request_spec()).value();
+
+  Message request = http::make_post(
+      graph, "/api/v1/items",
+      {{"Host", "example.com"},
+       {"User-Agent", "protoobf-demo/1.0"},
+       {"Accept", "*/*"}},
+      "name=widget&qty=4");
+
+  ObfuscationConfig plain;
+  plain.per_node = 0;
+  auto plain_proto = Framework::generate(graph, plain).value();
+  const Bytes plain_wire = plain_proto.serialize(request.root(), 3).value();
+  std::cout << "--- plain HTTP (" << plain_wire.size() << " bytes) ---\n"
+            << to_text(plain_wire) << "\n";
+
+  for (int per_node : {1, 2}) {
+    ObfuscationConfig cfg;
+    cfg.per_node = per_node;
+    cfg.seed = 77;
+    auto proto = Framework::generate(graph, cfg).value();
+    const Bytes wire = proto.serialize(request.root(), 3).value();
+    std::cout << "--- " << per_node << " obfuscation(s) per node: "
+              << proto.stats().applied << " transformations applied, "
+              << wire.size() << " bytes, DPI says: "
+              << pre::to_string(pre::classify(wire)) << " ---\n"
+              << hexdump(wire) << "\n";
+
+    // Round trip and show the recovered request line.
+    auto parsed = proto.parse(wire).value();
+    const Inst* method = ast::find_path(graph, *parsed, "request.method");
+    const Inst* uri = ast::find_path(graph, *parsed, "request.uri");
+    const Inst* body = ast::find_path(graph, *parsed,
+                                      "request.body.content");
+    std::cout << "recovered: " << to_text(method->value) << " "
+              << to_text(uri->value) << " (body: \"" << to_text(body->value)
+              << "\")\n\n";
+  }
+
+  std::cout << "Both receivers above used the same application code; the\n"
+               "obfuscated wire images are unreadable to the DPI engine yet\n"
+               "decode to the identical logical request.\n";
+  return 0;
+}

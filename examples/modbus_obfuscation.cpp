@@ -1,0 +1,74 @@
+// Obfuscating TCP-Modbus (the paper's binary protocol, §VII).
+//
+// Mirrors the paper's core application: builds requests 1..16 and their
+// responses through the stable accessor interface, then shows how the same
+// application code produces completely different wire traffic depending on
+// the obfuscation configuration — including regenerating a fresh protocol
+// version just by changing the seed ("new obfuscated versions of the
+// protocol can be easily generated", §VIII).
+#include <iostream>
+
+#include "pre/dpi.hpp"
+#include "protocols/modbus.hpp"
+
+int main() {
+  using namespace protoobf;
+
+  auto request_graph = Framework::load_spec(modbus::request_spec()).value();
+  auto response_graph = Framework::load_spec(modbus::response_spec()).value();
+
+  // The classic Read Holding Registers exchange (simplymodbus.ca example).
+  Message request = modbus::make_read_holding(request_graph, 0x0001, 0x11,
+                                              0x006b, 0x0003);
+  const std::uint16_t regs[] = {0xae41, 0x5652, 0x4340};
+  Message response =
+      modbus::make_read_holding_response(response_graph, 0x0001, 0x11, regs);
+
+  const auto show = [&](const char* label, const ObfuscationConfig& cfg) {
+    auto req_proto = Framework::generate(request_graph, cfg).value();
+    ObfuscationConfig resp_cfg = cfg;
+    resp_cfg.seed += 1;
+    auto resp_proto = Framework::generate(response_graph, resp_cfg).value();
+
+    const Bytes req_wire = req_proto.serialize(request.root(), 7).value();
+    const Bytes resp_wire = resp_proto.serialize(response.root(), 8).value();
+
+    std::cout << "--- " << label << " ("
+              << req_proto.stats().applied + resp_proto.stats().applied
+              << " transformations) ---\n";
+    std::cout << "request  (" << req_wire.size() << " bytes, DPI says: "
+              << pre::to_string(pre::classify(req_wire)) << ")\n"
+              << hexdump(req_wire);
+    std::cout << "response (" << resp_wire.size() << " bytes, DPI says: "
+              << pre::to_string(pre::classify(resp_wire)) << ")\n"
+              << hexdump(resp_wire);
+
+    // Round trip: the receiver recovers the exact logical message.
+    auto parsed = req_proto.parse(req_wire).value();
+    const Inst* fn = ast::find_path(request_graph, *parsed, "adu.tail.fn");
+    const Inst* addr = ast::find_path(
+        request_graph, *parsed, "adu.tail.read_holding.rh_body.rh_addr");
+    std::cout << "parsed request: fn=" << to_hex(fn->value)
+              << " addr=" << to_hex(addr->value) << "\n\n";
+  };
+
+  ObfuscationConfig plain;
+  plain.per_node = 0;
+  show("non-obfuscated", plain);
+
+  ObfuscationConfig obf;
+  obf.per_node = 1;
+  obf.seed = 42;
+  show("1 obfuscation per node, seed 42", obf);
+
+  obf.seed = 1337;  // regenerate: same interface, new wire format
+  show("1 obfuscation per node, seed 1337 (regenerated)", obf);
+
+  obf.per_node = 3;
+  show("3 obfuscations per node", obf);
+
+  std::cout << "The application code above never changed; only the "
+               "obfuscation\nconfiguration did — the paper's stable-interface "
+               "requirement.\n";
+  return 0;
+}

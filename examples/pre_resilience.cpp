@@ -1,0 +1,105 @@
+// A protocol reverse engineer's view of an obfuscated trace (§VII-D).
+//
+// Plays the role of the paper's Netzob expert: captures a small Modbus
+// trace, classifies messages by alignment similarity, and infers field
+// boundaries from the aligned clusters — first on the plain protocol
+// (where everything works), then on the 1-obfuscation-per-node version
+// (where it falls apart).
+#include <cstdio>
+#include <iostream>
+
+#include "pre/alignment.hpp"
+#include "pre/clustering.hpp"
+#include "pre/dpi.hpp"
+#include "pre/field_inference.hpp"
+#include "protocols/modbus.hpp"
+
+int main() {
+  using namespace protoobf;
+
+  auto graph = Framework::load_spec(modbus::request_spec()).value();
+
+  for (int per_node : {0, 1}) {
+    ObfuscationConfig cfg;
+    cfg.per_node = per_node;
+    cfg.seed = 4242;
+    auto proto = Framework::generate(graph, cfg).value();
+
+    // Capture a trace: 4 message types, 6 captures each (paper: "a network
+    // trace containing 4 different messages and their answers").
+    Rng rng(555);
+    std::vector<Bytes> trace;
+    std::vector<int> labels;
+    for (int round = 0; round < 6; ++round) {
+      int label = 0;
+      for (std::uint16_t fn : {3, 6, 16, 1}) {
+        Message msg(graph);
+        switch (fn) {
+          case 3:
+            msg = modbus::make_read_holding(graph, rng.below(0xffff), 0x11,
+                                            rng.below(0xffff),
+                                            rng.between(1, 10));
+            break;
+          case 6:
+            msg = modbus::make_write_register(graph, rng.below(0xffff), 0x11,
+                                              rng.below(0xffff),
+                                              rng.below(0xffff));
+            break;
+          case 16: {
+            const std::uint16_t vals[] = {
+                static_cast<std::uint16_t>(rng.below(0xffff)),
+                static_cast<std::uint16_t>(rng.below(0xffff))};
+            msg = modbus::make_write_registers(graph, rng.below(0xffff), 0x11,
+                                               rng.below(0xffff), vals);
+            break;
+          }
+          default:
+            msg = modbus::random_request(graph, rng);
+        }
+        trace.push_back(proto.serialize(msg.root(), rng.next_u64()).value());
+        labels.push_back(label++);
+      }
+    }
+
+    std::printf("=== %s protocol: %zu captured messages ===\n",
+                per_node == 0 ? "plain" : "obfuscated (1/node)",
+                trace.size());
+
+    int dpi = 0;
+    for (const Bytes& wire : trace) {
+      if (pre::classify(wire) == pre::Protocol::ModbusTcp) ++dpi;
+    }
+    std::printf("DPI identifies Modbus in %d/%zu messages\n", dpi,
+                trace.size());
+
+    const double sim = pre::similarity(trace[0], trace[4]);
+    std::printf("alignment similarity of two same-type captures: %.2f\n",
+                sim);
+
+    const auto clusters = pre::cluster_messages(trace, 0.35);
+    const auto quality = pre::score_clustering(clusters, labels);
+    std::printf("clustering: %zu clusters for %zu true types, purity %.2f\n",
+                quality.clusters, quality.true_types, quality.purity);
+
+    // Field inference on the largest cluster.
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < clusters.size(); ++i) {
+      if (clusters[i].size() > clusters[largest].size()) largest = i;
+    }
+    std::vector<Bytes> members;
+    for (std::size_t idx : clusters[largest]) members.push_back(trace[idx]);
+    const auto format = pre::infer_format(members);
+    std::printf("field inference on the largest cluster (%zu messages): "
+                "%zu boundaries at offsets [",
+                members.size(), format.boundaries.size());
+    for (std::size_t i = 0; i < format.boundaries.size(); ++i) {
+      std::printf("%s%zu", i ? ", " : "", format.boundaries[i]);
+    }
+    std::printf("]\n\n");
+  }
+
+  std::cout << "With one obfuscation per node the reverse engineer's trace\n"
+               "no longer fingerprints, clusters or aligns — the paper's\n"
+               "expert \"was not able to obtain any relevant results\".\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Quickstart: the whole ProtoObf pipeline on a small Modbus-flavoured
+// protocol (the paper's Fig. 3 example), end to end:
+//
+//   specification text -> message format graph G1 -> random transformations
+//   -> obfuscated wire format -> serialize -> hexdump -> parse -> fields.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "core/protoobf.hpp"
+#include "graph/dot.hpp"
+
+namespace {
+
+// Two message types M1/M2 as in Fig. 3: a header, a function code, and a
+// function-dependent body.
+constexpr std::string_view kSpec = R"spec(
+protocol Fig3
+
+msg: seq end {
+  len: terminal fixed(2)
+  payload: seq length(len) {
+    fn: terminal fixed(1)
+    m1: optional (fn == 0x01) {
+      m1_body: seq {
+        addr: terminal fixed(2)
+        qty: terminal fixed(2)
+      }
+    }
+    m2: optional (fn == 0x02) {
+      m2_body: seq {
+        count: terminal fixed(1)
+        regs: tabular(count) {
+          reg: terminal fixed(2)
+        }
+      }
+    }
+  }
+}
+)spec";
+
+}  // namespace
+
+int main() {
+  using namespace protoobf;
+
+  // 1. Specification -> message format graph G1.
+  auto graph = Framework::load_spec(kSpec);
+  if (!graph.ok()) {
+    std::cerr << "spec error: " << graph.error().message << "\n";
+    return 1;
+  }
+  std::cout << "=== Message format graph G1 (paper Fig. 3) ===\n"
+            << to_outline(*graph) << "\n";
+
+  // 2. Obfuscate: 2 transformation rounds per node, reproducible seed.
+  ObfuscationConfig config;
+  config.seed = 2018;
+  config.per_node = 2;
+  auto protocol = Framework::generate(*graph, config);
+  if (!protocol.ok()) {
+    std::cerr << "obfuscation error: " << protocol.error().message << "\n";
+    return 1;
+  }
+  std::cout << "=== Applied transformations (tau_1..tau_"
+            << protocol->journal().size() << ") ===\n";
+  for (const auto& entry : protocol->journal()) {
+    std::cout << "  " << entry.describe(protocol->wire_graph()) << "\n";
+  }
+  std::cout << "\n=== Obfuscated wire graph G(n+1) ===\n"
+            << to_outline(protocol->wire_graph()) << "\n";
+
+  // 3. Build an M2 message through the stable accessor interface. Note that
+  //    len and count are never set by hand — the framework derives them.
+  Message msg(*graph);
+  msg.set_uint("fn", 2);
+  for (int i = 0; i < 3; ++i) {
+    msg.append("regs");
+    msg.set_uint("regs[" + std::to_string(i) + "].reg", 0x1000 + i);
+  }
+
+  // 4. Serialize twice with different message seeds: randomized
+  //    transformations give two distinct wire images of the same message.
+  auto plain_cfg = ObfuscationConfig{};
+  plain_cfg.per_node = 0;
+  auto plain = Framework::generate(*graph, plain_cfg).value();
+  std::cout << "=== Non-obfuscated serialization ===\n"
+            << hexdump(plain.serialize(msg.root(), 1).value());
+  std::cout << "\n=== Obfuscated serialization (seed 1) ===\n"
+            << hexdump(protocol->serialize(msg.root(), 1).value());
+  std::cout << "\n=== Obfuscated serialization (seed 2) ===\n"
+            << hexdump(protocol->serialize(msg.root(), 2).value());
+
+  // 5. Parse back and read fields through getters.
+  auto wire = protocol->serialize(msg.root(), 1).value();
+  auto parsed = protocol->parse(wire);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.error().message << "\n";
+    return 1;
+  }
+  std::cout << "\n=== Parsed message (logical AST) ===\n"
+            << ast::dump(*graph, **parsed);
+
+  // 6. The DOT rendition of both graphs, for the curious.
+  std::cout << "\n=== G1 in DOT (render with graphviz) ===\n"
+            << to_dot(*graph);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Protocol version rotation (paper §VIII).
+//
+// "The proposed framework also provides the opportunity to enhance the
+// protection of the considered protocol as new obfuscated versions of the
+// protocol can be easily generated. The deployment of new versions, at
+// regular intervals, should decrease the likelihood that the protocol can
+// be successfully reversed."
+//
+// This example rotates through protocol versions (one per seed) and shows
+// (a) the same application code and message produce unrelated wire images
+// per version, and (b) a receiver running the wrong version cannot decode
+// the traffic — versions really are distinct protocols.
+#include <iostream>
+
+#include "pre/alignment.hpp"
+#include "protocols/modbus.hpp"
+
+int main() {
+  using namespace protoobf;
+
+  auto graph = Framework::load_spec(modbus::request_spec()).value();
+  Message msg = modbus::make_read_holding(graph, 0x0001, 0x11, 0x006b, 3);
+
+  // Generate four versions of the protocol: same spec, different seeds.
+  std::vector<ObfuscatedProtocol> versions;
+  for (std::uint64_t week = 1; week <= 4; ++week) {
+    ObfuscationConfig cfg;
+    cfg.per_node = 2;
+    cfg.seed = 0xfeed0000 + week;
+    versions.push_back(Framework::generate(graph, cfg).value());
+  }
+
+  std::cout << "same message, one wire image per deployed version:\n";
+  std::vector<Bytes> wires;
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    wires.push_back(versions[v].serialize(msg.root(), 9).value());
+    std::cout << "  version " << v + 1 << " (" << wires[v].size()
+              << " bytes): " << to_hex(wires[v]) << "\n";
+  }
+
+  std::cout << "\npairwise wire similarity across versions (alignment):\n";
+  for (std::size_t a = 0; a < wires.size(); ++a) {
+    std::cout << "  ";
+    for (std::size_t b = 0; b < wires.size(); ++b) {
+      std::printf("%5.2f", pre::similarity(wires[a], wires[b]));
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\ncross-version decoding matrix (receiver v x traffic v):\n";
+  for (std::size_t rx = 0; rx < versions.size(); ++rx) {
+    std::cout << "  receiver v" << rx + 1 << ": ";
+    for (std::size_t tx = 0; tx < versions.size(); ++tx) {
+      auto parsed = versions[rx].parse(wires[tx]);
+      bool ok = parsed.ok();
+      if (ok) {
+        // A parse may *accidentally* succeed structurally; the recovered
+        // message must also be the right one.
+        const Inst* fn =
+            ast::find_path(graph, **parsed, "adu.tail.fn");
+        ok = fn != nullptr && fn->value == Bytes{0x03};
+      }
+      std::cout << (ok ? " OK " : " -- ");
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nOnly the diagonal decodes: each rotation is a fresh "
+               "protocol,\nwhile the application code stays identical.\n";
+  return 0;
+}

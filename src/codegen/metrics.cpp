@@ -1,0 +1,74 @@
+#include "codegen/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace protoobf {
+
+std::size_t CallGraph::index_of(const std::string& name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const std::size_t id = adjacency_.size();
+  ids_.emplace(name, id);
+  adjacency_.emplace_back();
+  names_.push_back(name);
+  return id;
+}
+
+void CallGraph::add_function(const std::string& name) { index_of(name); }
+
+void CallGraph::add_call(const std::string& caller, const std::string& callee) {
+  const std::size_t from = index_of(caller);
+  const std::size_t to = index_of(callee);
+  auto& edges = adjacency_[from];
+  if (std::find(edges.begin(), edges.end(), to) == edges.end()) {
+    edges.push_back(to);
+  }
+}
+
+std::size_t CallGraph::reachable_size(const std::string& entry) const {
+  const auto it = ids_.find(entry);
+  if (it == ids_.end()) return 0;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<std::size_t> stack{it->second};
+  seen[it->second] = true;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::size_t node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (std::size_t next : adjacency_[node]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t CallGraph::depth(const std::string& entry) const {
+  const auto it = ids_.find(entry);
+  if (it == ids_.end()) return 0;
+  // The generated call graph is acyclic (functions mirror the node tree), so
+  // a memoized longest-path DFS terminates. A visiting flag guards against
+  // accidental cycles.
+  std::vector<std::size_t> memo(adjacency_.size(), 0);
+  std::vector<int> state(adjacency_.size(), 0);  // 0=unseen 1=visiting 2=done
+  std::function<std::size_t(std::size_t)> longest =
+      [&](std::size_t node) -> std::size_t {
+    if (state[node] == 2) return memo[node];
+    if (state[node] == 1) return 0;  // cycle guard
+    state[node] = 1;
+    std::size_t best = 0;
+    for (std::size_t next : adjacency_[node]) {
+      best = std::max(best, longest(next));
+    }
+    state[node] = 2;
+    memo[node] = best + 1;
+    return memo[node];
+  };
+  return longest(it->second);
+}
+
+}  // namespace protoobf

@@ -1,0 +1,49 @@
+// Code complexity metrics (paper §VII-B).
+//
+// The paper measures the potency of the obfuscation on the generated
+// library: number of code lines, number of internal structures, and the
+// size and depth of the parsing call graph extracted with `cflow`. Our code
+// generator records the call graph while emitting functions, so the same
+// metrics come out of CallGraph below — size is the number of functions
+// reachable from the parse entry point, depth the longest call chain.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace protoobf {
+
+class CallGraph {
+ public:
+  /// Registers a function (idempotent).
+  void add_function(const std::string& name);
+
+  /// Registers caller -> callee (both auto-registered).
+  void add_call(const std::string& caller, const std::string& callee);
+
+  /// Number of functions reachable from `entry` (inclusive).
+  std::size_t reachable_size(const std::string& entry) const;
+
+  /// Longest call chain starting at `entry` (in functions; entry alone = 1).
+  std::size_t depth(const std::string& entry) const;
+
+  std::size_t function_count() const { return adjacency_.size(); }
+
+ private:
+  std::size_t index_of(const std::string& name);
+  std::unordered_map<std::string, std::size_t> ids_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<std::string> names_;
+};
+
+struct CodeMetrics {
+  std::size_t lines = 0;
+  std::size_t structs = 0;
+  std::size_t functions = 0;
+  std::size_t callgraph_size = 0;   // reachable from parse entry
+  std::size_t callgraph_depth = 0;  // longest parse call chain
+};
+
+}  // namespace protoobf

@@ -1,0 +1,224 @@
+#include "core/protoobf.hpp"
+
+#include <algorithm>
+
+namespace protoobf {
+
+InstPtr make_skeleton(const Graph& graph, NodeId node) {
+  const Node& n = graph.node(node);
+  switch (n.type) {
+    case NodeType::Terminal:
+      return ast::deferred(node);
+    case NodeType::Sequence: {
+      std::vector<InstPtr> children;
+      children.reserve(n.children.size());
+      for (NodeId child : n.children) {
+        children.push_back(make_skeleton(graph, child));
+      }
+      return ast::composite(node, std::move(children));
+    }
+    case NodeType::Optional:
+      return ast::absent(node);
+    case NodeType::Repetition:
+    case NodeType::Tabular:
+      return ast::composite(node, {});
+  }
+  return nullptr;
+}
+
+Message::Message(const Graph& g1)
+    : graph_(&g1), root_(make_skeleton(g1, g1.root())) {}
+
+namespace {
+
+/// Walks the instance tree along the schema ancestor chain of `target`,
+/// presenting absent optionals when `materialize` is set. Fails at
+/// repetitions (an explicit indexed path is required there).
+Expected<Inst*> walk_by_schema(const Graph& g, Inst& root, NodeId target,
+                               bool materialize) {
+  std::vector<NodeId> chain = g.ancestors(target);  // target's parents, root last
+  std::reverse(chain.begin(), chain.end());
+  chain.push_back(target);
+  if (chain.front() != root.schema) {
+    return Unexpected("node is not under the message root");
+  }
+  Inst* cursor = &root;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const Node& here = g.node(cursor->schema);
+    if (here.type == NodeType::Repetition || here.type == NodeType::Tabular) {
+      return Unexpected("field '" + g.node(target).name +
+                        "' sits under a repetition; use an indexed path");
+    }
+    if (here.type == NodeType::Optional && !cursor->present) {
+      if (!materialize) {
+        return Unexpected("optional '" + here.name + "' is absent");
+      }
+      cursor->present = true;
+      cursor->children.clear();
+      cursor->children.push_back(make_skeleton(g, here.children[0]));
+    }
+    Inst* next = nullptr;
+    for (auto& child : cursor->children) {
+      if (child->schema == chain[i]) {
+        next = child.get();
+        break;
+      }
+    }
+    if (next == nullptr) {
+      return Unexpected("internal: skeleton missing node '" +
+                        g.node(chain[i]).name + "'");
+    }
+    cursor = next;
+  }
+  return cursor;
+}
+
+}  // namespace
+
+Expected<Inst*> Message::resolve(std::string_view path) const {
+  return const_cast<Message*>(this)->locate(path, /*materialize=*/false);
+}
+
+Expected<Inst*> Message::locate(std::string_view path, bool materialize) {
+  if (Inst* found = ast::find_path(*graph_, *root_, path)) return found;
+
+  // Anchored convenience resolution: the first segment may be any uniquely
+  // named node of the specification ("rh_addr", "wrs_values[2].wrs_reg",
+  // "headers[0].header.name"), with optionals on the way materialized.
+  const std::size_t dot = path.find('.');
+  std::string_view head = path.substr(0, dot);
+  const std::string_view rest =
+      dot == std::string_view::npos ? std::string_view{} : path.substr(dot + 1);
+
+  long index = -1;
+  const std::size_t bracket = head.find('[');
+  if (bracket != std::string_view::npos && head.back() == ']') {
+    index = std::strtol(
+        std::string(head.substr(bracket + 1, head.size() - bracket - 2))
+            .c_str(),
+        nullptr, 10);
+    head = head.substr(0, bracket);
+  }
+
+  const auto id = graph_->find_by_name(head);
+  if (!id) {
+    return Unexpected("path '" + std::string(path) + "' does not resolve");
+  }
+  auto anchor = walk_by_schema(*graph_, *root_, *id, materialize);
+  if (!anchor) return anchor;
+  Inst* cursor = *anchor;
+  if (index >= 0) {
+    const Node& n = graph_->node(cursor->schema);
+    if (n.type != NodeType::Repetition && n.type != NodeType::Tabular) {
+      return Unexpected("'" + std::string(head) + "' is not repeated");
+    }
+    if (static_cast<std::size_t>(index) >= cursor->children.size()) {
+      return Unexpected("index " + std::to_string(index) + " out of range in '" +
+                        std::string(head) + "'");
+    }
+    cursor = cursor->children[static_cast<std::size_t>(index)].get();
+  }
+  if (rest.empty()) return cursor;
+  if (Inst* found = ast::find_path(*graph_, *cursor, rest)) return found;
+  // The remainder may itself start with the cursor's node name
+  // ("headers[0].header.name" anchors at the element "header").
+  if (Inst* found = ast::find_path(
+          *graph_, *cursor,
+          std::string(graph_->node(cursor->schema).name) + "." +
+              std::string(rest))) {
+    return found;
+  }
+  return Unexpected("path '" + std::string(path) + "' does not resolve");
+}
+
+Status Message::set(std::string_view path, Bytes value) {
+  auto inst = locate(path, /*materialize=*/true);
+  if (!inst) return Unexpected(inst.error());
+  const Node& n = graph_->node((*inst)->schema);
+  if (n.type != NodeType::Terminal) {
+    return Unexpected("path '" + std::string(path) + "' is not a terminal");
+  }
+  (*inst)->value = std::move(value);
+  return Status::success();
+}
+
+Status Message::set_text(std::string_view path, std::string_view text) {
+  return set(path, to_bytes(text));
+}
+
+Status Message::set_uint(std::string_view path, std::uint64_t value) {
+  auto inst = locate(path, /*materialize=*/true);
+  if (!inst) return Unexpected(inst.error());
+  const Node& n = graph_->node((*inst)->schema);
+  if (n.type != NodeType::Terminal) {
+    return Unexpected("path '" + std::string(path) + "' is not a terminal");
+  }
+  if (n.encoding == Encoding::AsciiDec) {
+    (*inst)->value = ascii_dec_encode(
+        value, n.boundary == BoundaryKind::Fixed ? n.fixed_size : 0);
+    return Status::success();
+  }
+  if (n.boundary != BoundaryKind::Fixed) {
+    return Unexpected("set_uint on non-fixed binary field '" + n.name + "'");
+  }
+  (*inst)->value = be_encode(value, n.fixed_size);
+  return Status::success();
+}
+
+Status Message::set_present(std::string_view path, bool present) {
+  auto inst = locate(path, /*materialize=*/present);
+  if (!inst) return Unexpected(inst.error());
+  Inst& opt = **inst;
+  const Node& n = graph_->node(opt.schema);
+  if (n.type != NodeType::Optional) {
+    return Unexpected("path '" + std::string(path) + "' is not optional");
+  }
+  if (present && !opt.present) {
+    opt.present = true;
+    opt.children.clear();
+    opt.children.push_back(make_skeleton(*graph_, n.children[0]));
+  } else if (!present) {
+    opt.present = false;
+    opt.children.clear();
+  }
+  return Status::success();
+}
+
+Expected<std::size_t> Message::append(std::string_view path) {
+  auto inst = locate(path, /*materialize=*/true);
+  if (!inst) return Unexpected(inst.error());
+  Inst& rep = **inst;
+  const Node& n = graph_->node(rep.schema);
+  if (n.type != NodeType::Repetition && n.type != NodeType::Tabular) {
+    return Unexpected("path '" + std::string(path) + "' is not repeated");
+  }
+  rep.children.push_back(make_skeleton(*graph_, n.children[0]));
+  return rep.children.size() - 1;
+}
+
+Expected<Bytes> Message::get(std::string_view path) const {
+  auto inst = resolve(path);
+  if (!inst) return Unexpected(inst.error());
+  return (*inst)->value;
+}
+
+Expected<std::string> Message::get_text(std::string_view path) const {
+  auto bytes = get(path);
+  if (!bytes) return Unexpected(bytes.error());
+  return to_text(*bytes);
+}
+
+Expected<std::uint64_t> Message::get_uint(std::string_view path) const {
+  auto inst = resolve(path);
+  if (!inst) return Unexpected(inst.error());
+  const Node& n = graph_->node((*inst)->schema);
+  if (n.encoding == Encoding::AsciiDec) {
+    auto value = ascii_dec_decode((*inst)->value);
+    if (!value) return Unexpected("field is not a decimal number");
+    return *value;
+  }
+  if ((*inst)->value.size() > 8) return Unexpected("field wider than 8 bytes");
+  return be_decode((*inst)->value);
+}
+
+}  // namespace protoobf

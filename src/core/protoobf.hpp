@@ -1,0 +1,95 @@
+// ProtoObf — public entry point of the framework (paper §IV, Fig. 2).
+//
+// Typical use:
+//
+//   auto graph = protoobf::Framework::load_spec(kMyProtocolSpec).value();
+//   protoobf::ObfuscationConfig config;
+//   config.seed = 42;          // regenerate with a new seed at any time
+//   config.per_node = 2;       // obfuscations per node (paper: 0..4)
+//   auto protocol =
+//       protoobf::Framework::generate(graph, config).value();
+//
+//   protoobf::Message msg(protocol.original());
+//   msg.set_uint("transaction", 7);
+//   msg.set("payload", protoobf::to_bytes("hello"));
+//   auto wire = protocol.serialize(msg.root(), /*msg_seed=*/1).value();
+//   auto back = protocol.parse(wire).value();
+//
+// The Message accessor interface is defined entirely by the *original*
+// specification: application code is identical no matter which
+// transformations were selected — the paper's requirement that "building a
+// message should use the same interface, even in presence of obfuscations".
+#pragma once
+
+#include <string_view>
+
+#include "graph/dot.hpp"
+#include "graph/graph.hpp"
+#include "runtime/protocol.hpp"
+#include "spec/parser.hpp"
+#include "transform/engine.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+class Framework {
+ public:
+  /// Parses and validates a ProtoSpec text into a message format graph G1.
+  static Expected<Graph> load_spec(std::string_view spec_text) {
+    return parse_spec(spec_text);
+  }
+
+  /// Applies the configured obfuscation rounds and returns the runtime
+  /// serializer/parser pair for the transformed protocol.
+  static Expected<ObfuscatedProtocol> generate(const Graph& g1,
+                                               const ObfuscationConfig& config) {
+    return ObfuscatedProtocol::create(g1, config);
+  }
+};
+
+/// Stable, path-addressed accessor facade over a logical message tree.
+///
+/// Paths are dotted node names with optional element indices:
+///   "adu.tail.fn"            — nested field
+///   "headers[2].header.name" — third element of a repetition
+/// A unique trailing segment is enough ("fn" instead of the full path) as
+/// long as it is unambiguous in the specification.
+class Message {
+ public:
+  explicit Message(const Graph& g1);
+
+  /// Raw bytes setter. Creates optional subtrees on demand when the path
+  /// crosses a present-able Optional.
+  Status set(std::string_view path, Bytes value);
+  Status set_text(std::string_view path, std::string_view text);
+
+  /// Encodes per the terminal's declared width and encoding.
+  Status set_uint(std::string_view path, std::uint64_t value);
+
+  /// Marks an Optional present (materializing its subtree) or absent.
+  Status set_present(std::string_view path, bool present);
+
+  /// Appends one element to a Repetition/Tabular; returns its index.
+  Expected<std::size_t> append(std::string_view path);
+
+  Expected<Bytes> get(std::string_view path) const;
+  Expected<std::string> get_text(std::string_view path) const;
+  Expected<std::uint64_t> get_uint(std::string_view path) const;
+
+  Inst& root() { return *root_; }
+  const Inst& root() const { return *root_; }
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  Expected<Inst*> resolve(std::string_view path) const;
+  Expected<Inst*> locate(std::string_view path, bool materialize);
+
+  const Graph* graph_;
+  InstPtr root_;
+};
+
+/// Builds the skeleton instance of a (sub)graph: empty terminals, absent
+/// optionals, zero-element repetitions.
+InstPtr make_skeleton(const Graph& graph, NodeId node);
+
+}  // namespace protoobf

@@ -1,0 +1,82 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace protoobf {
+
+namespace {
+
+const char* type_tag(NodeType t) {
+  switch (t) {
+    case NodeType::Terminal: return "Te";
+    case NodeType::Sequence: return "S";
+    case NodeType::Optional: return "O";
+    case NodeType::Repetition: return "R";
+    case NodeType::Tabular: return "Ta";
+  }
+  return "?";
+}
+
+std::string boundary_tag(const Graph& g, const Node& n) {
+  switch (n.boundary) {
+    case BoundaryKind::Fixed:
+      return "F(" + std::to_string(n.fixed_size) + ")";
+    case BoundaryKind::Delimited:
+      return "De";
+    case BoundaryKind::Length:
+      return "L(" + g.node(n.ref).name + ")";
+    case BoundaryKind::Counter:
+      return "C(" + g.node(n.ref).name + ")";
+    case BoundaryKind::End:
+      return "E";
+    case BoundaryKind::Delegated:
+      return "Dgt";
+    case BoundaryKind::Half:
+      return "H";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& graph) {
+  std::ostringstream out;
+  out << "digraph \"" << graph.protocol_name() << "\" {\n"
+      << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (NodeId id : graph.dfs_order()) {
+    const Node& n = graph.node(id);
+    out << "  n" << id << " [label=\"" << n.name << "\\n" << type_tag(n.type)
+        << " " << boundary_tag(graph, n);
+    if (n.mirrored) out << " mirr";
+    out << "\"];\n";
+    for (NodeId child : n.children) {
+      out << "  n" << id << " -> n" << child << ";\n";
+    }
+    if (n.ref != kNoNode) {
+      out << "  n" << id << " -> n" << n.ref << " [style=dashed];\n";
+    }
+    if (n.type == NodeType::Optional && n.condition.ref != kNoNode) {
+      out << "  n" << id << " -> n" << n.condition.ref
+          << " [style=dotted, label=\"cond\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_outline(const Graph& graph) {
+  std::ostringstream out;
+  const auto pos = graph.dfs_positions();
+  for (NodeId id : graph.dfs_order()) {
+    const Node& n = graph.node(id);
+    out << std::string(graph.ancestors(id).size() * 2, ' ') << n.name << " ["
+        << type_tag(n.type) << " " << boundary_tag(graph, n);
+    if (n.has_const) out << " const";
+    if (n.mirrored) out << " mirrored";
+    out << "]\n";
+  }
+  (void)pos;
+  return out.str();
+}
+
+}  // namespace protoobf

@@ -1,0 +1,19 @@
+// Graphviz DOT rendering of a message format graph (paper Fig. 3 style).
+//
+// Nodes are labelled with the paper's shorthand: Te/S/O/R/Ta for the type and
+// F(n)/De/L(x)/C(x)/E/Dgt for the boundary. Length/Counter references are
+// drawn as dashed arrows, exactly as in Fig. 3.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace protoobf {
+
+std::string to_dot(const Graph& graph);
+
+/// Human-readable indented outline of the graph (for terminals/examples).
+std::string to_outline(const Graph& graph);
+
+}  // namespace protoobf

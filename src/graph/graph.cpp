@@ -1,0 +1,164 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace protoobf {
+
+bool Condition::evaluate(BytesView ref_value) const {
+  const auto equals = [&](const Bytes& v) {
+    return v.size() == ref_value.size() &&
+           std::equal(v.begin(), v.end(), ref_value.begin());
+  };
+  switch (kind) {
+    case Kind::Always:
+      return true;
+    case Kind::Equals:
+      return !values.empty() && equals(values[0]);
+    case Kind::NotEquals:
+      return values.empty() || !equals(values[0]);
+    case Kind::OneOf:
+      return std::any_of(values.begin(), values.end(), equals);
+    case Kind::NonZero:
+      return std::any_of(ref_value.begin(), ref_value.end(),
+                         [](Byte b) { return b != 0; });
+  }
+  return false;
+}
+
+const char* to_string(NodeType type) {
+  switch (type) {
+    case NodeType::Terminal: return "Terminal";
+    case NodeType::Sequence: return "Sequence";
+    case NodeType::Optional: return "Optional";
+    case NodeType::Repetition: return "Repetition";
+    case NodeType::Tabular: return "Tabular";
+  }
+  return "?";
+}
+
+const char* to_string(BoundaryKind boundary) {
+  switch (boundary) {
+    case BoundaryKind::Fixed: return "Fixed";
+    case BoundaryKind::Delimited: return "Delimited";
+    case BoundaryKind::Length: return "Length";
+    case BoundaryKind::Counter: return "Counter";
+    case BoundaryKind::End: return "End";
+    case BoundaryKind::Delegated: return "Delegated";
+    case BoundaryKind::Half: return "Half";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node(Node node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node.id = id;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Graph::dfs_visit(NodeId id, std::vector<NodeId>& order) const {
+  order.push_back(id);
+  for (NodeId child : nodes_[id].children) dfs_visit(child, order);
+}
+
+std::vector<NodeId> Graph::dfs_order() const {
+  std::vector<NodeId> order;
+  if (root_ != kNoNode) {
+    order.reserve(nodes_.size());
+    dfs_visit(root_, order);
+  }
+  return order;
+}
+
+std::vector<std::size_t> Graph::dfs_positions() const {
+  std::vector<std::size_t> pos(nodes_.size(), static_cast<std::size_t>(-1));
+  const auto order = dfs_order();
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  return pos;
+}
+
+std::optional<NodeId> Graph::find_by_name(std::string_view name) const {
+  std::optional<NodeId> found;
+  for (NodeId id : dfs_order()) {
+    if (nodes_[id].name == name) {
+      if (found) return std::nullopt;  // ambiguous
+      found = id;
+    }
+  }
+  return found;
+}
+
+std::string Graph::path_of(NodeId id) const {
+  std::string path = nodes_[id].name;
+  for (NodeId p = nodes_[id].parent; p != kNoNode; p = nodes_[p].parent) {
+    path = nodes_[p].name + "." + path;
+  }
+  return path;
+}
+
+int Graph::child_index(NodeId parent, NodeId child) const {
+  const auto& kids = nodes_[parent].children;
+  const auto it = std::find(kids.begin(), kids.end(), child);
+  return it == kids.end() ? -1 : static_cast<int>(it - kids.begin());
+}
+
+void Graph::replace_child(NodeId parent, NodeId old_child, NodeId new_child) {
+  const int idx = child_index(parent, old_child);
+  assert(idx >= 0);
+  nodes_[parent].children[static_cast<std::size_t>(idx)] = new_child;
+  nodes_[new_child].parent = parent;
+  nodes_[old_child].parent = kNoNode;
+}
+
+void Graph::replace_root(NodeId new_root) {
+  nodes_[new_root].parent = kNoNode;
+  root_ = new_root;
+}
+
+std::vector<NodeId> Graph::referers_of(NodeId target) const {
+  std::vector<NodeId> out;
+  for (NodeId id : dfs_order()) {
+    const Node& n = nodes_[id];
+    if (n.ref == target) out.push_back(id);
+    if (n.type == NodeType::Optional && n.condition.ref == target) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+bool Graph::is_length_target(NodeId target) const {
+  for (NodeId id : dfs_order()) {
+    const Node& n = nodes_[id];
+    if (n.boundary == BoundaryKind::Length && n.ref == target) return true;
+  }
+  return false;
+}
+
+bool Graph::is_counter_target(NodeId target) const {
+  for (NodeId id : dfs_order()) {
+    const Node& n = nodes_[id];
+    if (n.boundary == BoundaryKind::Counter && n.ref == target) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Graph::ancestors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId p = nodes_[id].parent; p != kNoNode; p = nodes_[p].parent) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Graph::depth() const {
+  std::size_t best = 0;
+  for (NodeId id : dfs_order()) {
+    const std::size_t d = ancestors(id).size() + 1;
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace protoobf

@@ -1,0 +1,94 @@
+// Message format graph container (paper §IV / §V-A).
+//
+// The graph G1 describes every AST compliant with the specification S; the
+// obfuscation engine rewrites it in place, producing G2..G(n+1). Node ids
+// are stable across rewrites (nodes are stored in an arena and detached
+// nodes simply become unreachable), which lets the transformation journal
+// reference pattern nodes from any intermediate graph.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/node.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string protocol_name)
+      : protocol_name_(std::move(protocol_name)) {}
+
+  const std::string& protocol_name() const { return protocol_name_; }
+  void set_protocol_name(std::string name) { protocol_name_ = std::move(name); }
+
+  /// Adds a node to the arena; assigns and returns its id.
+  NodeId add_node(Node node);
+
+  Node& node(NodeId id) { return nodes_[id]; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  NodeId root() const { return root_; }
+  void set_root(NodeId id) { root_ = id; }
+
+  /// Total arena size (including detached nodes).
+  std::size_t arena_size() const { return nodes_.size(); }
+
+  /// Number of nodes reachable from the root.
+  std::size_t size() const { return dfs_order().size(); }
+
+  /// Pre-order depth-first traversal from the root — the serialization order.
+  std::vector<NodeId> dfs_order() const;
+
+  /// Position of every reachable node in DFS order (kNoNode-sized table,
+  /// unreachable nodes map to npos).
+  std::vector<std::size_t> dfs_positions() const;
+
+  /// Finds a reachable node by exact name; nullopt if absent or ambiguous.
+  std::optional<NodeId> find_by_name(std::string_view name) const;
+
+  /// Dotted path of a node from the root, e.g. "adu.tail.fn".
+  std::string path_of(NodeId id) const;
+
+  /// Index of `child` in `parent`'s child list, or -1.
+  int child_index(NodeId parent, NodeId child) const;
+
+  /// Replaces `old_child` with `new_child` in the parent's child list and
+  /// fixes both parent links. `old_child` becomes detached.
+  void replace_child(NodeId parent, NodeId old_child, NodeId new_child);
+
+  /// Replaces the root node with a new node (used when a transformation
+  /// rewrites the root itself).
+  void replace_root(NodeId new_root);
+
+  /// All reachable nodes whose boundary/condition references `target`.
+  std::vector<NodeId> referers_of(NodeId target) const;
+
+  /// True if some reachable node has a Length boundary referencing `target`.
+  bool is_length_target(NodeId target) const;
+
+  /// True if some reachable node has a Counter boundary referencing `target`.
+  bool is_counter_target(NodeId target) const;
+
+  /// Walks ancestors of `id` (excluding `id` itself), root last.
+  std::vector<NodeId> ancestors(NodeId id) const;
+
+  /// Maximum node depth (root = 1); an input to the call-graph depth metric.
+  std::size_t depth() const;
+
+  /// Deep copy (same ids).
+  Graph clone() const { return *this; }
+
+ private:
+  void dfs_visit(NodeId id, std::vector<NodeId>& order) const;
+
+  std::string protocol_name_;
+  std::vector<Node> nodes_;
+  NodeId root_ = kNoNode;
+};
+
+}  // namespace protoobf

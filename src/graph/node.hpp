@@ -1,0 +1,105 @@
+// Message format graph node model (paper §V-A).
+//
+// A node is defined by five attributes: Name, Type, SubNodes, Parent and
+// Boundary. The Type or Boundary attributes may carry an implicit reference
+// to another node (Length/Counter boundaries, Optional presence conditions).
+// Two attributes extend the paper's model to make the reproduction concrete:
+//  * `encoding` distinguishes binary big-endian fields (Modbus) from ASCII
+//    decimal fields (HTTP Content-Length style values);
+//  * `mirrored` carries the ReadFromEnd transformation, which reverses the
+//    serialization of the node's subtree on the wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace protoobf {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Paper §V-A node types.
+enum class NodeType : std::uint8_t {
+  Terminal,    // holds user data or message-related information
+  Sequence,    // ordered sub-nodes
+  Optional,    // present depending on the value of another node
+  Repetition,  // repetition of the same sub-node, count not carried in data
+  Tabular,     // repetition whose count is given by another node
+};
+
+/// Paper §V-A boundary methods, plus the internal `Half` boundary that the
+/// Split* transformations introduce (each half of a split terminal occupies
+/// half of the enclosing region; see DESIGN.md §5).
+enum class BoundaryKind : std::uint8_t {
+  Fixed,      // fixed size defined in the specification
+  Delimited,  // ends with a predefined byte sequence
+  Length,     // size given by another node
+  Counter,    // Tabular only: repetition count given by another node
+  End,        // extends to the end of the enclosing region
+  Delegated,  // size is the sum of the sub-node sizes
+  Half,       // internal: exactly half of the enclosing region
+};
+
+/// Terminal value encodings for derived (length/count) fields.
+enum class Encoding : std::uint8_t {
+  Binary,    // big-endian binary integer
+  AsciiDec,  // ASCII decimal digits
+};
+
+/// Presence condition attached to Optional nodes.
+struct Condition {
+  enum class Kind : std::uint8_t {
+    Always,    // unconditionally present (building block, not used by specs)
+    Equals,    // ref value == values[0]
+    NotEquals, // ref value != values[0]
+    OneOf,     // ref value in values
+    NonZero,   // ref value has at least one non-zero byte
+  };
+
+  Kind kind = Kind::Always;
+  NodeId ref = kNoNode;
+  std::vector<Bytes> values;
+
+  /// Evaluates the condition against the referenced node's logical value.
+  bool evaluate(BytesView ref_value) const;
+};
+
+const char* to_string(NodeType type);
+const char* to_string(BoundaryKind boundary);
+
+/// One node of a message format graph.
+struct Node {
+  NodeId id = kNoNode;
+  std::string name;
+  NodeType type = NodeType::Terminal;
+  BoundaryKind boundary = BoundaryKind::Delegated;
+
+  // Boundary parameters -----------------------------------------------------
+  std::size_t fixed_size = 0;  // Fixed
+  Bytes delimiter;             // Delimited (emitted after the node content)
+  NodeId ref = kNoNode;        // Length: size holder; Counter: count holder.
+                               // A Counter ref may also point at a Tabular
+                               // whose element count must match (RepSplit).
+
+  // Terminal parameters -----------------------------------------------------
+  Encoding encoding = Encoding::Binary;
+  Bytes const_value;        // non-empty => constant field, auto-filled
+  bool has_const = false;
+
+  // Optional parameters -----------------------------------------------------
+  Condition condition;
+
+  // Transformation flags ----------------------------------------------------
+  bool mirrored = false;  // ReadFromEnd: subtree serialized right-to-left
+
+  // Tree links ----------------------------------------------------------------
+  std::vector<NodeId> children;
+  NodeId parent = kNoNode;
+
+  bool is_composite() const { return type != NodeType::Terminal; }
+};
+
+}  // namespace protoobf

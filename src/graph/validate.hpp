@@ -1,0 +1,25 @@
+// Consistency rules for message format graphs.
+//
+// Encodes the paper's type/boundary compatibility matrix ("the Boundary
+// attribute must be consistent with the type of the field", §V-A) plus the
+// parse-order rule that makes every Length/Counter/Optional reference
+// resolvable by a single left-to-right pass: a referenced node must occur
+// strictly before its dependant in the depth-first serialization order, and
+// must not sit inside an Optional subtree the dependant is outside of.
+// The obfuscation engine re-validates after every rewrite; a transformation
+// that would break these rules is rejected (or rolled back for ChildMove).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+/// Full structural validation: tree shape, type/boundary consistency,
+/// reference resolvability and parse order. Returns the first violation.
+Status validate(const Graph& graph);
+
+/// Just the reference parse-order rule (cheaper; used after ChildMove).
+Status validate_parse_order(const Graph& graph);
+
+}  // namespace protoobf

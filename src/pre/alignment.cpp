@@ -1,0 +1,70 @@
+#include "pre/alignment.hpp"
+
+#include <algorithm>
+
+namespace protoobf::pre {
+
+Alignment align(BytesView a, BytesView b, AlignScores scores) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // Dynamic-programming table, row-major (n+1) x (m+1).
+  std::vector<int> dp((n + 1) * (m + 1), 0);
+  const auto at = [m](std::size_t i, std::size_t j) {
+    return i * (m + 1) + j;
+  };
+  for (std::size_t i = 1; i <= n; ++i) dp[at(i, 0)] = static_cast<int>(i) * scores.gap;
+  for (std::size_t j = 1; j <= m; ++j) dp[at(0, j)] = static_cast<int>(j) * scores.gap;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const int diag = dp[at(i - 1, j - 1)] +
+                       (a[i - 1] == b[j - 1] ? scores.match : scores.mismatch);
+      const int up = dp[at(i - 1, j)] + scores.gap;
+      const int left = dp[at(i, j - 1)] + scores.gap;
+      dp[at(i, j)] = std::max({diag, up, left});
+    }
+  }
+
+  Alignment out;
+  out.score = dp[at(n, m)];
+  // Traceback.
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        dp[at(i, j)] == dp[at(i - 1, j - 1)] +
+                            (a[i - 1] == b[j - 1] ? scores.match
+                                                  : scores.mismatch)) {
+      out.a.push_back(a[i - 1]);
+      out.b.push_back(b[j - 1]);
+      --i;
+      --j;
+    } else if (i > 0 && dp[at(i, j)] == dp[at(i - 1, j)] + scores.gap) {
+      out.a.push_back(a[i - 1]);
+      out.b.push_back(-1);
+      --i;
+    } else {
+      out.a.push_back(-1);
+      out.b.push_back(b[j - 1]);
+      --j;
+    }
+  }
+  std::reverse(out.a.begin(), out.a.end());
+  std::reverse(out.b.begin(), out.b.end());
+  return out;
+}
+
+double similarity(BytesView a, BytesView b, AlignScores scores) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::size_t longest = std::max(a.size(), b.size());
+  const Alignment al = align(a, b, scores);
+  // score is at most match * max_len; at least gap * (len_a + len_b).
+  const double best = static_cast<double>(scores.match) *
+                      static_cast<double>(longest);
+  const double worst = static_cast<double>(scores.gap) *
+                       static_cast<double>(a.size() + b.size());
+  if (best <= worst) return 0.0;
+  const double norm = (static_cast<double>(al.score) - worst) / (best - worst);
+  return std::clamp(norm, 0.0, 1.0);
+}
+
+}  // namespace protoobf::pre

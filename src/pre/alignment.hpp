@@ -1,0 +1,40 @@
+// Sequence alignment — the core of network-based PRE tools (paper §II-B).
+//
+// The PI project introduced Needleman–Wunsch alignment for message
+// classification and format inference in 2004; "shortly afterwards, several
+// tools were developed using this algorithm" (Netzob among them). This is a
+// textbook byte-level implementation: global alignment with configurable
+// match/mismatch/gap scores, plus the normalized similarity used as the
+// clustering distance.
+//
+// It is the measurement instrument of the resilience experiment (§VII-D):
+// obfuscation succeeds when messages of one type stop aligning well.
+#pragma once
+
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace protoobf::pre {
+
+struct AlignScores {
+  int match = 1;
+  int mismatch = -1;
+  int gap = -1;
+};
+
+/// Aligned sequences use -1 as the gap symbol, byte values otherwise.
+struct Alignment {
+  int score = 0;
+  std::vector<int> a;  // first sequence with gaps
+  std::vector<int> b;  // second sequence with gaps
+};
+
+/// Global (Needleman–Wunsch) alignment of two byte strings.
+Alignment align(BytesView a, BytesView b, AlignScores scores = {});
+
+/// Normalized similarity in [0, 1]: identical strings score 1, strings with
+/// nothing in common score 0.
+double similarity(BytesView a, BytesView b, AlignScores scores = {});
+
+}  // namespace protoobf::pre

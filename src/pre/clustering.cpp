@@ -1,0 +1,85 @@
+#include "pre/clustering.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "pre/alignment.hpp"
+
+namespace protoobf::pre {
+
+std::vector<std::vector<std::size_t>> cluster_messages(
+    const std::vector<Bytes>& messages, double distance_threshold) {
+  const std::size_t n = messages.size();
+  std::vector<std::vector<std::size_t>> clusters;
+  if (n == 0) return clusters;
+
+  // Pairwise distance matrix.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dist[i][j] = dist[j][i] = 1.0 - similarity(messages[i], messages[j]);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) clusters.push_back({i});
+
+  while (clusters.size() > 1) {
+    // Closest pair under average linkage.
+    double best = 1e18;
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        double total = 0.0;
+        for (std::size_t a : clusters[i]) {
+          for (std::size_t b : clusters[j]) total += dist[a][b];
+        }
+        const double avg =
+            total / static_cast<double>(clusters[i].size() *
+                                        clusters[j].size());
+        if (avg < best) {
+          best = avg;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > distance_threshold) break;
+    auto merged = clusters[bi];
+    merged.insert(merged.end(), clusters[bj].begin(), clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+    clusters[bi] = std::move(merged);
+  }
+  return clusters;
+}
+
+ClusterQuality score_clustering(
+    const std::vector<std::vector<std::size_t>>& clusters,
+    const std::vector<int>& labels) {
+  ClusterQuality q;
+  q.clusters = clusters.size();
+  q.true_types = std::set<int>(labels.begin(), labels.end()).size();
+  std::size_t total = 0;
+  std::size_t majority_sum = 0;
+  for (const auto& cluster : clusters) {
+    std::map<int, std::size_t> counts;
+    for (std::size_t idx : cluster) ++counts[labels[idx]];
+    std::size_t majority = 0;
+    for (const auto& [label, count] : counts) {
+      majority = std::max(majority, count);
+    }
+    majority_sum += majority;
+    total += cluster.size();
+  }
+  q.purity = total == 0 ? 0.0
+                        : static_cast<double>(majority_sum) /
+                              static_cast<double>(total);
+  q.fragmentation = q.true_types == 0
+                        ? 0.0
+                        : static_cast<double>(q.clusters) /
+                              static_cast<double>(q.true_types);
+  return q;
+}
+
+}  // namespace protoobf::pre

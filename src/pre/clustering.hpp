@@ -1,0 +1,39 @@
+// Message classification by hierarchical clustering (paper §II-C.3).
+//
+// "Classification in PRE is mainly based on similarity measures. It is a
+// key step in PRE as the efficiency of the inference depends on the quality
+// of this classification." UPGMA agglomerative clustering over the
+// alignment distance (1 - similarity), cut at a threshold — the structure
+// PI/Netzob-style tools use to recover message types from a trace.
+//
+// The quality measures below quantify the two failure modes §II-C.3
+// describes: too many clusters (same-type messages look different) and
+// merged clusters (different types look alike).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace protoobf::pre {
+
+/// UPGMA (average-linkage) clustering; merging stops when the closest pair
+/// of clusters is farther than `distance_threshold`. Returns clusters as
+/// index sets into `messages`.
+std::vector<std::vector<std::size_t>> cluster_messages(
+    const std::vector<Bytes>& messages, double distance_threshold);
+
+struct ClusterQuality {
+  std::size_t clusters = 0;      // recovered classes
+  std::size_t true_types = 0;    // ground-truth classes
+  double purity = 0.0;           // weighted majority-label fraction
+  double fragmentation = 0.0;    // clusters / true_types
+};
+
+/// Scores a clustering against ground-truth type labels.
+ClusterQuality score_clustering(
+    const std::vector<std::vector<std::size_t>>& clusters,
+    const std::vector<int>& labels);
+
+}  // namespace protoobf::pre

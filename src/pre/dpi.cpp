@@ -1,0 +1,79 @@
+#include "pre/dpi.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace protoobf::pre {
+
+const char* to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::Unknown: return "unknown";
+    case Protocol::ModbusTcp: return "modbus-tcp";
+    case Protocol::Http: return "http";
+  }
+  return "?";
+}
+
+bool looks_like_modbus(BytesView p) {
+  if (p.size() < 8) return false;
+  // MBAP: transaction(2) protocol(2)=0 length(2) unit(1), then PDU.
+  if (p[2] != 0 || p[3] != 0) return false;
+  const std::size_t length = (static_cast<std::size_t>(p[4]) << 8) | p[5];
+  if (length != p.size() - 6) return false;
+  if (length < 2) return false;
+  const Byte fn = p[7];
+  const Byte base_fn = fn & 0x7f;
+  static constexpr Byte kKnown[] = {1, 2, 3, 4, 5, 6, 15, 16};
+  if (std::find(std::begin(kKnown), std::end(kKnown), base_fn) ==
+      std::end(kKnown)) {
+    return false;
+  }
+  const std::size_t pdu = length - 2;  // bytes after unit id + fn
+  if (fn & 0x80) return pdu == 1;      // exception: one code byte
+  switch (base_fn) {
+    case 1: case 2: case 3: case 4:
+      // Request: addr+qty (4). Response: bytecount + data.
+      return pdu == 4 || (pdu >= 2 && p.size() > 8 && p[8] == pdu - 1);
+    case 5: case 6:
+      return pdu == 4;
+    case 15: case 16:
+      // Request: addr+qty+bytecount+payload. Response: addr+qty.
+      return pdu == 4 || (pdu >= 6 && p.size() > 12 && p[12] == pdu - 5);
+    default:
+      return false;
+  }
+}
+
+bool looks_like_http(BytesView p) {
+  static constexpr std::string_view kMethods[] = {
+      "GET ", "POST ", "PUT ", "HEAD ", "DELETE ", "OPTIONS ", "PATCH "};
+  const std::string_view text(reinterpret_cast<const char*>(p.data()),
+                              p.size());
+  const bool method = std::any_of(
+      std::begin(kMethods), std::end(kMethods),
+      [&](std::string_view m) { return text.substr(0, m.size()) == m; });
+  if (!method) return false;
+  const std::size_t line_end = text.find("\r\n");
+  if (line_end == std::string_view::npos) return false;
+  const std::string_view line = text.substr(0, line_end);
+  // Request line: METHOD SP URI SP HTTP/1.x
+  const std::size_t version = line.rfind(" HTTP/1.");
+  if (version == std::string_view::npos) return false;
+  const std::size_t first_space = line.find(' ');
+  if (first_space == std::string_view::npos || first_space >= version) {
+    return false;
+  }
+  // At least one header-shaped line or the terminating blank line.
+  const std::string_view rest = text.substr(line_end + 2);
+  return rest.substr(0, 2) == "\r\n" ||
+         rest.find(": ") != std::string_view::npos;
+}
+
+Protocol classify(BytesView payload) {
+  if (looks_like_modbus(payload)) return Protocol::ModbusTcp;
+  if (looks_like_http(payload)) return Protocol::Http;
+  return Protocol::Unknown;
+}
+
+}  // namespace protoobf::pre

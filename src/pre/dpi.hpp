@@ -1,0 +1,35 @@
+// Signature-based deep packet inspection (nDPI-style protocol detection).
+//
+// The repro substitutes the paper's human-expert Netzob assessment (§VII-D)
+// with automated instruments; this one answers the coarsest PRE question —
+// "which protocol is this?" — the way production DPI engines do: structural
+// signatures on the first payload of a flow. Obfuscation succeeds when the
+// plain protocol is detected and the obfuscated one is not.
+//
+//  * Modbus/TCP: MBAP header checks — protocol id 0x0000 at offset 2, the
+//    16-bit length field matching the remaining byte count, a known
+//    function code, and per-function PDU length sanity.
+//  * HTTP: a known method token, a space-separated request line ending in
+//    "HTTP/1.x\r\n", and header-shaped lines after it.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace protoobf::pre {
+
+enum class Protocol {
+  Unknown,
+  ModbusTcp,
+  Http,
+};
+
+const char* to_string(Protocol protocol);
+
+bool looks_like_modbus(BytesView payload);
+bool looks_like_http(BytesView payload);
+
+/// First-match classification, Modbus before HTTP (it is the stricter
+/// signature).
+Protocol classify(BytesView payload);
+
+}  // namespace protoobf::pre

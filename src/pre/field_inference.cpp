@@ -1,0 +1,68 @@
+#include "pre/field_inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pre/alignment.hpp"
+
+namespace protoobf::pre {
+
+InferredFormat infer_format(const std::vector<Bytes>& cluster) {
+  InferredFormat out;
+  if (cluster.empty()) return out;
+  const Bytes& ref = cluster.front();
+  out.constant.assign(ref.size(), true);
+  std::vector<bool> seen(ref.size(), false);
+
+  for (std::size_t k = 1; k < cluster.size(); ++k) {
+    const Alignment al = align(ref, cluster[k]);
+    std::size_t ref_pos = 0;
+    for (std::size_t i = 0; i < al.a.size(); ++i) {
+      if (al.a[i] < 0) continue;  // gap in reference: insertion, ignore
+      if (ref_pos < ref.size()) {
+        if (al.b[i] < 0 || al.b[i] != al.a[i]) out.constant[ref_pos] = false;
+        seen[ref_pos] = true;
+      }
+      ++ref_pos;
+    }
+  }
+  (void)seen;
+
+  // Field boundaries where the constant/variable classification flips.
+  if (!ref.empty()) out.boundaries.push_back(0);
+  for (std::size_t i = 1; i < ref.size(); ++i) {
+    if (out.constant[i] != out.constant[i - 1]) out.boundaries.push_back(i);
+  }
+  return out;
+}
+
+BoundaryScore score_boundaries(const std::vector<std::size_t>& inferred,
+                               const std::vector<std::size_t>& truth,
+                               std::size_t tolerance) {
+  BoundaryScore score;
+  if (inferred.empty() || truth.empty()) return score;
+  const auto near = [&](std::size_t x, const std::vector<std::size_t>& set) {
+    return std::any_of(set.begin(), set.end(), [&](std::size_t y) {
+      return (x > y ? x - y : y - x) <= tolerance;
+    });
+  };
+  std::size_t hit_inferred = 0;
+  for (std::size_t b : inferred) {
+    if (near(b, truth)) ++hit_inferred;
+  }
+  std::size_t hit_truth = 0;
+  for (std::size_t b : truth) {
+    if (near(b, inferred)) ++hit_truth;
+  }
+  score.precision = static_cast<double>(hit_inferred) /
+                    static_cast<double>(inferred.size());
+  score.recall =
+      static_cast<double>(hit_truth) / static_cast<double>(truth.size());
+  if (score.precision + score.recall > 0.0) {
+    score.f1 = 2.0 * score.precision * score.recall /
+               (score.precision + score.recall);
+  }
+  return score;
+}
+
+}  // namespace protoobf::pre

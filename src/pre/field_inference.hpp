@@ -1,0 +1,45 @@
+// Message format inference from a cluster of same-type messages.
+//
+// PI-project style: align every message to a reference, project onto the
+// reference's coordinates, mark each position constant (same byte in every
+// message) or variable, and cut field boundaries where the classification
+// flips. Comparing the inferred boundaries with the serializer's
+// ground-truth field map (runtime/emit.hpp FieldSpan) yields the
+// precision/recall/F1 scores the resilience benchmark reports.
+//
+// The paper's "fields delimitation" challenge (§II-C.2) predicts exactly
+// what the benchmark shows: with delimiters removed and values split or
+// rewritten, these scores collapse.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace protoobf::pre {
+
+struct InferredFormat {
+  /// Byte offsets (within the reference message) where a field starts.
+  std::vector<std::size_t> boundaries;
+  /// Per position of the reference: true if constant across the cluster.
+  std::vector<bool> constant;
+};
+
+/// Infers the format of a cluster (>= 1 message). The first message is the
+/// reference.
+InferredFormat infer_format(const std::vector<Bytes>& cluster);
+
+struct BoundaryScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores inferred boundaries against the true field starts, with a
+/// +-tolerance window (PRE surveys typically allow 1 byte).
+BoundaryScore score_boundaries(const std::vector<std::size_t>& inferred,
+                               const std::vector<std::size_t>& truth,
+                               std::size_t tolerance = 1);
+
+}  // namespace protoobf::pre

@@ -1,0 +1,72 @@
+#include "pre/statistics.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace protoobf::pre {
+
+namespace {
+std::array<std::size_t, 256> histogram(BytesView data) {
+  std::array<std::size_t, 256> counts{};
+  for (Byte b : data) ++counts[b];
+  return counts;
+}
+}  // namespace
+
+double shannon_entropy(BytesView data) {
+  if (data.empty()) return 0.0;
+  const auto counts = histogram(data);
+  const double n = static_cast<double>(data.size());
+  double entropy = 0.0;
+  for (std::size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double printable_ratio(BytesView data) {
+  if (data.empty()) return 0.0;
+  std::size_t printable = 0;
+  for (Byte b : data) {
+    if (b >= 0x20 && b <= 0x7e) ++printable;
+  }
+  return static_cast<double>(printable) / static_cast<double>(data.size());
+}
+
+double chi_square_uniform(BytesView data) {
+  if (data.empty()) return 0.0;
+  const auto counts = histogram(data);
+  const double expected = static_cast<double>(data.size()) / 256.0;
+  double chi = 0.0;
+  for (std::size_t count : counts) {
+    const double d = static_cast<double>(count) - expected;
+    chi += d * d / expected;
+  }
+  return chi / static_cast<double>(data.size());
+}
+
+TrafficProfile profile(BytesView data) {
+  return {shannon_entropy(data), printable_ratio(data),
+          chi_square_uniform(data)};
+}
+
+const char* to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::TextLike: return "text-like";
+    case TrafficClass::StructuredBinary: return "structured-binary";
+    case TrafficClass::RandomLike: return "random-like";
+  }
+  return "?";
+}
+
+TrafficClass classify_profile(const TrafficProfile& p) {
+  if (p.printable > 0.85) return TrafficClass::TextLike;
+  // High per-byte entropy relative to what the message length permits
+  // indicates randomized content.
+  if (p.entropy > 5.5) return TrafficClass::RandomLike;
+  return TrafficClass::StructuredBinary;
+}
+
+}  // namespace protoobf::pre

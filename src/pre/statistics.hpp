@@ -1,0 +1,44 @@
+// Statistical traffic fingerprinting.
+//
+// Beyond signatures, DPI engines and censors classify flows by byte-level
+// statistics (paper §III-B: randomization "must prevent fingerprinting and
+// any inference of any statistical characteristics"). These are the
+// standard instruments: Shannon entropy, printable-byte ratio, and a
+// chi-square distance from the uniform distribution. They quantify *what
+// kind* of traffic the obfuscation produces: plain Modbus is low-entropy
+// binary, plain HTTP is printable text, obfuscated traffic drifts towards
+// high-entropy noise (which is detectable as such — the paper's reason for
+// combining obfuscation with cover traffic is out of scope).
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace protoobf::pre {
+
+/// Shannon entropy in bits per byte (0..8).
+double shannon_entropy(BytesView data);
+
+/// Fraction of bytes in the printable ASCII range [0x20, 0x7e].
+double printable_ratio(BytesView data);
+
+/// Chi-square statistic against the uniform byte distribution, normalized
+/// by sample size (0 for perfectly uniform, grows with structure).
+double chi_square_uniform(BytesView data);
+
+struct TrafficProfile {
+  double entropy = 0;
+  double printable = 0;
+  double chi_square = 0;
+};
+
+TrafficProfile profile(BytesView data);
+
+/// Coarse traffic class from a profile: text-like, structured-binary, or
+/// random-like — the 3-way decision a statistical censor would make.
+enum class TrafficClass { TextLike, StructuredBinary, RandomLike };
+
+const char* to_string(TrafficClass c);
+
+TrafficClass classify_profile(const TrafficProfile& p);
+
+}  // namespace protoobf::pre

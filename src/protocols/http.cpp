@@ -1,0 +1,175 @@
+#include "protocols/http.hpp"
+
+namespace protoobf::http {
+
+std::string_view request_spec() {
+  return R"spec(
+# Simplified HTTP/1.1 request: request line, header list terminated by a
+# blank line (the repetition's stop marker), optional body for POST/PUT.
+protocol HTTP
+
+request: seq end {
+  method: terminal delimited(" ") ascii
+  uri: terminal delimited(" ") ascii
+  version: terminal delimited("\r\n") const("HTTP/1.1")
+  headers: repeat delimited("\r\n") {
+    header: seq {
+      name: terminal delimited(": ") ascii
+      value: terminal delimited("\r\n") ascii
+    }
+  }
+  body: optional (method in {"POST", "PUT"}) {
+    content: terminal end
+  }
+}
+)spec";
+}
+
+std::string_view response_spec() {
+  return R"spec(
+# Simplified HTTP/1.1 response: status line, header list, optional body
+# (204 No Content responses carry none).
+protocol HTTPResponse
+
+response: seq end {
+  version: terminal delimited(" ") const("HTTP/1.1")
+  status: terminal delimited(" ") ascii
+  reason: terminal delimited("\r\n") ascii
+  headers: repeat delimited("\r\n") {
+    header: seq {
+      name: terminal delimited(": ") ascii
+      value: terminal delimited("\r\n") ascii
+    }
+  }
+  body: optional (status != "204") {
+    content: terminal end
+  }
+}
+)spec";
+}
+
+namespace {
+
+void add_headers(
+    Message& msg,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    msg.append("headers");
+    const std::string base = "headers[" + std::to_string(i) + "].header.";
+    msg.set_text(base + "name", headers[i].first);
+    msg.set_text(base + "value", headers[i].second);
+  }
+}
+
+}  // namespace
+
+Message make_get(
+    const Graph& g, std::string_view uri,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  Message msg(g);
+  msg.set_text("method", "GET");
+  msg.set_text("uri", uri);
+  add_headers(msg, headers);
+  return msg;
+}
+
+Message make_post(
+    const Graph& g, std::string_view uri,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view body) {
+  Message msg(g);
+  msg.set_text("method", "POST");
+  msg.set_text("uri", uri);
+  add_headers(msg, headers);
+  msg.set_text("content", body);
+  return msg;
+}
+
+Message make_response(
+    const Graph& g, int status, std::string_view reason,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view body) {
+  Message msg(g);
+  msg.set_uint("status", static_cast<std::uint64_t>(status));
+  msg.set_text("reason", reason);
+  add_headers(msg, headers);
+  if (status != 204) msg.set_text("content", body);
+  return msg;
+}
+
+namespace {
+
+constexpr std::string_view kMethods[] = {"GET", "POST", "PUT", "HEAD",
+                                         "DELETE"};
+constexpr std::string_view kHeaderNames[] = {
+    "Host",       "User-Agent", "Accept",          "Accept-Language",
+    "Connection", "Referer",    "X-Request-Id",    "Cache-Control",
+    "Cookie",     "Origin"};
+constexpr std::string_view kPathWords[] = {"api",   "v1",    "users", "items",
+                                           "index", "query", "data",  "static"};
+
+std::string random_token(Rng& rng, std::size_t min_len, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+  const std::size_t len = rng.between(min_len, max_len);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.below(sizeof kAlphabet - 1)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Message random_request(const Graph& g, Rng& rng) {
+  Message msg(g);
+  const std::string_view method = kMethods[rng.below(5)];
+  msg.set_text("method", method);
+
+  std::string uri = "/";
+  const std::size_t segments = rng.between(1, 3);
+  for (std::size_t i = 0; i < segments; ++i) {
+    if (i > 0) uri += "/";
+    uri += kPathWords[rng.below(8)];
+  }
+  if (rng.chance(0.4)) uri += "?" + random_token(rng, 3, 8) + "=" +
+                               random_token(rng, 1, 12);
+  msg.set_text("uri", uri);
+
+  const std::size_t header_count = rng.between(1, 6);
+  std::vector<std::pair<std::string, std::string>> headers;
+  for (std::size_t i = 0; i < header_count; ++i) {
+    headers.emplace_back(std::string(kHeaderNames[i]),
+                         random_token(rng, 4, 24));
+  }
+  add_headers(msg, headers);
+
+  if (method == "POST" || method == "PUT") {
+    msg.set_text("content", random_token(rng, 8, 64));
+  }
+  return msg;
+}
+
+Message random_response(const Graph& g, Rng& rng) {
+  struct StatusLine {
+    int code;
+    std::string_view reason;
+  };
+  static constexpr StatusLine kStatuses[] = {
+      {200, "OK"},        {201, "Created"},   {204, "No Content"},
+      {301, "Moved"},     {404, "Not Found"}, {500, "Server Error"},
+  };
+  const StatusLine& line = kStatuses[rng.below(6)];
+  std::vector<std::pair<std::string, std::string>> headers;
+  const std::size_t header_count = rng.between(1, 4);
+  static constexpr std::string_view kNames[] = {"Server", "Date", "ETag",
+                                                "Cache-Control"};
+  for (std::size_t i = 0; i < header_count; ++i) {
+    headers.emplace_back(std::string(kNames[i]), random_token(rng, 4, 16));
+  }
+  return make_response(g, line.code, line.reason, headers,
+                       line.code == 204 ? "" : random_token(rng, 4, 48));
+}
+
+}  // namespace protoobf::http

@@ -1,0 +1,52 @@
+// Simplified HTTP/1.1 request format (paper §VII; RFC 7230 subset).
+//
+// The evaluation's text protocol. It exercises the graph features the paper
+// highlights for HTTP: an Optional field (the body, keyed on the method), a
+// Repetitive field (the header list with its blank-line stop marker) and
+// Delimited boundaries everywhere (" ", ": ", "\r\n").
+//
+// As in the paper, the core application "doesn't create messages with
+// consistent values for the keywords" — header values are random ASCII; the
+// framework only guarantees the *format*, semantic checks belong to a
+// server, not to the parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/protoobf.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf::http {
+
+/// ProtoSpec source for request messages.
+std::string_view request_spec();
+
+/// ProtoSpec source for response messages (status line, headers, optional
+/// body — absent for 204 No Content).
+std::string_view response_spec();
+
+/// GET request with the given URI and headers.
+Message make_get(const Graph& g, std::string_view uri,
+                 const std::vector<std::pair<std::string, std::string>>& headers);
+
+/// POST request carrying a body.
+Message make_post(const Graph& g, std::string_view uri,
+                  const std::vector<std::pair<std::string, std::string>>& headers,
+                  std::string_view body);
+
+/// Response with the given status code, reason phrase, headers and body.
+Message make_response(const Graph& g, int status, std::string_view reason,
+                      const std::vector<std::pair<std::string, std::string>>& headers,
+                      std::string_view body);
+
+/// Random request: random method, URI path, 1..6 plausible headers, and a
+/// random printable body for POST/PUT.
+Message random_request(const Graph& g, Rng& rng);
+
+/// Random response: plausible status distribution, headers, body.
+Message random_response(const Graph& g, Rng& rng);
+
+}  // namespace protoobf::http

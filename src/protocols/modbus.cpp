@@ -1,0 +1,283 @@
+#include "protocols/modbus.hpp"
+
+namespace protoobf::modbus {
+
+std::string_view request_spec() {
+  return R"spec(
+# TCP-Modbus request ADU. The `length` field counts unit id, function code
+# and payload — modelled as a Length boundary on the `tail` sequence.
+protocol ModbusRequest
+
+adu: seq end {
+  transaction: terminal fixed(2)
+  protocol_id: terminal fixed(2) const(0x0000)
+  length: terminal fixed(2)
+  tail: seq length(length) {
+    unit: terminal fixed(1)
+    fn: terminal fixed(1)
+    read_coils: optional (fn == 0x01) {
+      rc_body: seq {
+        rc_addr: terminal fixed(2)
+        rc_qty: terminal fixed(2)
+      }
+    }
+    read_discrete: optional (fn == 0x02) {
+      rd_body: seq {
+        rd_addr: terminal fixed(2)
+        rd_qty: terminal fixed(2)
+      }
+    }
+    read_holding: optional (fn == 0x03) {
+      rh_body: seq {
+        rh_addr: terminal fixed(2)
+        rh_qty: terminal fixed(2)
+      }
+    }
+    read_input: optional (fn == 0x04) {
+      ri_body: seq {
+        ri_addr: terminal fixed(2)
+        ri_qty: terminal fixed(2)
+      }
+    }
+    write_coil: optional (fn == 0x05) {
+      wc_body: seq {
+        wc_addr: terminal fixed(2)
+        wc_value: terminal fixed(2)
+      }
+    }
+    write_register: optional (fn == 0x06) {
+      wr_body: seq {
+        wr_addr: terminal fixed(2)
+        wr_value: terminal fixed(2)
+      }
+    }
+    write_coils: optional (fn == 0x0f) {
+      wcs_body: seq {
+        wcs_addr: terminal fixed(2)
+        wcs_qty: terminal fixed(2)
+        wcs_bytecount: terminal fixed(1)
+        wcs_values: terminal length(wcs_bytecount)
+      }
+    }
+    write_registers: optional (fn == 0x10) {
+      wrs_body: seq {
+        wrs_addr: terminal fixed(2)
+        wrs_qty: terminal fixed(2)
+        wrs_bytecount: terminal fixed(1)
+        wrs_data: seq length(wrs_bytecount) {
+          wrs_values: tabular(wrs_qty) {
+            wrs_reg: terminal fixed(2)
+          }
+        }
+      }
+    }
+  }
+}
+)spec";
+}
+
+std::string_view response_spec() {
+  return R"spec(
+# TCP-Modbus response ADU, same framing as the request.
+protocol ModbusResponse
+
+adu: seq end {
+  transaction: terminal fixed(2)
+  protocol_id: terminal fixed(2) const(0x0000)
+  length: terminal fixed(2)
+  tail: seq length(length) {
+    unit: terminal fixed(1)
+    fn: terminal fixed(1)
+    read_coils_r: optional (fn == 0x01) {
+      rc_r: seq {
+        rc_bc: terminal fixed(1)
+        rc_status: terminal length(rc_bc)
+      }
+    }
+    read_discrete_r: optional (fn == 0x02) {
+      rd_r: seq {
+        rd_bc: terminal fixed(1)
+        rd_status: terminal length(rd_bc)
+      }
+    }
+    read_holding_r: optional (fn == 0x03) {
+      rh_r: seq {
+        rh_bc: terminal fixed(1)
+        rh_data: terminal length(rh_bc)
+      }
+    }
+    read_input_r: optional (fn == 0x04) {
+      ri_r: seq {
+        ri_bc: terminal fixed(1)
+        ri_data: terminal length(ri_bc)
+      }
+    }
+    write_coil_r: optional (fn == 0x05) {
+      wc_r: seq {
+        wc_addr_r: terminal fixed(2)
+        wc_value_r: terminal fixed(2)
+      }
+    }
+    write_register_r: optional (fn == 0x06) {
+      wr_r: seq {
+        wr_addr_r: terminal fixed(2)
+        wr_value_r: terminal fixed(2)
+      }
+    }
+    write_coils_r: optional (fn == 0x0f) {
+      wcs_r: seq {
+        wcs_addr_r: terminal fixed(2)
+        wcs_qty_r: terminal fixed(2)
+      }
+    }
+    write_registers_r: optional (fn == 0x10) {
+      wrs_r: seq {
+        wrs_addr_r: terminal fixed(2)
+        wrs_qty_r: terminal fixed(2)
+      }
+    }
+    exception_r: optional (fn in {0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x8f, 0x90}) {
+      exception_code: terminal fixed(1)
+    }
+  }
+}
+)spec";
+}
+
+namespace {
+
+void set_header(Message& msg, std::uint16_t transaction, std::uint8_t unit,
+                std::uint8_t fn) {
+  msg.set_uint("transaction", transaction);
+  msg.set_uint("unit", unit);
+  msg.set_uint("fn", fn);
+}
+
+}  // namespace
+
+Message make_read_holding(const Graph& g, std::uint16_t transaction,
+                          std::uint8_t unit, std::uint16_t address,
+                          std::uint16_t quantity) {
+  Message msg(g);
+  set_header(msg, transaction, unit, 0x03);
+  msg.set_uint("rh_addr", address);
+  msg.set_uint("rh_qty", quantity);
+  return msg;
+}
+
+Message make_write_register(const Graph& g, std::uint16_t transaction,
+                            std::uint8_t unit, std::uint16_t address,
+                            std::uint16_t value) {
+  Message msg(g);
+  set_header(msg, transaction, unit, 0x06);
+  msg.set_uint("wr_addr", address);
+  msg.set_uint("wr_value", value);
+  return msg;
+}
+
+Message make_write_registers(const Graph& g, std::uint16_t transaction,
+                             std::uint8_t unit, std::uint16_t address,
+                             std::span<const std::uint16_t> values) {
+  Message msg(g);
+  set_header(msg, transaction, unit, 0x10);
+  msg.set_uint("wrs_addr", address);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    msg.append("wrs_values");
+    msg.set_uint("wrs_values[" + std::to_string(i) + "].wrs_reg",
+                 values[i]);
+  }
+  return msg;
+}
+
+Message make_read_holding_response(const Graph& g, std::uint16_t transaction,
+                                   std::uint8_t unit,
+                                   std::span<const std::uint16_t> values) {
+  Message msg(g);
+  set_header(msg, transaction, unit, 0x03);
+  Bytes data;
+  for (std::uint16_t v : values) append(data, be_encode(v, 2));
+  msg.set("rh_data", std::move(data));
+  return msg;
+}
+
+Message random_request(const Graph& g, Rng& rng) {
+  static constexpr std::uint8_t kFns[] = {1, 2, 3, 4, 5, 6, 15, 16};
+  const std::uint8_t fn = kFns[rng.below(8)];
+  Message msg(g);
+  set_header(msg, static_cast<std::uint16_t>(rng.below(0x10000)),
+             static_cast<std::uint8_t>(rng.between(1, 247)), fn);
+  const auto addr = static_cast<std::uint16_t>(rng.below(0x10000));
+  const auto qty = static_cast<std::uint16_t>(rng.between(1, 0x7b));
+  switch (fn) {
+    case 1: msg.set_uint("rc_addr", addr); msg.set_uint("rc_qty", qty); break;
+    case 2: msg.set_uint("rd_addr", addr); msg.set_uint("rd_qty", qty); break;
+    case 3: msg.set_uint("rh_addr", addr); msg.set_uint("rh_qty", qty); break;
+    case 4: msg.set_uint("ri_addr", addr); msg.set_uint("ri_qty", qty); break;
+    case 5:
+      msg.set_uint("wc_addr", addr);
+      msg.set_uint("wc_value", rng.chance(0.5) ? 0xff00 : 0x0000);
+      break;
+    case 6:
+      msg.set_uint("wr_addr", addr);
+      msg.set_uint("wr_value", static_cast<std::uint16_t>(rng.below(0x10000)));
+      break;
+    case 15: {
+      msg.set_uint("wcs_addr", addr);
+      const auto coils = static_cast<std::uint16_t>(rng.between(1, 64));
+      msg.set_uint("wcs_qty", coils);
+      msg.set("wcs_values", rng.bytes((coils + 7) / 8));
+      break;
+    }
+    case 16: {
+      msg.set_uint("wrs_addr", addr);
+      const std::size_t regs = rng.between(1, 8);
+      for (std::size_t i = 0; i < regs; ++i) {
+        msg.append("wrs_values");
+        msg.set_uint("wrs_values[" + std::to_string(i) + "].wrs_reg",
+                     static_cast<std::uint16_t>(rng.below(0x10000)));
+      }
+      break;
+    }
+    default: break;
+  }
+  return msg;
+}
+
+Message random_response(const Graph& g, Rng& rng) {
+  static constexpr std::uint8_t kFns[] = {1, 2, 3, 4, 5, 6, 15, 16, 0x83};
+  const std::uint8_t fn = kFns[rng.below(9)];
+  Message msg(g);
+  set_header(msg, static_cast<std::uint16_t>(rng.below(0x10000)),
+             static_cast<std::uint8_t>(rng.between(1, 247)), fn);
+  const auto addr = static_cast<std::uint16_t>(rng.below(0x10000));
+  switch (fn) {
+    case 1: msg.set("rc_status", rng.bytes(rng.between(1, 16))); break;
+    case 2: msg.set("rd_status", rng.bytes(rng.between(1, 16))); break;
+    case 3: msg.set("rh_data", rng.bytes(2 * rng.between(1, 8))); break;
+    case 4: msg.set("ri_data", rng.bytes(2 * rng.between(1, 8))); break;
+    case 5:
+      msg.set_uint("wc_addr_r", addr);
+      msg.set_uint("wc_value_r", rng.chance(0.5) ? 0xff00 : 0x0000);
+      break;
+    case 6:
+      msg.set_uint("wr_addr_r", addr);
+      msg.set_uint("wr_value_r",
+                   static_cast<std::uint16_t>(rng.below(0x10000)));
+      break;
+    case 15:
+      msg.set_uint("wcs_addr_r", addr);
+      msg.set_uint("wcs_qty_r", static_cast<std::uint16_t>(rng.between(1, 64)));
+      break;
+    case 16:
+      msg.set_uint("wrs_addr_r", addr);
+      msg.set_uint("wrs_qty_r", static_cast<std::uint16_t>(rng.between(1, 8)));
+      break;
+    case 0x83:
+      msg.set_uint("exception_code", rng.between(1, 4));
+      break;
+    default: break;
+  }
+  return msg;
+}
+
+}  // namespace protoobf::modbus

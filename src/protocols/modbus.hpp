@@ -1,0 +1,60 @@
+// TCP-Modbus message format (paper §VII; Open Modbus/TCP specification).
+//
+// The evaluation's binary protocol. The specification covers the function
+// codes the paper's core application generates — 1, 2, 3, 4, 5, 6, 15, 16 —
+// and their responses (plus exception responses), using the graph features
+// the paper highlights for Modbus: a Tabular field (write-registers), a
+// Length boundary (the ADU length and byte-counted payloads) and a Counter
+// boundary (register quantity).
+//
+// Requests and responses are separate graphs: on TCP the direction is
+// carried by the connection, not by any message byte, so a single graph
+// could not disambiguate e.g. a read-holding request from its response.
+#pragma once
+
+#include <string_view>
+
+#include "core/protoobf.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf::modbus {
+
+/// ProtoSpec source for request messages (fn 1,2,3,4,5,6,15,16).
+std::string_view request_spec();
+
+/// ProtoSpec source for response messages (same set + exceptions).
+std::string_view response_spec();
+
+// --- typed builders ---------------------------------------------------------
+
+/// Read Holding Registers request (fn 3).
+Message make_read_holding(const Graph& g, std::uint16_t transaction,
+                          std::uint8_t unit, std::uint16_t address,
+                          std::uint16_t quantity);
+
+/// Write Single Register request (fn 6).
+Message make_write_register(const Graph& g, std::uint16_t transaction,
+                            std::uint8_t unit, std::uint16_t address,
+                            std::uint16_t value);
+
+/// Write Multiple Registers request (fn 16).
+Message make_write_registers(const Graph& g, std::uint16_t transaction,
+                             std::uint8_t unit, std::uint16_t address,
+                             std::span<const std::uint16_t> values);
+
+/// Read Holding Registers response (fn 3).
+Message make_read_holding_response(const Graph& g, std::uint16_t transaction,
+                                   std::uint8_t unit,
+                                   std::span<const std::uint16_t> values);
+
+// --- random workload (the paper's experiment driver) ------------------------
+
+/// Uniformly draws one of the eight request formats with random field
+/// values, mirroring "executed to generate different messages with random
+/// values" (§VII-A).
+Message random_request(const Graph& g, Rng& rng);
+
+/// Uniformly draws one of the response formats (including exceptions).
+Message random_response(const Graph& g, Rng& rng);
+
+}  // namespace protoobf::modbus

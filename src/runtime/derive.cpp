@@ -1,0 +1,202 @@
+#include "runtime/derive.hpp"
+
+#include "runtime/emit.hpp"
+#include "runtime/scope.hpp"
+#include "transform/exec.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf {
+
+namespace {
+
+constexpr int kMaxFixpointIterations = 16;
+
+/// Encodes a derived scalar with the holder terminal's encoding and width.
+Expected<Bytes> encode_holder(const Graph& graph, NodeId holder,
+                              std::uint64_t value) {
+  const Node& n = graph.node(holder);
+  if (n.encoding == Encoding::AsciiDec) {
+    const std::size_t width =
+        n.boundary == BoundaryKind::Fixed ? n.fixed_size : 0;
+    Bytes out = ascii_dec_encode(value, width);
+    if (width != 0 && out.size() != width) {
+      return Unexpected("derived value " + std::to_string(value) +
+                        " does not fit in ASCII field '" + n.name + "'");
+    }
+    return out;
+  }
+  if (n.boundary != BoundaryKind::Fixed) {
+    return Unexpected("binary holder '" + n.name + "' must be fixed-size");
+  }
+  if (n.fixed_size < 8 && value >= (1ull << (8 * n.fixed_size))) {
+    return Unexpected("derived value " + std::to_string(value) +
+                      " overflows field '" + n.name + "'");
+  }
+  return be_encode(value, n.fixed_size);
+}
+
+struct RefPair {
+  Inst* holder;    // instance carrying the derived value (holder subtree top)
+  Inst* measured;  // instance whose size (Length) or element count (Counter)
+                   // defines the value
+  bool is_counter;
+};
+
+/// Collects (holder, measured) pairs in parse order against `graph`.
+Expected<std::vector<RefPair>> collect_pairs(const Graph& graph, Inst& root) {
+  std::vector<RefPair> pairs;
+  Status walk = walk_scoped(
+      graph, root, [&](Inst& inst, ScopeChain& scopes) -> Status {
+        const Node& n = graph.node(inst.schema);
+        if (n.boundary != BoundaryKind::Length &&
+            n.boundary != BoundaryKind::Counter) {
+          return Status::success();
+        }
+        Inst* holder = scopes.lookup(n.ref);
+        if (holder == nullptr) {
+          return Unexpected("reference target '" + graph.node(n.ref).name +
+                            "' not in scope of '" + n.name + "'");
+        }
+        pairs.push_back(
+            {holder, &inst, n.boundary == BoundaryKind::Counter});
+        return Status::success();
+      });
+  if (!walk) return Unexpected(walk.error());
+  return pairs;
+}
+
+}  // namespace
+
+Status fill_consts(const Graph& graph, Inst& root) {
+  const Node& n = graph.node(root.schema);
+  if (n.has_const) {
+    if (root.value.empty()) {
+      root.value = n.const_value;
+    } else if (root.value != n.const_value) {
+      return Unexpected("constant field '" + n.name +
+                        "' set to a non-constant value");
+    }
+  }
+  if (root.present) {
+    for (auto& child : root.children) {
+      if (Status s = fill_consts(graph, *child); !s) return s;
+    }
+  }
+  return Status::success();
+}
+
+Status check_presence(const Graph& graph, Inst& root) {
+  return walk_scoped(
+      graph, root, [&](Inst& inst, ScopeChain& scopes) -> Status {
+        const Node& n = graph.node(inst.schema);
+        if (n.type != NodeType::Optional ||
+            n.condition.kind == Condition::Kind::Always) {
+          return Status::success();
+        }
+        const Inst* ref = scopes.lookup(n.condition.ref);
+        if (ref == nullptr) {
+          return Unexpected("condition target of '" + n.name +
+                            "' not in scope");
+        }
+        const bool expected = n.condition.evaluate(ref->value);
+        if (expected != inst.present) {
+          return Unexpected("optional '" + n.name + "' is " +
+                            (inst.present ? "present" : "absent") +
+                            " but its condition evaluates to " +
+                            (expected ? "true" : "false"));
+        }
+        return Status::success();
+      });
+}
+
+Status canonicalize(const Graph& g1, Inst& root) {
+  if (Status s = fill_consts(g1, root); !s) return s;
+
+  // Width-correct placeholders so intermediate emissions succeed.
+  const auto order = g1.dfs_order();
+  std::vector<NodeId> holders;
+  for (NodeId id : order) {
+    if (g1.node(id).type == NodeType::Terminal &&
+        (g1.is_length_target(id) || g1.is_counter_target(id))) {
+      holders.push_back(id);
+    }
+  }
+  for (NodeId holder : holders) {
+    auto placeholder = encode_holder(g1, holder, 0);
+    if (!placeholder) return Unexpected(placeholder.error());
+    for (Inst* inst : ast::find_all_schema(root, holder)) {
+      inst->value = *placeholder;
+    }
+  }
+
+  for (int iter = 0; iter < kMaxFixpointIterations; ++iter) {
+    auto pairs = collect_pairs(g1, root);
+    if (!pairs) return Unexpected(pairs.error());
+    bool changed = false;
+    for (const RefPair& pair : *pairs) {
+      std::uint64_t value = 0;
+      if (pair.is_counter) {
+        value = pair.measured->children.size();
+      } else {
+        auto size = emitted_size(g1, *pair.measured);
+        if (!size) return Unexpected(size.error());
+        value = *size;
+      }
+      auto bytes = encode_holder(g1, pair.holder->schema, value);
+      if (!bytes) return Unexpected(bytes.error());
+      if (pair.holder->value != *bytes) {
+        pair.holder->value = std::move(*bytes);
+        changed = true;
+      }
+    }
+    if (!changed) return Status::success();
+  }
+  return Unexpected("derived fields did not converge (cyclic lengths?)");
+}
+
+Status fix_holders(const Graph& wire, const Journal& journal,
+                   const HolderTable& table, Inst& root,
+                   std::uint64_t msg_seed) {
+  for (int iter = 0; iter < kMaxFixpointIterations; ++iter) {
+    auto pairs = collect_pairs(wire, root);
+    if (!pairs) return Unexpected(pairs.error());
+    bool changed = false;
+    for (std::size_t k = 0; k < pairs->size(); ++k) {
+      const RefPair& pair = (*pairs)[k];
+      std::uint64_t value = 0;
+      if (pair.is_counter) {
+        value = pair.measured->children.size();
+      } else {
+        auto size = emitted_size(wire, *pair.measured);
+        if (!size) return Unexpected(size.error());
+        value = *size;
+      }
+      const HolderInfo* info = table.find_by_top(pair.holder->schema);
+      if (info == nullptr) {
+        return Unexpected("no lineage for holder '" +
+                          wire.node(pair.holder->schema).name + "'");
+      }
+      auto bytes = encode_holder(wire, info->origin, value);
+      if (!bytes) return Unexpected(bytes.error());
+
+      // Skip the rebuild if the holder already carries this logical value.
+      auto current = invert_clone(*pair.holder, journal);
+      if (current && (*current)->schema == info->origin &&
+          (*current)->value == *bytes) {
+        continue;
+      }
+
+      Rng rng(msg_seed ^ (0x9e3779b97f4a7c15ull * (k + 1)));
+      auto rebuilt =
+          rerun_chain(info->origin, std::move(*bytes), journal, info->chain,
+                      rng);
+      if (!rebuilt) return Unexpected(rebuilt.error());
+      *pair.holder = std::move(**rebuilt);
+      changed = true;
+    }
+    if (!changed) return Status::success();
+  }
+  return Unexpected("wire holder derivation did not converge");
+}
+
+}  // namespace protoobf

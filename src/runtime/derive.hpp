@@ -1,0 +1,49 @@
+// Derived-field computation.
+//
+// The framework owns every value the application should not maintain by
+// hand: constant fields, length holders and count holders. Two derivation
+// modes exist:
+//
+//  * canonicalize() computes *logical* values against G1 — what a
+//    non-obfuscated peer would put on the wire. It runs on user-built
+//    messages before serialization and on parsed messages after inversion,
+//    so both sides of a round trip compare equal.
+//
+//  * fix_holders() computes *wire* values against G(n+1) — the length a
+//    parser will use to delimit a region after all transformations resized
+//    it. Because value transformations may sit on top of a holder (split
+//    length fields, xored counters...), the holder's subtree is rebuilt by
+//    replaying its lineage chain over the fresh value (transform/lineage).
+//
+// Both run small fixpoint loops: an ASCII-decimal length's width depends on
+// its own value, and nested holders depend on each other. Loops converge in
+// one or two iterations for realistic specifications; a hard cap turns
+// non-convergence (a cyclic specification) into an error.
+#pragma once
+
+#include "ast/ast.hpp"
+#include "graph/graph.hpp"
+#include "transform/lineage.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+/// Fills empty constant fields; errors if a non-empty value contradicts the
+/// specification's constant.
+Status fill_consts(const Graph& graph, Inst& root);
+
+/// Verifies every Optional's presence flag matches its condition evaluated
+/// on the (logical, canonicalized) tree.
+Status check_presence(const Graph& graph, Inst& root);
+
+/// Logical derivation: consts + length/count holders per G1 semantics.
+Status canonicalize(const Graph& g1, Inst& root);
+
+/// Wire derivation on the transformed tree: recomputes every holder from
+/// the final wire sizes/counts and replays its transformation lineage.
+/// `msg_seed` keeps the replayed randomness deterministic per message.
+Status fix_holders(const Graph& wire, const Journal& journal,
+                   const HolderTable& table, Inst& root,
+                   std::uint64_t msg_seed);
+
+}  // namespace protoobf

@@ -1,0 +1,40 @@
+// Wire emission: AST -> byte buffer.
+//
+// The overall message is the concatenation of the leaf values in ordered
+// depth-first search (paper §V-A), with three twists:
+//   * Delimited nodes append their delimiter after their content — and the
+//     emitter verifies the content cannot be confused with it;
+//   * stop-marker Repetitions append the marker once after all elements and
+//     verify no element starts with it;
+//   * mirrored nodes (ReadFromEnd) reverse their whole serialized region.
+//
+// The same routine serializes logical trees against G1 (the non-obfuscated
+// baseline and the size oracle for derived fields) and wire trees against
+// G(n+1).
+#pragma once
+
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "graph/graph.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+/// Ground-truth location of a terminal on the wire (consumed by the PRE
+/// resilience experiments to score field-inference quality).
+struct FieldSpan {
+  NodeId schema = kNoNode;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// Serializes `root` against `graph`. On request, records where each
+/// terminal landed (mirror-adjusted).
+Expected<Bytes> emit(const Graph& graph, const Inst& root,
+                     std::vector<FieldSpan>* spans = nullptr);
+
+/// Size of the serialization without keeping the bytes.
+Expected<std::size_t> emitted_size(const Graph& graph, const Inst& root);
+
+}  // namespace protoobf

@@ -1,0 +1,296 @@
+#include "runtime/parse.hpp"
+
+#include <optional>
+
+#include "runtime/scope.hpp"
+#include "transform/exec.hpp"
+
+namespace protoobf {
+
+namespace {
+
+struct Reader {
+  BytesView data;
+  std::size_t pos = 0;
+  std::size_t end = 0;
+
+  std::size_t remaining() const { return end - pos; }
+  BytesView window() const { return data.subspan(pos, end - pos); }
+};
+
+class WireParser {
+ public:
+  WireParser(const Graph& wire, const Journal& journal,
+             const HolderTable& table)
+      : wire_(wire), journal_(journal), table_(table) {}
+
+  Expected<InstPtr> parse(BytesView data) {
+    Reader reader{data, 0, data.size()};
+    auto root = parse_node(wire_.root(), reader);
+    if (!root) return root;
+    if (reader.pos != reader.end) {
+      return fail(reader, "trailing bytes after message");
+    }
+    return root;
+  }
+
+ private:
+  Unexpected fail(const Reader& r, const std::string& what) const {
+    return Unexpected(what, r.pos);
+  }
+
+  /// Logical value of an already-parsed reference target: clone the holder
+  /// subtree and invert every transformation inside it.
+  Expected<Bytes> logical_bytes(const Inst& holder, const Reader& r) const {
+    auto logical = invert_clone(holder, journal_);
+    if (!logical) return Unexpected(logical.error());
+    if (!(*logical)->children.empty()) {
+      return fail(r, "reference target does not invert to a terminal");
+    }
+    return (*logical)->value;
+  }
+
+  /// Logical scalar of a holder (length or count), decoded with the origin
+  /// terminal's encoding.
+  Expected<std::uint64_t> scalar(NodeId ref, const Inst& holder,
+                                 const Reader& r) const {
+    auto bytes = logical_bytes(holder, r);
+    if (!bytes) return Unexpected(bytes.error());
+    const HolderInfo* info = table_.find_by_top(ref);
+    const NodeId origin = info != nullptr ? info->origin : ref;
+    const Node& n = wire_.node(origin);
+    if (n.encoding == Encoding::AsciiDec) {
+      auto value = ascii_dec_decode(*bytes);
+      if (!value) return fail(r, "holder is not a decimal number");
+      return *value;
+    }
+    if (bytes->size() > 8) return fail(r, "holder wider than 8 bytes");
+    return be_decode(*bytes);
+  }
+
+  Expected<Inst*> lookup(NodeId ref, const Reader& r) {
+    Inst* found = scopes_.lookup(ref);
+    if (found == nullptr) {
+      return fail(r, "reference target '" + wire_.node(ref).name +
+                         "' not yet parsed");
+    }
+    return found;
+  }
+
+  Expected<InstPtr> parse_node(NodeId id, Reader& r) {
+    return parse_node_impl(id, r, /*ignore_mirror=*/false);
+  }
+
+  Expected<InstPtr> parse_node_impl(NodeId id, Reader& r, bool ignore_mirror) {
+    const Node& n = wire_.node(id);
+
+    // Region determination ---------------------------------------------------
+    std::optional<std::size_t> region_end;
+    const bool stop_marker_rep = n.type == NodeType::Repetition &&
+                                 n.boundary == BoundaryKind::Delimited;
+    if (ignore_mirror) {
+      // Re-entry on the reversed copy of a mirrored region: the buffer *is*
+      // the region, whatever the declared boundary says.
+      region_end = r.end;
+      return parse_with_region(n, id, r, region_end, stop_marker_rep);
+    }
+    switch (n.boundary) {
+      case BoundaryKind::Fixed:
+        if (r.remaining() < n.fixed_size) {
+          return fail(r, "truncated input in '" + n.name + "'");
+        }
+        region_end = r.pos + n.fixed_size;
+        break;
+      case BoundaryKind::Half: {
+        if (r.remaining() % 2 != 0) {
+          return fail(r, "odd region for split halves in '" + n.name + "'");
+        }
+        region_end = r.pos + r.remaining() / 2;
+        break;
+      }
+      case BoundaryKind::Length: {
+        auto holder = lookup(n.ref, r);
+        if (!holder) return Unexpected(holder.error());
+        auto length = scalar(n.ref, **holder, r);
+        if (!length) return Unexpected(length.error());
+        if (*length > r.remaining()) {
+          return fail(r, "length of '" + n.name + "' exceeds region");
+        }
+        region_end = r.pos + *length;
+        break;
+      }
+      case BoundaryKind::End:
+        region_end = r.end;
+        break;
+      case BoundaryKind::Delimited: {
+        if (!stop_marker_rep) {
+          const auto found = find(r.data.first(r.end), n.delimiter, r.pos);
+          if (!found) {
+            return fail(r, "delimiter of '" + n.name + "' not found");
+          }
+          region_end = *found;
+        }
+        break;
+      }
+      case BoundaryKind::Delegated:
+      case BoundaryKind::Counter:
+        break;
+    }
+
+    // Mirrored subtree: reverse the region, parse it as a fresh buffer.
+    if (n.mirrored && !ignore_mirror) {
+      if (!region_end) {
+        return fail(r, "mirrored node '" + n.name + "' without a region");
+      }
+      const Bytes temp = reversed(
+          r.data.subspan(r.pos, *region_end - r.pos));
+      Reader mirror_reader{temp, 0, temp.size()};
+      auto inst = parse_node_impl(id, mirror_reader, /*ignore_mirror=*/true);
+      if (!inst) return inst;
+      if (mirror_reader.pos != mirror_reader.end) {
+        return fail(r, "mirrored region of '" + n.name +
+                           "' not fully consumed");
+      }
+      r.pos = *region_end;
+      scopes_.add(inst->get());
+      return inst;
+    }
+
+    return parse_with_region(n, id, r, region_end, stop_marker_rep);
+  }
+
+  Expected<InstPtr> parse_with_region(const Node& n, NodeId id, Reader& r,
+                                      std::optional<std::size_t> region_end,
+                                      bool stop_marker_rep) {
+    InstPtr inst;
+    switch (n.type) {
+      case NodeType::Terminal: {
+        inst = ast::terminal(
+            id, Bytes(r.data.begin() + static_cast<std::ptrdiff_t>(r.pos),
+                      r.data.begin() + static_cast<std::ptrdiff_t>(*region_end)));
+        r.pos = *region_end;
+        break;
+      }
+      case NodeType::Sequence: {
+        inst = std::make_unique<Inst>(id);
+        if (region_end) {
+          Reader sub{r.data, r.pos, *region_end};
+          for (NodeId child : n.children) {
+            auto parsed = parse_node(child, sub);
+            if (!parsed) return parsed;
+            inst->children.push_back(std::move(*parsed));
+          }
+          if (sub.pos != sub.end) {
+            return fail(sub, "trailing bytes in region of '" + n.name + "'");
+          }
+          r.pos = *region_end;
+        } else {
+          for (NodeId child : n.children) {
+            auto parsed = parse_node(child, r);
+            if (!parsed) return parsed;
+            inst->children.push_back(std::move(*parsed));
+          }
+        }
+        break;
+      }
+      case NodeType::Optional: {
+        bool present = true;
+        if (n.condition.kind != Condition::Kind::Always) {
+          auto ref = lookup(n.condition.ref, r);
+          if (!ref) return Unexpected(ref.error());
+          auto value = logical_bytes(**ref, r);
+          if (!value) return Unexpected(value.error());
+          present = n.condition.evaluate(*value);
+        }
+        if (present) {
+          inst = std::make_unique<Inst>(id);
+          auto child = parse_node(n.children[0], r);
+          if (!child) return child;
+          inst->children.push_back(std::move(*child));
+        } else {
+          inst = ast::absent(id);
+        }
+        break;
+      }
+      case NodeType::Repetition: {
+        inst = std::make_unique<Inst>(id);
+        if (stop_marker_rep) {
+          while (true) {
+            if (starts_with(r.window(), n.delimiter)) {
+              r.pos += n.delimiter.size();
+              break;
+            }
+            if (r.pos >= r.end) {
+              return fail(r, "unterminated repetition '" + n.name + "'");
+            }
+            auto element = parse_element(n.children[0], r, true);
+            if (!element) return element;
+            inst->children.push_back(std::move(*element));
+          }
+        } else {
+          Reader sub{r.data, r.pos, *region_end};
+          while (sub.pos < sub.end) {
+            auto element = parse_element(n.children[0], sub, true);
+            if (!element) return element;
+            inst->children.push_back(std::move(*element));
+          }
+          r.pos = *region_end;
+        }
+        break;
+      }
+      case NodeType::Tabular: {
+        auto holder = lookup(n.ref, r);
+        if (!holder) return Unexpected(holder.error());
+        auto count = scalar(n.ref, **holder, r);
+        if (!count) return Unexpected(count.error());
+        inst = std::make_unique<Inst>(id);
+        for (std::uint64_t k = 0; k < *count; ++k) {
+          // Tabular elements may be legitimately empty: the count, not
+          // progress, terminates the loop.
+          auto element = parse_element(n.children[0], r, false);
+          if (!element) return element;
+          inst->children.push_back(std::move(*element));
+        }
+        break;
+      }
+    }
+
+    // Consume the delimiter of scanned (non-repetition) nodes.
+    if (n.boundary == BoundaryKind::Delimited && !stop_marker_rep) {
+      if (r.pos != *region_end) {
+        return fail(r, "region of '" + n.name + "' not fully consumed");
+      }
+      r.pos = *region_end + n.delimiter.size();
+    }
+
+    scopes_.add(inst.get());
+    return inst;
+  }
+
+  Expected<InstPtr> parse_element(NodeId element, Reader& r,
+                                  bool require_progress) {
+    const std::size_t before = r.pos;
+    scopes_.push();
+    auto parsed = parse_node(element, r);
+    scopes_.pop();
+    if (!parsed) return parsed;
+    if (require_progress && r.pos == before) {
+      return fail(r, "repetition element consumed no input");
+    }
+    return parsed;
+  }
+
+  const Graph& wire_;
+  const Journal& journal_;
+  const HolderTable& table_;
+  ScopeChain scopes_;
+};
+
+}  // namespace
+
+Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
+                             const HolderTable& table, BytesView data) {
+  return WireParser(wire, journal, table).parse(data);
+}
+
+}  // namespace protoobf

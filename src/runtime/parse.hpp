@@ -1,0 +1,25 @@
+// Wire parser: byte buffer -> wire AST (instances of G(n+1)).
+//
+// A recursive-descent parser driven by the final message format graph. The
+// interesting part is reference resolution (paper §V-C: "to rebuild a
+// sub-node of AST from the message, it must first delimit the corresponding
+// sub-part"): a Length/Counter/Condition target may itself have been
+// transformed — split in two, xored, wrapped — so the parser recovers its
+// *logical* value by inverting the journal over the already-parsed holder
+// subtree before using it to delimit what follows.
+#pragma once
+
+#include "ast/ast.hpp"
+#include "graph/graph.hpp"
+#include "transform/lineage.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+/// Parses a complete wire message. Errors carry the wire offset where the
+/// failure was detected. The returned tree instantiates the *final* graph;
+/// run transform/exec.hpp's inverse_all to recover the G1 tree.
+Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
+                             const HolderTable& table, BytesView data);
+
+}  // namespace protoobf

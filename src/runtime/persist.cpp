@@ -1,0 +1,238 @@
+#include "runtime/persist.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "graph/validate.hpp"
+
+namespace protoobf {
+
+namespace {
+
+constexpr std::string_view kMagic = "protoobf-artifact v1";
+
+std::string hex_or_dash(BytesView data) {
+  return data.empty() ? "-" : to_hex(data);
+}
+
+std::string id_or_dash(NodeId id) {
+  return id == kNoNode ? "-" : std::to_string(id);
+}
+
+void save_graph(std::ostringstream& out, const char* label, const Graph& g) {
+  out << "graph " << label << " " << g.arena_size() << " " << g.root()
+      << "\n";
+  for (NodeId id = 0; id < g.arena_size(); ++id) {
+    const Node& n = g.node(id);
+    out << "node " << id << " " << n.name << " "
+        << static_cast<int>(n.type) << " " << static_cast<int>(n.boundary)
+        << " " << n.fixed_size << " " << hex_or_dash(n.delimiter) << " "
+        << id_or_dash(n.ref) << " " << static_cast<int>(n.encoding) << " "
+        << (n.has_const ? 1 : 0) << " " << hex_or_dash(n.const_value) << " "
+        << (n.mirrored ? 1 : 0) << " " << id_or_dash(n.parent) << " "
+        << static_cast<int>(n.condition.kind) << " "
+        << id_or_dash(n.condition.ref) << " ";
+    if (n.condition.values.empty()) {
+      out << "-";
+    } else {
+      for (std::size_t i = 0; i < n.condition.values.size(); ++i) {
+        if (i != 0) out << ",";
+        out << to_hex(n.condition.values[i]);
+      }
+    }
+    out << " ";
+    if (n.children.empty()) {
+      out << "-";
+    } else {
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        if (i != 0) out << ",";
+        out << n.children[i];
+      }
+    }
+    out << "\n";
+  }
+}
+
+class Loader {
+ public:
+  explicit Loader(std::string_view text) : in_(std::string(text)) {}
+
+  Expected<ObfuscatedProtocol> run() {
+    std::string line;
+    if (!next(line) || line != kMagic) {
+      return Unexpected("not a protoobf artifact");
+    }
+    if (!next(line) || line.rfind("protocol ", 0) != 0) {
+      return Unexpected("missing protocol line");
+    }
+    const std::string name = line.substr(9);
+
+    auto original = load_graph(name);
+    if (!original.ok()) return Unexpected(original.error());
+    auto wire = load_graph(name);
+    if (!wire.ok()) return Unexpected(wire.error());
+
+    if (!next(line) || line.rfind("journal ", 0) != 0) {
+      return Unexpected("missing journal line");
+    }
+    const std::size_t count = std::stoul(line.substr(8));
+    Journal journal;
+    journal.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!next(line)) return Unexpected("truncated journal");
+      auto entry = parse_entry(line);
+      if (!entry.ok()) return Unexpected(entry.error());
+      journal.push_back(std::move(entry.value()));
+    }
+    return ObfuscatedProtocol::from_parts(std::move(original.value()),
+                                          std::move(wire.value()),
+                                          std::move(journal));
+  }
+
+ private:
+  bool next(std::string& line) {
+    while (std::getline(in_, line)) {
+      if (!line.empty()) return true;
+    }
+    return false;
+  }
+
+  static std::vector<std::string> split(const std::string& line) {
+    std::vector<std::string> fields;
+    std::istringstream ss(line);
+    std::string field;
+    while (ss >> field) fields.push_back(field);
+    return fields;
+  }
+
+  static NodeId parse_id(const std::string& field) {
+    return field == "-" ? kNoNode
+                        : static_cast<NodeId>(std::stoul(field));
+  }
+
+  static Expected<Bytes> parse_hex(const std::string& field) {
+    if (field == "-") return Bytes{};
+    auto bytes = from_hex(field);
+    if (!bytes) return Unexpected("bad hex field '" + field + "'");
+    return *bytes;
+  }
+
+  Expected<Graph> load_graph(const std::string& name) {
+    std::string line;
+    if (!next(line) || line.rfind("graph ", 0) != 0) {
+      return Unexpected("missing graph header");
+    }
+    const auto header = split(line);
+    if (header.size() != 4) return Unexpected("malformed graph header");
+    const std::size_t arena = std::stoul(header[2]);
+    const NodeId root = parse_id(header[3]);
+
+    Graph g(name);
+    for (std::size_t k = 0; k < arena; ++k) {
+      if (!next(line)) return Unexpected("truncated graph");
+      const auto f = split(line);
+      if (f.size() != 17 || f[0] != "node") {
+        return Unexpected("malformed node line: " + line);
+      }
+      Node n;
+      n.name = f[2];
+      n.type = static_cast<NodeType>(std::stoi(f[3]));
+      n.boundary = static_cast<BoundaryKind>(std::stoi(f[4]));
+      n.fixed_size = std::stoul(f[5]);
+      auto delim = parse_hex(f[6]);
+      if (!delim.ok()) return Unexpected(delim.error());
+      n.delimiter = std::move(delim.value());
+      n.ref = parse_id(f[7]);
+      n.encoding = static_cast<Encoding>(std::stoi(f[8]));
+      n.has_const = f[9] == "1";
+      auto cv = parse_hex(f[10]);
+      if (!cv.ok()) return Unexpected(cv.error());
+      n.const_value = std::move(cv.value());
+      n.mirrored = f[11] == "1";
+      n.parent = parse_id(f[12]);
+      n.condition.kind = static_cast<Condition::Kind>(std::stoi(f[13]));
+      n.condition.ref = parse_id(f[14]);
+      if (f[15] != "-") {
+        std::istringstream values(f[15]);
+        std::string piece;
+        while (std::getline(values, piece, ',')) {
+          auto v = from_hex(piece);
+          if (!v) return Unexpected("bad condition value");
+          n.condition.values.push_back(std::move(*v));
+        }
+      }
+      if (f[16] != "-") {
+        std::istringstream children(f[16]);
+        std::string piece;
+        while (std::getline(children, piece, ',')) {
+          n.children.push_back(static_cast<NodeId>(std::stoul(piece)));
+        }
+      }
+      const NodeId assigned = g.add_node(std::move(n));
+      if (assigned != static_cast<NodeId>(std::stoul(f[1]))) {
+        return Unexpected("node ids out of order in artifact");
+      }
+    }
+    g.set_root(root);
+    return g;
+  }
+
+  Expected<AppliedTransform> parse_entry(const std::string& line) {
+    const auto f = split(line);
+    if (f.size() != 18 || f[0] != "entry") {
+      return Unexpected("malformed journal entry: " + line);
+    }
+    AppliedTransform e;
+    e.kind = static_cast<TransformKind>(std::stoi(f[1]));
+    e.target = parse_id(f[2]);
+    e.replacement = parse_id(f[3]);
+    e.created_seq = parse_id(f[4]);
+    e.created_a = parse_id(f[5]);
+    e.created_b = parse_id(f[6]);
+    e.created_c = parse_id(f[7]);
+    e.created_d = parse_id(f[8]);
+    e.element = parse_id(f[9]);
+    auto key = parse_hex(f[10]);
+    if (!key.ok()) return Unexpected(key.error());
+    e.key = std::move(key.value());
+    e.split_point = std::stoul(f[11]);
+    e.pad_index = std::stoul(f[12]);
+    e.pad_size = std::stoul(f[13]);
+    e.child_i = std::stoi(f[14]);
+    e.child_j = std::stoi(f[15]);
+    e.len_width = std::stoul(f[16]);
+    e.len_ascii = f[17] == "1";
+    return e;
+  }
+
+  std::istringstream in_;
+};
+
+}  // namespace
+
+std::string save_artifact(const ObfuscatedProtocol& protocol) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "protocol " << protocol.original().protocol_name() << "\n";
+  save_graph(out, "original", protocol.original());
+  save_graph(out, "wire", protocol.wire_graph());
+  out << "journal " << protocol.journal().size() << "\n";
+  for (const AppliedTransform& e : protocol.journal()) {
+    out << "entry " << static_cast<int>(e.kind) << " " << id_or_dash(e.target)
+        << " " << id_or_dash(e.replacement) << " " << id_or_dash(e.created_seq)
+        << " " << id_or_dash(e.created_a) << " " << id_or_dash(e.created_b)
+        << " " << id_or_dash(e.created_c) << " " << id_or_dash(e.created_d)
+        << " " << id_or_dash(e.element) << " " << hex_or_dash(e.key) << " "
+        << e.split_point << " " << e.pad_index << " " << e.pad_size << " "
+        << e.child_i << " " << e.child_j << " " << e.len_width << " "
+        << (e.len_ascii ? 1 : 0) << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Expected<ObfuscatedProtocol> load_artifact(std::string_view text) {
+  return Loader(text).run();
+}
+
+}  // namespace protoobf

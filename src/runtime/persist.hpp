@@ -1,0 +1,30 @@
+// Protocol artifact persistence.
+//
+// Deployment model (paper §IV): the framework runs at development time and
+// its output is shipped to every communicating application. Besides the
+// generated source (src/codegen), this module provides the runtime-loadable
+// equivalent: a textual artifact holding the original graph G1, the final
+// graph G(n+1) and the transformation journal. Peers that load the same
+// artifact interoperate; the artifact never contains message data.
+//
+// Format: line-oriented `protoobf-artifact v1`; one `node` line per arena
+// slot (detached transformation intermediates included, so node ids are
+// preserved exactly), one `entry` line per τi. Byte strings are hex.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "runtime/protocol.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+/// Serializes the protocol (graphs + journal) into the artifact text.
+std::string save_artifact(const ObfuscatedProtocol& protocol);
+
+/// Reconstructs a protocol from artifact text. The result is validated;
+/// round-trip behaviour is bit-identical to the saved instance.
+Expected<ObfuscatedProtocol> load_artifact(std::string_view text);
+
+}  // namespace protoobf

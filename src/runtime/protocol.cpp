@@ -1,0 +1,93 @@
+#include "runtime/protocol.hpp"
+
+#include "graph/validate.hpp"
+#include "runtime/derive.hpp"
+#include "runtime/parse.hpp"
+#include "transform/exec.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf {
+
+ObfuscatedProtocol::ObfuscatedProtocol(Graph original, ObfuscationResult result)
+    : original_(std::move(original)),
+      wire_(std::move(result.graph)),
+      journal_(std::move(result.journal)),
+      stats_(result.stats),
+      holders_(build_holder_table(original_, journal_)) {}
+
+Expected<ObfuscatedProtocol> ObfuscatedProtocol::create(
+    const Graph& g1, const ObfuscationConfig& config) {
+  auto result = obfuscate(g1, config);
+  if (!result) return Unexpected(result.error());
+  return ObfuscatedProtocol(g1.clone(), std::move(*result));
+}
+
+Expected<ObfuscatedProtocol> ObfuscatedProtocol::from_parts(Graph original,
+                                                            Graph wire,
+                                                            Journal journal) {
+  if (Status s = validate(original); !s) {
+    return Unexpected("artifact original graph invalid: " +
+                      s.error().message);
+  }
+  if (Status s = validate(wire); !s) {
+    return Unexpected("artifact wire graph invalid: " + s.error().message);
+  }
+  ObfuscationResult result{std::move(wire), std::move(journal), {}};
+  result.stats.applied = result.journal.size();
+  for (const AppliedTransform& e : result.journal) {
+    ++result.stats.per_kind[static_cast<std::size_t>(e.kind)];
+  }
+  return ObfuscatedProtocol(std::move(original), std::move(result));
+}
+
+Expected<Bytes> ObfuscatedProtocol::serialize(
+    const Inst& message, std::uint64_t msg_seed,
+    std::vector<FieldSpan>* spans) const {
+  if (Status s = ast::check(original_, message); !s) {
+    return Unexpected(s.error());
+  }
+  InstPtr tree = ast::clone(message);
+  if (Status s = protoobf::canonicalize(original_, *tree); !s) {
+    return Unexpected(s.error());
+  }
+  if (Status s = check_presence(original_, *tree); !s) {
+    return Unexpected(s.error());
+  }
+
+  Rng rng(msg_seed);
+  if (Status s = forward_all(tree, journal_, rng); !s) {
+    return Unexpected(s.error());
+  }
+  if (Status s = fix_holders(wire_, journal_, holders_, *tree, msg_seed); !s) {
+    return Unexpected(s.error());
+  }
+  return emit(wire_, *tree, spans);
+}
+
+Expected<InstPtr> ObfuscatedProtocol::parse(BytesView wire) const {
+  auto tree = parse_wire(wire_, journal_, holders_, wire);
+  if (!tree) return tree;
+  if (Status s = inverse_all(*tree, journal_); !s) {
+    return Unexpected(s.error());
+  }
+  // fill_consts doubles as an integrity check: a recovered constant field
+  // that does not match the specification means the wire was corrupt (or
+  // produced with different transformations).
+  if (Status s = fill_consts(original_, **tree); !s) {
+    return Unexpected("parsed message rejected: " + s.error().message);
+  }
+  if (Status s = protoobf::canonicalize(original_, **tree); !s) {
+    return Unexpected(s.error());
+  }
+  if (Status s = ast::check(original_, **tree); !s) {
+    return Unexpected("parsed message malformed: " + s.error().message);
+  }
+  return tree;
+}
+
+Status ObfuscatedProtocol::canonicalize(Inst& message) const {
+  if (Status s = protoobf::canonicalize(original_, message); !s) return s;
+  return check_presence(original_, message);
+}
+
+}  // namespace protoobf

@@ -1,0 +1,67 @@
+// ObfuscatedProtocol: the runtime artifact the framework produces.
+//
+// Paper §IV: "the output of the framework is the source code for the
+// message parser and the corresponding message serializer". This class is
+// the executable equivalent of that generated library (src/codegen emits
+// the literal source-code rendition): it bundles the original graph G1, the
+// final graph G(n+1), the transformation journal, and the derived-field
+// lineage, and exposes serialize()/parse() that perform the transformations
+// on the fly exactly as the paper's generated code does.
+//
+// Round-trip contract (property-tested): for any message m built against
+// G1, parse(serialize(m)) compares equal to canonical(m) — canonical
+// meaning constant fields filled and derived fields recomputed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "runtime/emit.hpp"
+#include "transform/engine.hpp"
+#include "transform/lineage.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+class ObfuscatedProtocol {
+ public:
+  /// Obfuscates `g1` per `config` and prepares the runtime metadata.
+  /// `config.per_node == 0` yields the identity (non-obfuscated) protocol.
+  static Expected<ObfuscatedProtocol> create(const Graph& g1,
+                                             const ObfuscationConfig& config);
+
+  /// Rebuilds a protocol from persisted parts (runtime/persist.hpp). Both
+  /// graphs are re-validated; statistics are recomputed from the journal.
+  static Expected<ObfuscatedProtocol> from_parts(Graph original, Graph wire,
+                                                 Journal journal);
+
+  const Graph& original() const { return original_; }
+  const Graph& wire_graph() const { return wire_; }
+  const Journal& journal() const { return journal_; }
+  const ObfuscationStats& stats() const { return stats_; }
+
+  /// Serializes a logical message (an instance of G1). `msg_seed` drives the
+  /// per-message randomness (split halves, pad bytes): the same message with
+  /// a different seed produces a different wire image. Optional `spans`
+  /// receive the ground-truth wire location of every terminal.
+  Expected<Bytes> serialize(const Inst& message, std::uint64_t msg_seed,
+                            std::vector<FieldSpan>* spans = nullptr) const;
+
+  /// Parses a wire message back into a canonical logical tree.
+  Expected<InstPtr> parse(BytesView wire) const;
+
+  /// Fills constants and derived fields of a user-built logical tree so it
+  /// compares equal with parse() results.
+  Status canonicalize(Inst& message) const;
+
+ private:
+  ObfuscatedProtocol(Graph original, ObfuscationResult result);
+
+  Graph original_;
+  Graph wire_;
+  Journal journal_;
+  ObfuscationStats stats_;
+  HolderTable holders_;
+};
+
+}  // namespace protoobf

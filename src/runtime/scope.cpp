@@ -1,0 +1,33 @@
+#include "runtime/scope.hpp"
+
+namespace protoobf {
+
+namespace {
+
+Status walk(const Graph& graph, Inst& inst, ScopeChain& scopes,
+            const std::function<Status(Inst&, ScopeChain&)>& pre) {
+  if (Status s = pre(inst, scopes); !s) return s;
+  const Node& n = graph.node(inst.schema);
+  if (inst.present) {
+    const bool element_scope =
+        n.type == NodeType::Repetition || n.type == NodeType::Tabular;
+    for (auto& child : inst.children) {
+      if (element_scope) scopes.push();
+      const Status s = walk(graph, *child, scopes, pre);
+      if (element_scope) scopes.pop();
+      if (!s) return s;
+    }
+  }
+  scopes.add(&inst);
+  return Status::success();
+}
+
+}  // namespace
+
+Status walk_scoped(const Graph& graph, Inst& root,
+                   const std::function<Status(Inst&, ScopeChain&)>& pre) {
+  ScopeChain scopes;
+  return walk(graph, root, scopes, pre);
+}
+
+}  // namespace protoobf

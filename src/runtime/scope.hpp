@@ -1,0 +1,49 @@
+// Reference scoping shared by the parser and the derivation passes.
+//
+// Length/Counter/Condition references resolve to "the nearest instance of
+// the referenced node parsed so far": one scope exists per Repetition or
+// Tabular element (so a per-element length field resolves within its own
+// element — the TLV pattern) plus the root scope; lookups walk scopes from
+// innermost to outermost. Validation (graph/validate.cpp) guarantees a
+// reference target is registered before any dependant needs it.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "graph/graph.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+class ScopeChain {
+ public:
+  ScopeChain() { push(); }
+
+  void push() { maps_.emplace_back(); }
+  void pop() { maps_.pop_back(); }
+
+  void add(Inst* inst) { maps_.back()[inst->schema] = inst; }
+
+  Inst* lookup(NodeId id) const {
+    for (auto it = maps_.rbegin(); it != maps_.rend(); ++it) {
+      const auto found = it->find(id);
+      if (found != it->end()) return found->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::unordered_map<NodeId, Inst*>> maps_;
+};
+
+/// In-order traversal mirroring parse order: `pre` runs when a node is
+/// reached (references to earlier nodes already registered), registration
+/// happens after the subtree completes, element scopes are pushed around
+/// each Repetition/Tabular element. Absent optionals are not descended.
+Status walk_scoped(const Graph& graph, Inst& root,
+                   const std::function<Status(Inst&, ScopeChain&)>& pre);
+
+}  // namespace protoobf

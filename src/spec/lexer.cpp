@@ -1,0 +1,210 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+
+namespace protoobf {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Integer: return "integer";
+    case TokenKind::String: return "string";
+    case TokenKind::HexBytes: return "hex literal";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::EqualEqual: return "'=='";
+    case TokenKind::BangEqual: return "'!='";
+    case TokenKind::EndOfFile: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  Expected<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_space_and_comments();
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (at_end()) {
+        tok.kind = TokenKind::EndOfFile;
+        tokens.push_back(tok);
+        return tokens;
+      }
+      const char c = peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.kind = TokenKind::Identifier;
+        tok.text = identifier();
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        if (Status s = number(tok); !s) return Unexpected(s.error());
+      } else if (c == '"') {
+        tok.kind = TokenKind::String;
+        auto bytes = string_literal();
+        if (!bytes) return Unexpected(bytes.error());
+        tok.bytes = std::move(bytes.value());
+      } else {
+        if (Status s = punctuation(tok); !s) return Unexpected(s.error());
+      }
+      tokens.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Unexpected fail(const std::string& what) const {
+    return Unexpected("spec:" + std::to_string(line_) + ":" +
+                      std::to_string(column_) + ": " + what);
+  }
+
+  void skip_space_and_comments() {
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#') {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string identifier() {
+    std::string out;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+      out.push_back(advance());
+    }
+    return out;
+  }
+
+  Status number(Token& tok) {
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      std::string digits;
+      while (!at_end() &&
+             std::isxdigit(static_cast<unsigned char>(peek()))) {
+        digits.push_back(advance());
+      }
+      if (digits.empty()) return fail("expected hex digits after 0x");
+      if (digits.size() % 2 != 0) {
+        return fail("hex literal needs an even number of digits");
+      }
+      auto bytes = from_hex(digits);
+      if (!bytes) return fail("invalid hex literal");
+      tok.kind = TokenKind::HexBytes;
+      tok.bytes = std::move(*bytes);
+      return Status::success();
+    }
+    std::uint64_t value = 0;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + static_cast<std::uint64_t>(advance() - '0');
+    }
+    tok.kind = TokenKind::Integer;
+    tok.number = value;
+    return Status::success();
+  }
+
+  Expected<Bytes> string_literal() {
+    advance();  // opening quote
+    Bytes out;
+    while (true) {
+      if (at_end()) return fail("unterminated string literal");
+      char c = advance();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(static_cast<Byte>(c));
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape sequence");
+      const char esc = advance();
+      switch (esc) {
+        case 'r': out.push_back('\r'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '0': out.push_back('\0'); break;
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        case 'x': {
+          if (pos_ + 1 >= src_.size()) return fail("truncated \\x escape");
+          const char h1 = advance();
+          const char h2 = advance();
+          auto byte = from_hex(std::string{h1, h2});
+          if (!byte) return fail("invalid \\x escape");
+          out.push_back((*byte)[0]);
+          break;
+        }
+        default:
+          return fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Status punctuation(Token& tok) {
+    const char c = advance();
+    switch (c) {
+      case ':': tok.kind = TokenKind::Colon; return Status::success();
+      case '{': tok.kind = TokenKind::LBrace; return Status::success();
+      case '}': tok.kind = TokenKind::RBrace; return Status::success();
+      case '(': tok.kind = TokenKind::LParen; return Status::success();
+      case ')': tok.kind = TokenKind::RParen; return Status::success();
+      case ',': tok.kind = TokenKind::Comma; return Status::success();
+      case '.': tok.kind = TokenKind::Dot; return Status::success();
+      case '=':
+        if (peek() == '=') {
+          advance();
+          tok.kind = TokenKind::EqualEqual;
+          return Status::success();
+        }
+        return fail("expected '==' after '='");
+      case '!':
+        if (peek() == '=') {
+          advance();
+          tok.kind = TokenKind::BangEqual;
+          return Status::success();
+        }
+        return fail("expected '!=' after '!'");
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+Expected<std::vector<Token>> tokenize(std::string_view source) {
+  return Scanner(source).run();
+}
+
+}  // namespace protoobf

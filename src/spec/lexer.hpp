@@ -1,0 +1,55 @@
+// Tokenizer for the ProtoSpec message-format specification language.
+//
+// The paper implements this stage with Lex; we use a hand-written scanner
+// with precise line/column tracking so specification errors point at their
+// source. Keywords are not reserved: they are plain identifiers interpreted
+// contextually by the parser, which keeps field names like "end" usable.
+//
+// Literal forms:
+//   "text\r\n"  string with C-style escapes (\r \n \t \0 \\ \" \xNN)
+//   0xDEAD      hex byte string (even number of digits)
+//   123         decimal integer (fixed sizes)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+enum class TokenKind : std::uint8_t {
+  Identifier,
+  Integer,
+  String,     // escaped string literal -> bytes payload
+  HexBytes,   // 0x... literal -> bytes payload
+  Colon,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Comma,
+  Dot,
+  EqualEqual,
+  BangEqual,
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;        // identifier spelling
+  std::uint64_t number = 0;  // Integer payload
+  Bytes bytes;             // String / HexBytes payload
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+const char* to_string(TokenKind kind);
+
+/// Tokenizes a whole specification. '#' starts a comment until end of line.
+Expected<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace protoobf

@@ -1,0 +1,379 @@
+#include "spec/parser.hpp"
+
+#include <map>
+#include <vector>
+
+#include "spec/lexer.hpp"
+
+namespace protoobf {
+
+namespace {
+
+/// A reference waiting for resolution once all nodes exist.
+struct PendingRef {
+  enum class Slot { Boundary, Condition };
+  NodeId from;
+  Slot slot;
+  std::string path;  // dotted, as written
+  std::size_t line;
+  std::size_t column;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Expected<Graph> run() {
+    if (Status s = expect_keyword("protocol"); !s) return Unexpected(s.error());
+    const Token name = current();
+    if (Status s = expect(TokenKind::Identifier); !s) {
+      return Unexpected(s.error());
+    }
+    graph_.set_protocol_name(name.text);
+
+    auto root = parse_node_def();
+    if (!root) return Unexpected(root.error());
+    graph_.set_root(*root);
+
+    if (Status s = expect(TokenKind::EndOfFile); !s) {
+      return Unexpected(s.error());
+    }
+    if (Status s = resolve_references(); !s) return Unexpected(s.error());
+    if (Status s = validate(graph_); !s) {
+      return Unexpected("specification is inconsistent: " + s.error().message);
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------------
+  const Token& current() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool check(TokenKind kind) const { return current().kind == kind; }
+  bool check_keyword(std::string_view kw) const {
+    return check(TokenKind::Identifier) && current().text == kw;
+  }
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  bool match_keyword(std::string_view kw) {
+    if (!check_keyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Unexpected fail_at(const Token& tok, const std::string& what) const {
+    return Unexpected("spec:" + std::to_string(tok.line) + ":" +
+                      std::to_string(tok.column) + ": " + what);
+  }
+  Unexpected fail(const std::string& what) const {
+    return fail_at(current(), what);
+  }
+
+  Status expect(TokenKind kind) {
+    if (match(kind)) return Status::success();
+    return fail(std::string("expected ") + to_string(kind) + ", found " +
+                to_string(current().kind));
+  }
+  Status expect_keyword(std::string_view kw) {
+    if (match_keyword(kw)) return Status::success();
+    return fail("expected keyword '" + std::string(kw) + "'");
+  }
+
+  // --- grammar productions --------------------------------------------------
+  Expected<NodeId> parse_node_def() {
+    const Token name = current();
+    if (Status s = expect(TokenKind::Identifier); !s) {
+      return Unexpected(s.error());
+    }
+    if (Status s = expect(TokenKind::Colon); !s) return Unexpected(s.error());
+    return parse_type_expr(name.text);
+  }
+
+  Expected<NodeId> parse_type_expr(const std::string& name) {
+    if (match_keyword("terminal")) return parse_terminal(name);
+    if (match_keyword("seq")) return parse_sequence(name);
+    if (match_keyword("optional")) return parse_optional(name);
+    if (match_keyword("repeat")) return parse_repetition(name);
+    if (match_keyword("tabular")) return parse_tabular(name);
+    return fail("expected node type (terminal/seq/optional/repeat/tabular)");
+  }
+
+  Expected<NodeId> parse_terminal(const std::string& name) {
+    Node node;
+    node.name = name;
+    node.type = NodeType::Terminal;
+    const NodeId id = graph_.add_node(node);
+    if (Status s = parse_boundary(id, /*required=*/true); !s) {
+      return Unexpected(s.error());
+    }
+    while (true) {
+      if (match_keyword("ascii")) {
+        graph_.node(id).encoding = Encoding::AsciiDec;
+      } else if (match_keyword("binary")) {
+        graph_.node(id).encoding = Encoding::Binary;
+      } else if (match_keyword("const")) {
+        if (Status s = expect(TokenKind::LParen); !s) {
+          return Unexpected(s.error());
+        }
+        auto value = parse_bytes_literal();
+        if (!value) return Unexpected(value.error());
+        graph_.node(id).const_value = std::move(*value);
+        graph_.node(id).has_const = true;
+        if (Status s = expect(TokenKind::RParen); !s) {
+          return Unexpected(s.error());
+        }
+      } else {
+        break;
+      }
+    }
+    return id;
+  }
+
+  Expected<NodeId> parse_sequence(const std::string& name) {
+    Node node;
+    node.name = name;
+    node.type = NodeType::Sequence;
+    node.boundary = BoundaryKind::Delegated;
+    const NodeId id = graph_.add_node(node);
+    if (!check(TokenKind::LBrace)) {
+      if (Status s = parse_boundary(id, /*required=*/true); !s) {
+        return Unexpected(s.error());
+      }
+    }
+    if (Status s = expect(TokenKind::LBrace); !s) return Unexpected(s.error());
+    while (!check(TokenKind::RBrace)) {
+      auto child = parse_node_def();
+      if (!child) return Unexpected(child.error());
+      graph_.node(*child).parent = id;
+      graph_.node(id).children.push_back(*child);
+    }
+    if (Status s = expect(TokenKind::RBrace); !s) return Unexpected(s.error());
+    if (graph_.node(id).children.empty()) {
+      return fail("sequence '" + name + "' needs at least one sub-node");
+    }
+    return id;
+  }
+
+  Expected<NodeId> parse_optional(const std::string& name) {
+    Node node;
+    node.name = name;
+    node.type = NodeType::Optional;
+    node.boundary = BoundaryKind::Delegated;
+    const NodeId id = graph_.add_node(node);
+    if (Status s = expect(TokenKind::LParen); !s) return Unexpected(s.error());
+    if (Status s = parse_condition(id); !s) return Unexpected(s.error());
+    if (Status s = expect(TokenKind::RParen); !s) return Unexpected(s.error());
+    if (Status s = expect(TokenKind::LBrace); !s) return Unexpected(s.error());
+    auto child = parse_node_def();
+    if (!child) return Unexpected(child.error());
+    graph_.node(*child).parent = id;
+    graph_.node(id).children.push_back(*child);
+    if (Status s = expect(TokenKind::RBrace); !s) return Unexpected(s.error());
+    return id;
+  }
+
+  Expected<NodeId> parse_repetition(const std::string& name) {
+    Node node;
+    node.name = name;
+    node.type = NodeType::Repetition;
+    const NodeId id = graph_.add_node(node);
+    if (Status s = parse_boundary(id, /*required=*/true); !s) {
+      return Unexpected(s.error());
+    }
+    if (Status s = expect(TokenKind::LBrace); !s) return Unexpected(s.error());
+    auto child = parse_node_def();
+    if (!child) return Unexpected(child.error());
+    graph_.node(*child).parent = id;
+    graph_.node(id).children.push_back(*child);
+    if (Status s = expect(TokenKind::RBrace); !s) return Unexpected(s.error());
+    return id;
+  }
+
+  Expected<NodeId> parse_tabular(const std::string& name) {
+    Node node;
+    node.name = name;
+    node.type = NodeType::Tabular;
+    node.boundary = BoundaryKind::Counter;
+    const NodeId id = graph_.add_node(node);
+    if (Status s = expect(TokenKind::LParen); !s) return Unexpected(s.error());
+    auto path = parse_ref_path();
+    if (!path) return Unexpected(path.error());
+    pending_.push_back({id, PendingRef::Slot::Boundary, *path, current().line,
+                        current().column});
+    if (Status s = expect(TokenKind::RParen); !s) return Unexpected(s.error());
+    if (Status s = expect(TokenKind::LBrace); !s) return Unexpected(s.error());
+    auto child = parse_node_def();
+    if (!child) return Unexpected(child.error());
+    graph_.node(*child).parent = id;
+    graph_.node(id).children.push_back(*child);
+    if (Status s = expect(TokenKind::RBrace); !s) return Unexpected(s.error());
+    return id;
+  }
+
+  Status parse_boundary(NodeId id, bool required) {
+    Node& node = graph_.node(id);
+    if (match_keyword("fixed")) {
+      node.boundary = BoundaryKind::Fixed;
+      if (Status s = expect(TokenKind::LParen); !s) return s;
+      const Token size = current();
+      if (Status s = expect(TokenKind::Integer); !s) return s;
+      node.fixed_size = static_cast<std::size_t>(size.number);
+      return expect(TokenKind::RParen);
+    }
+    if (match_keyword("delimited")) {
+      node.boundary = BoundaryKind::Delimited;
+      if (Status s = expect(TokenKind::LParen); !s) return s;
+      auto delim = parse_bytes_literal();
+      if (!delim) return Unexpected(delim.error());
+      node.delimiter = std::move(*delim);
+      return expect(TokenKind::RParen);
+    }
+    if (match_keyword("length")) {
+      node.boundary = BoundaryKind::Length;
+      if (Status s = expect(TokenKind::LParen); !s) return s;
+      auto path = parse_ref_path();
+      if (!path) return Unexpected(path.error());
+      pending_.push_back({id, PendingRef::Slot::Boundary, *path,
+                          current().line, current().column});
+      return expect(TokenKind::RParen);
+    }
+    if (match_keyword("end")) {
+      node.boundary = BoundaryKind::End;
+      return Status::success();
+    }
+    if (match_keyword("delegated")) {
+      node.boundary = BoundaryKind::Delegated;
+      return Status::success();
+    }
+    if (required) {
+      return fail("expected boundary (fixed/delimited/length/end/delegated)");
+    }
+    return Status::success();
+  }
+
+  Status parse_condition(NodeId id) {
+    auto path = parse_ref_path();
+    if (!path) return Unexpected(path.error());
+    pending_.push_back({id, PendingRef::Slot::Condition, *path, current().line,
+                        current().column});
+    Condition& cond = graph_.node(id).condition;
+    if (match(TokenKind::EqualEqual)) {
+      cond.kind = Condition::Kind::Equals;
+      auto value = parse_bytes_literal();
+      if (!value) return Unexpected(value.error());
+      cond.values.push_back(std::move(*value));
+      return Status::success();
+    }
+    if (match(TokenKind::BangEqual)) {
+      cond.kind = Condition::Kind::NotEquals;
+      auto value = parse_bytes_literal();
+      if (!value) return Unexpected(value.error());
+      cond.values.push_back(std::move(*value));
+      return Status::success();
+    }
+    if (match_keyword("in")) {
+      cond.kind = Condition::Kind::OneOf;
+      if (Status s = expect(TokenKind::LBrace); !s) return s;
+      do {
+        auto value = parse_bytes_literal();
+        if (!value) return Unexpected(value.error());
+        cond.values.push_back(std::move(*value));
+      } while (match(TokenKind::Comma));
+      return expect(TokenKind::RBrace);
+    }
+    if (match_keyword("nonzero")) {
+      cond.kind = Condition::Kind::NonZero;
+      return Status::success();
+    }
+    return fail("expected condition operator (==, !=, in, nonzero)");
+  }
+
+  Expected<Bytes> parse_bytes_literal() {
+    if (check(TokenKind::String) || check(TokenKind::HexBytes)) {
+      return advance().bytes;
+    }
+    return fail("expected a string or hex literal");
+  }
+
+  Expected<std::string> parse_ref_path() {
+    const Token first = current();
+    if (Status s = expect(TokenKind::Identifier); !s) {
+      return Unexpected(s.error());
+    }
+    std::string path = first.text;
+    while (match(TokenKind::Dot)) {
+      const Token part = current();
+      if (Status s = expect(TokenKind::Identifier); !s) {
+        return Unexpected(s.error());
+      }
+      path += "." + part.text;
+    }
+    return path;
+  }
+
+  // --- reference resolution -------------------------------------------------
+  Status resolve_references() {
+    // Dotted paths of every node, in DFS order.
+    std::vector<NodeId> order = graph_.dfs_order();
+    std::vector<std::string> paths;
+    paths.reserve(order.size());
+    for (NodeId id : order) paths.push_back(graph_.path_of(id));
+
+    for (const PendingRef& ref : pending_) {
+      NodeId target = kNoNode;
+      int matches = 0;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const std::string& path = paths[i];
+        const bool exact = path == ref.path;
+        const bool suffix =
+            path.size() > ref.path.size() &&
+            path.compare(path.size() - ref.path.size(), std::string::npos,
+                         ref.path) == 0 &&
+            path[path.size() - ref.path.size() - 1] == '.';
+        if (exact) {
+          target = order[i];
+          matches = 1;
+          break;
+        }
+        if (suffix) {
+          target = order[i];
+          ++matches;
+        }
+      }
+      if (matches == 0) {
+        return Unexpected("spec:" + std::to_string(ref.line) + ":" +
+                          std::to_string(ref.column) + ": unresolved "
+                          "reference '" + ref.path + "'");
+      }
+      if (matches > 1) {
+        return Unexpected("spec:" + std::to_string(ref.line) + ":" +
+                          std::to_string(ref.column) + ": ambiguous "
+                          "reference '" + ref.path + "'");
+      }
+      if (ref.slot == PendingRef::Slot::Boundary) {
+        graph_.node(ref.from).ref = target;
+      } else {
+        graph_.node(ref.from).condition.ref = target;
+      }
+    }
+    return Status::success();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Graph graph_;
+  std::vector<PendingRef> pending_;
+};
+
+}  // namespace
+
+Expected<Graph> parse_spec(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens) return Unexpected(tokens.error());
+  return Parser(std::move(tokens.value())).run();
+}
+
+}  // namespace protoobf

@@ -1,0 +1,36 @@
+// ProtoSpec parser: specification text -> message format graph G1.
+//
+// Grammar (the paper's Yacc stage; see README for a tutorial):
+//
+//   spec      := "protocol" IDENT nodeDef
+//   nodeDef   := IDENT ":" typeExpr
+//   typeExpr  := "terminal" boundary attr*
+//              | "seq" [boundary] "{" nodeDef+ "}"
+//              | "optional" "(" cond ")" "{" nodeDef "}"
+//              | "repeat" boundary "{" nodeDef "}"
+//              | "tabular" "(" ref ")" "{" nodeDef "}"
+//   boundary  := "fixed" "(" INT ")" | "delimited" "(" bytes ")"
+//              | "length" "(" ref ")" | "end" | "delegated"
+//   attr      := "ascii" | "binary" | "const" "(" bytes ")"
+//   cond      := ref "==" bytes | ref "!=" bytes
+//              | ref "in" "{" bytes ("," bytes)* "}" | ref "nonzero"
+//   bytes     := STRING | HEXBYTES
+//   ref       := IDENT ("." IDENT)*
+//
+// References may be forward; they are resolved after the whole tree is
+// built, first by exact dotted path from the root, then by unique path
+// suffix. The resulting graph is fully validated before being returned.
+#pragma once
+
+#include <string_view>
+
+#include "graph/graph.hpp"
+#include "graph/validate.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+/// Parses a complete specification into a validated message format graph.
+Expected<Graph> parse_spec(std::string_view source);
+
+}  // namespace protoobf

@@ -1,0 +1,552 @@
+#include "transform/apply.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/validate.hpp"
+#include "transform/constraints.hpp"
+
+namespace protoobf {
+
+namespace {
+
+std::string fresh_name(RewriteContext& ctx, const std::string& base,
+                       const char* tag) {
+  return base + "~" + tag + std::to_string(ctx.serial++);
+}
+
+/// Re-points every Length/Counter/Condition reference from `from` to `to`.
+void transfer_referers(Graph& g, NodeId from, NodeId to) {
+  for (NodeId id : g.dfs_order()) {
+    Node& n = g.node(id);
+    if (n.ref == from) n.ref = to;
+    if (n.type == NodeType::Optional && n.condition.ref == from) {
+      n.condition.ref = to;
+    }
+  }
+}
+
+/// Puts `new_top` where `old_top` was (child slot or root).
+void attach_replacement(Graph& g, NodeId old_top, NodeId new_top) {
+  const NodeId parent = g.node(old_top).parent;
+  if (parent == kNoNode) {
+    g.replace_root(new_top);
+    g.node(old_top).parent = kNoNode;
+  } else {
+    g.replace_child(parent, old_top, new_top);
+  }
+}
+
+// --- applicability ----------------------------------------------------------
+
+bool splittable_boundary(BoundaryKind b) {
+  return b == BoundaryKind::Fixed || b == BoundaryKind::Length ||
+         b == BoundaryKind::End;
+}
+
+bool const_op_boundary(BoundaryKind b) {
+  return b == BoundaryKind::Fixed || b == BoundaryKind::Length ||
+         b == BoundaryKind::End || b == BoundaryKind::Half;
+}
+
+bool mirror_boundary(BoundaryKind b) {
+  return b == BoundaryKind::Fixed || b == BoundaryKind::Length ||
+         b == BoundaryKind::End || b == BoundaryKind::Half;
+}
+
+bool applicable_split_arith(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  return n.type == NodeType::Terminal && splittable_boundary(n.boundary) &&
+         !has_scan_ancestor(g, id) && !has_fixed_ancestor(g, id) &&
+         !inside_split_region(g, id);
+}
+
+bool applicable_split_cat(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  // SplitCat keeps bytes and sizes intact, so no ancestor constraints.
+  return n.type == NodeType::Terminal && n.boundary == BoundaryKind::Fixed &&
+         n.fixed_size >= 2;
+}
+
+bool applicable_const_op(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  return n.type == NodeType::Terminal && const_op_boundary(n.boundary) &&
+         !has_scan_ancestor(g, id);
+}
+
+bool applicable_boundary_change(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  if (n.boundary != BoundaryKind::Delimited) return false;
+  if (has_fixed_ancestor(g, id) || inside_split_region(g, id)) return false;
+  // Under a delimiter-scanned region the inserted length field is encoded
+  // as ASCII digits; that is only safe when no enclosing delimiter can be
+  // mistaken for digits.
+  for (NodeId a : g.ancestors(id)) {
+    const Node& anc = g.node(a);
+    if (anc.boundary == BoundaryKind::Delimited &&
+        delimiter_has_digit(anc.delimiter)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool applicable_pad_insert(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  if (n.type != NodeType::Sequence) return false;
+  if (n.boundary == BoundaryKind::Fixed ||
+      n.boundary == BoundaryKind::Delimited) {
+    return false;
+  }
+  if (has_scan_ancestor(g, id) || has_fixed_ancestor(g, id) ||
+      inside_split_region(g, id)) {
+    return false;
+  }
+  // Never pad a split sequence: Half regions must stay exact halves.
+  for (NodeId child : n.children) {
+    if (g.node(child).boundary == BoundaryKind::Half) return false;
+  }
+  return true;
+}
+
+bool applicable_read_from_end(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  return mirror_boundary(n.boundary) && !n.mirrored &&
+         !has_scan_ancestor(g, id);
+}
+
+bool splittable_element(const Graph& g, NodeId element) {
+  const Node& e = g.node(element);
+  if (e.type != NodeType::Sequence || e.children.size() < 2 ||
+      e.boundary != BoundaryKind::Delegated) {
+    return false;
+  }
+  // No reference may cross between the first child and the remaining
+  // children (they end up in separate tabulars), and the element must not
+  // be referenced from outside.
+  const NodeId first = e.children[0];
+  for (std::size_t i = 1; i < e.children.size(); ++i) {
+    if (refs_cross(g, first, e.children[i])) return false;
+  }
+  return !externally_referenced(g, element);
+}
+
+bool applicable_tab_split(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  return n.type == NodeType::Tabular && !has_scan_ancestor(g, id) &&
+         splittable_element(g, n.children[0]);
+}
+
+bool applicable_rep_split(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  return n.type == NodeType::Repetition && !has_scan_ancestor(g, id) &&
+         !has_fixed_ancestor(g, id) && !inside_split_region(g, id) &&
+         splittable_element(g, n.children[0]);
+}
+
+bool applicable_child_move(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  if (n.type != NodeType::Sequence || n.children.size() < 2) return false;
+  if (n.boundary == BoundaryKind::Delimited) return false;
+  if (has_scan_ancestor(g, id)) return false;
+  // At least one swappable pair must exist; the cheap per-child filter is
+  // checked here, parse-order is re-validated after the actual swap.
+  std::size_t movable = 0;
+  for (NodeId child : n.children) {
+    const BoundaryKind b = g.node(child).boundary;
+    if (b == BoundaryKind::Half || b == BoundaryKind::End) continue;
+    if (subtree_has_escaping_end(g, child)) continue;
+    ++movable;
+  }
+  return movable >= 2;
+}
+
+// --- rewrites ---------------------------------------------------------------
+
+AppliedTransform rewrite_split(RewriteContext& ctx, TransformKind kind,
+                               NodeId target) {
+  Graph& g = ctx.graph;
+  // Copy the fields needed before add_node invalidates references.
+  const Node x = g.node(target);
+
+  Node s;
+  s.name = fresh_name(ctx, x.name, "s");
+  s.type = NodeType::Sequence;
+  s.boundary = x.boundary;
+  s.ref = x.ref;
+  s.mirrored = x.mirrored;
+
+  Node a;
+  a.name = fresh_name(ctx, x.name, "a");
+  a.type = NodeType::Terminal;
+  Node b;
+  b.name = fresh_name(ctx, x.name, "b");
+  b.type = NodeType::Terminal;
+
+  AppliedTransform entry;
+  entry.kind = kind;
+  entry.target = target;
+
+  if (kind == TransformKind::SplitCat) {
+    const std::size_t p = ctx.rng.between(1, x.fixed_size - 1);
+    entry.split_point = p;
+    s.fixed_size = x.fixed_size;
+    a.boundary = BoundaryKind::Fixed;
+    a.fixed_size = p;
+    b.boundary = BoundaryKind::Fixed;
+    b.fixed_size = x.fixed_size - p;
+  } else {
+    // Arithmetic splits double the field: random half + combined half.
+    if (x.boundary == BoundaryKind::Fixed) s.fixed_size = 2 * x.fixed_size;
+    a.boundary = BoundaryKind::Half;
+    b.boundary = BoundaryKind::End;
+  }
+
+  const NodeId sid = g.add_node(s);
+  const NodeId aid = g.add_node(a);
+  const NodeId bid = g.add_node(b);
+  g.node(sid).children = {aid, bid};
+  g.node(aid).parent = sid;
+  g.node(bid).parent = sid;
+
+  attach_replacement(g, target, sid);
+  transfer_referers(g, target, sid);
+  g.node(target).mirrored = false;
+
+  entry.replacement = sid;
+  entry.created_seq = sid;
+  entry.created_a = aid;
+  entry.created_b = bid;
+  return entry;
+}
+
+AppliedTransform rewrite_const(RewriteContext& ctx, TransformKind kind,
+                               NodeId target) {
+  AppliedTransform entry;
+  entry.kind = kind;
+  entry.target = target;
+  entry.replacement = target;
+  do {
+    entry.key = ctx.rng.bytes(8);
+  } while (std::all_of(entry.key.begin(), entry.key.end(),
+                       [](Byte v) { return v == 0; }));
+  return entry;
+}
+
+AppliedTransform rewrite_boundary_change(RewriteContext& ctx, NodeId target) {
+  Graph& g = ctx.graph;
+  const bool ascii = has_scan_ancestor(g, target);
+  const Node x = g.node(target);
+
+  Node len;
+  len.name = fresh_name(ctx, x.name, "len");
+  len.type = NodeType::Terminal;
+  len.boundary = BoundaryKind::Fixed;
+  len.fixed_size = ascii ? 4 : 2;
+  len.encoding = ascii ? Encoding::AsciiDec : Encoding::Binary;
+
+  Node s;
+  s.name = fresh_name(ctx, x.name, "bc");
+  s.type = NodeType::Sequence;
+  s.boundary = BoundaryKind::Delegated;
+
+  const NodeId lid = g.add_node(len);
+  const NodeId sid = g.add_node(s);
+
+  AppliedTransform entry;
+  entry.kind = TransformKind::BoundaryChange;
+  entry.target = target;
+  entry.replacement = sid;
+  entry.created_seq = sid;
+  entry.created_a = lid;
+  entry.key = x.delimiter;  // kept for documentation/codegen
+  entry.len_width = ascii ? 4 : 2;
+  entry.len_ascii = ascii;
+
+  attach_replacement(g, target, sid);
+  g.node(sid).children = {lid, target};
+  g.node(lid).parent = sid;
+  g.node(target).parent = sid;
+  g.node(target).boundary = BoundaryKind::Length;
+  g.node(target).ref = lid;
+  g.node(target).delimiter.clear();
+  return entry;
+}
+
+AppliedTransform rewrite_pad_insert(RewriteContext& ctx, NodeId target) {
+  Graph& g = ctx.graph;
+  const Node x = g.node(target);
+
+  // The pad may not displace an End-bounded child (or a child whose subtree
+  // owns an escaping End region) from the end of the region.
+  std::size_t max_index = x.children.size();
+  for (std::size_t i = 0; i < x.children.size(); ++i) {
+    const NodeId child = x.children[i];
+    if (g.node(child).boundary == BoundaryKind::End ||
+        subtree_has_escaping_end(g, child)) {
+      max_index = i;
+      break;
+    }
+  }
+
+  AppliedTransform entry;
+  entry.kind = TransformKind::PadInsert;
+  entry.target = target;
+  entry.replacement = target;
+  entry.pad_size = ctx.rng.between(1, 8);
+  entry.pad_index = ctx.rng.below(max_index + 1);
+
+  Node pad;
+  pad.name = fresh_name(ctx, x.name, "pad");
+  pad.type = NodeType::Terminal;
+  pad.boundary = BoundaryKind::Fixed;
+  pad.fixed_size = entry.pad_size;
+  const NodeId pid = g.add_node(pad);
+  entry.created_a = pid;
+
+  auto& children = g.node(target).children;
+  children.insert(children.begin() + static_cast<std::ptrdiff_t>(entry.pad_index),
+                  pid);
+  g.node(pid).parent = target;
+  return entry;
+}
+
+AppliedTransform rewrite_read_from_end(RewriteContext& ctx, NodeId target) {
+  ctx.graph.node(target).mirrored = true;
+  AppliedTransform entry;
+  entry.kind = TransformKind::ReadFromEnd;
+  entry.target = target;
+  entry.replacement = target;
+  return entry;
+}
+
+/// Shared tail of TabSplit/RepSplit: builds T1{A} and T2{E2 or second child}
+/// and returns them through the entry's created slots.
+void split_element(RewriteContext& ctx, NodeId element, NodeId counter_ref,
+                   AppliedTransform& entry, NodeId& t1_out, NodeId& t2_out) {
+  Graph& g = ctx.graph;
+  const Node e = g.node(element);
+  const NodeId first = e.children[0];
+  const bool wrap_rest = e.children.size() > 2;
+
+  Node t1;
+  t1.name = fresh_name(ctx, e.name, "t1");
+  t1.type = NodeType::Tabular;
+  t1.boundary = BoundaryKind::Counter;
+  t1.ref = counter_ref;
+  Node t2 = t1;
+  t2.name = fresh_name(ctx, e.name, "t2");
+
+  const NodeId t1id = g.add_node(t1);
+  const NodeId t2id = g.add_node(t2);
+
+  NodeId second;
+  if (wrap_rest) {
+    Node rest;
+    rest.name = fresh_name(ctx, e.name, "rest");
+    rest.type = NodeType::Sequence;
+    rest.boundary = BoundaryKind::Delegated;
+    const NodeId rid = g.add_node(rest);
+    for (std::size_t i = 1; i < e.children.size(); ++i) {
+      g.node(rid).children.push_back(e.children[i]);
+      g.node(e.children[i]).parent = rid;
+    }
+    entry.created_c = rid;
+    second = rid;
+  } else {
+    second = e.children[1];
+  }
+
+  g.node(t1id).children = {first};
+  g.node(first).parent = t1id;
+  g.node(t2id).children = {second};
+  g.node(second).parent = t2id;
+
+  // Detach the original element shell.
+  g.node(element).children.clear();
+  g.node(element).parent = kNoNode;
+
+  entry.element = element;
+  t1_out = t1id;
+  t2_out = t2id;
+}
+
+AppliedTransform rewrite_tab_split(RewriteContext& ctx, NodeId target) {
+  Graph& g = ctx.graph;
+  const Node x = g.node(target);
+
+  Node s;
+  s.name = fresh_name(ctx, x.name, "ts");
+  s.type = NodeType::Sequence;
+  s.boundary = BoundaryKind::Delegated;
+  s.mirrored = x.mirrored;
+  const NodeId sid = g.add_node(s);
+
+  AppliedTransform entry;
+  entry.kind = TransformKind::TabSplit;
+  entry.target = target;
+  entry.replacement = sid;
+  entry.created_seq = sid;
+
+  NodeId t1 = kNoNode, t2 = kNoNode;
+  split_element(ctx, x.children[0], x.ref, entry, t1, t2);
+  entry.created_a = t1;
+  entry.created_b = t2;
+
+  attach_replacement(g, target, sid);
+  g.node(sid).children = {t1, t2};
+  g.node(t1).parent = sid;
+  g.node(t2).parent = sid;
+  transfer_referers(g, target, sid);
+  g.node(target).children.clear();
+  g.node(target).mirrored = false;
+  return entry;
+}
+
+AppliedTransform rewrite_rep_split(RewriteContext& ctx, NodeId target) {
+  Graph& g = ctx.graph;
+  const Node x = g.node(target);
+
+  Node cnt;
+  cnt.name = fresh_name(ctx, x.name, "cnt");
+  cnt.type = NodeType::Terminal;
+  cnt.boundary = BoundaryKind::Fixed;
+  cnt.fixed_size = 2;
+  const NodeId cid = g.add_node(cnt);
+
+  Node s;
+  s.name = fresh_name(ctx, x.name, "rs");
+  s.type = NodeType::Sequence;
+  // A stop-marker repetition loses its marker; the counted tabulars are
+  // self-delimiting. Region-bounded repetitions keep their extent.
+  s.boundary = x.boundary == BoundaryKind::Delimited ? BoundaryKind::Delegated
+                                                     : x.boundary;
+  if (s.boundary == BoundaryKind::Length) s.ref = x.ref;
+  s.mirrored = x.mirrored;
+  const NodeId sid = g.add_node(s);
+
+  AppliedTransform entry;
+  entry.kind = TransformKind::RepSplit;
+  entry.target = target;
+  entry.replacement = sid;
+  entry.created_seq = sid;
+  entry.created_a = cid;
+  entry.key = x.delimiter;
+
+  NodeId t1 = kNoNode, t2 = kNoNode;
+  split_element(ctx, x.children[0], cid, entry, t1, t2);
+  entry.created_b = t1;
+  // split_element wrote the rest-wrapper (if any) into created_c; move it.
+  entry.created_d = entry.created_c;
+  entry.created_c = t2;
+
+  attach_replacement(g, target, sid);
+  g.node(sid).children = {cid, t1, t2};
+  g.node(cid).parent = sid;
+  g.node(t1).parent = sid;
+  g.node(t2).parent = sid;
+  transfer_referers(g, target, sid);
+  g.node(target).children.clear();
+  g.node(target).mirrored = false;
+  return entry;
+}
+
+std::optional<AppliedTransform> rewrite_child_move(RewriteContext& ctx,
+                                                   NodeId target) {
+  Graph& g = ctx.graph;
+  // Collect the movable children (cheap filters), then draw a random pair.
+  std::vector<int> movable;
+  const auto& children = g.node(target).children;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const BoundaryKind b = g.node(children[i]).boundary;
+    if (b == BoundaryKind::Half || b == BoundaryKind::End) continue;
+    if (subtree_has_escaping_end(g, children[i])) continue;
+    movable.push_back(static_cast<int>(i));
+  }
+  if (movable.size() < 2) return std::nullopt;
+
+  const std::size_t pick_a = ctx.rng.below(movable.size());
+  std::size_t pick_b = ctx.rng.below(movable.size() - 1);
+  if (pick_b >= pick_a) ++pick_b;
+  int i = movable[pick_a];
+  int j = movable[pick_b];
+  if (i > j) std::swap(i, j);
+
+  auto& kids = g.node(target).children;
+  std::swap(kids[static_cast<std::size_t>(i)],
+            kids[static_cast<std::size_t>(j)]);
+  if (Status s = validate_parse_order(g); !s) {
+    std::swap(kids[static_cast<std::size_t>(i)],
+              kids[static_cast<std::size_t>(j)]);  // roll back
+    return std::nullopt;
+  }
+
+  AppliedTransform entry;
+  entry.kind = TransformKind::ChildMove;
+  entry.target = target;
+  entry.replacement = target;
+  entry.child_i = i;
+  entry.child_j = j;
+  return entry;
+}
+
+}  // namespace
+
+bool applicable(const Graph& graph, TransformKind kind, NodeId target) {
+  switch (kind) {
+    case TransformKind::SplitAdd:
+    case TransformKind::SplitSub:
+    case TransformKind::SplitXor:
+      return applicable_split_arith(graph, target);
+    case TransformKind::SplitCat:
+      return applicable_split_cat(graph, target);
+    case TransformKind::ConstAdd:
+    case TransformKind::ConstSub:
+    case TransformKind::ConstXor:
+      return applicable_const_op(graph, target);
+    case TransformKind::BoundaryChange:
+      return applicable_boundary_change(graph, target);
+    case TransformKind::PadInsert:
+      return applicable_pad_insert(graph, target);
+    case TransformKind::ReadFromEnd:
+      return applicable_read_from_end(graph, target);
+    case TransformKind::TabSplit:
+      return applicable_tab_split(graph, target);
+    case TransformKind::RepSplit:
+      return applicable_rep_split(graph, target);
+    case TransformKind::ChildMove:
+      return applicable_child_move(graph, target);
+  }
+  return false;
+}
+
+std::optional<AppliedTransform> try_apply(RewriteContext& ctx,
+                                          TransformKind kind, NodeId target) {
+  if (!applicable(ctx.graph, kind, target)) return std::nullopt;
+  switch (kind) {
+    case TransformKind::SplitAdd:
+    case TransformKind::SplitSub:
+    case TransformKind::SplitXor:
+    case TransformKind::SplitCat:
+      return rewrite_split(ctx, kind, target);
+    case TransformKind::ConstAdd:
+    case TransformKind::ConstSub:
+    case TransformKind::ConstXor:
+      return rewrite_const(ctx, kind, target);
+    case TransformKind::BoundaryChange:
+      return rewrite_boundary_change(ctx, target);
+    case TransformKind::PadInsert:
+      return rewrite_pad_insert(ctx, target);
+    case TransformKind::ReadFromEnd:
+      return rewrite_read_from_end(ctx, target);
+    case TransformKind::TabSplit:
+      return rewrite_tab_split(ctx, target);
+    case TransformKind::RepSplit:
+      return rewrite_rep_split(ctx, target);
+    case TransformKind::ChildMove:
+      return rewrite_child_move(ctx, target);
+  }
+  return std::nullopt;
+}
+
+}  // namespace protoobf

@@ -1,0 +1,36 @@
+// Graph rewriting: pattern a => pattern b for each generic transformation.
+//
+// A generic transformation T turns a graph pattern a into a graph pattern b
+// under applicability constraints (paper §V-B). try_apply() checks the
+// constraints for (kind, target), performs the rewrite in place, and returns
+// the journal entry; std::nullopt means the transformation is not applicable
+// there (the graph is left untouched, ChildMove rolls itself back when the
+// swapped graph fails parse-order validation).
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "transform/journal.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf {
+
+/// Mutable context threaded through rewrites: the graph under obfuscation,
+/// the randomness source for transformation parameters, and a serial counter
+/// guaranteeing unique names for created nodes.
+struct RewriteContext {
+  Graph& graph;
+  Rng& rng;
+  unsigned serial = 0;
+};
+
+/// Pure applicability check (no side effect). ChildMove may still fail in
+/// try_apply() if the randomly chosen pair breaks parse order.
+bool applicable(const Graph& graph, TransformKind kind, NodeId target);
+
+/// Applies `kind` to `target` if permitted; returns the journal entry.
+std::optional<AppliedTransform> try_apply(RewriteContext& ctx,
+                                          TransformKind kind, NodeId target);
+
+}  // namespace protoobf

@@ -1,0 +1,126 @@
+#include "transform/constraints.hpp"
+
+#include <algorithm>
+
+namespace protoobf {
+
+bool has_scan_ancestor(const Graph& g, NodeId id) {
+  for (NodeId a : g.ancestors(id)) {
+    const Node& n = g.node(a);
+    if (n.boundary == BoundaryKind::Delimited) return true;
+  }
+  return false;
+}
+
+bool has_fixed_ancestor(const Graph& g, NodeId id) {
+  for (NodeId a : g.ancestors(id)) {
+    if (g.node(a).boundary == BoundaryKind::Fixed) return true;
+  }
+  return false;
+}
+
+bool inside_split_region(const Graph& g, NodeId id) {
+  for (NodeId a : g.ancestors(id)) {
+    const Node& n = g.node(a);
+    if (n.type == NodeType::Sequence && !n.children.empty() &&
+        g.node(n.children[0]).boundary == BoundaryKind::Half) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// True when `owner` is a region owner: a node with an explicit extent.
+bool owns_region(const Node& n) {
+  return n.boundary == BoundaryKind::Fixed ||
+         n.boundary == BoundaryKind::Length ||
+         n.boundary == BoundaryKind::Delimited ||
+         n.boundary == BoundaryKind::Half;
+}
+
+void collect_subtree(const Graph& g, NodeId id, std::vector<NodeId>& out) {
+  out.push_back(id);
+  for (NodeId child : g.node(id).children) collect_subtree(g, child, out);
+}
+
+}  // namespace
+
+std::vector<NodeId> subtree_ids(const Graph& g, NodeId id) {
+  std::vector<NodeId> out;
+  collect_subtree(g, id, out);
+  return out;
+}
+
+bool subtree_has_escaping_end(const Graph& g, NodeId id) {
+  for (NodeId n : subtree_ids(g, id)) {
+    if (g.node(n).boundary != BoundaryKind::End) continue;
+    if (n == id) return true;  // id itself is End-bounded: owner is above
+    // Walk up from the End node towards `id`; the End region is contained
+    // if some node on the way (including `id`) owns an explicit region.
+    bool contained = false;
+    for (NodeId a = g.node(n).parent; a != kNoNode; a = g.node(a).parent) {
+      if (owns_region(g.node(a))) {
+        contained = true;
+        break;
+      }
+      if (a == id) break;  // reached the subtree root without an owner
+    }
+    if (!contained) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool contains(const std::vector<NodeId>& set, NodeId id) {
+  return std::find(set.begin(), set.end(), id) != set.end();
+}
+
+/// All (referer, target) pairs in the reachable graph.
+std::vector<std::pair<NodeId, NodeId>> all_refs(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> refs;
+  for (NodeId id : g.dfs_order()) {
+    const Node& n = g.node(id);
+    if (n.ref != kNoNode) refs.emplace_back(id, n.ref);
+    if (n.type == NodeType::Optional && n.condition.ref != kNoNode) {
+      refs.emplace_back(id, n.condition.ref);
+    }
+  }
+  return refs;
+}
+
+}  // namespace
+
+bool refs_cross(const Graph& g, NodeId a, NodeId b) {
+  const auto in_a = subtree_ids(g, a);
+  const auto in_b = subtree_ids(g, b);
+  for (const auto& [from, to] : all_refs(g)) {
+    const bool from_a = contains(in_a, from);
+    const bool from_b = contains(in_b, from);
+    const bool to_a = contains(in_a, to);
+    const bool to_b = contains(in_b, to);
+    if ((from_a && to_b) || (from_b && to_a)) return true;
+    // Reference into either subtree from entirely outside both.
+    if ((to_a && !from_a && !from_b) || (to_b && !from_a && !from_b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool externally_referenced(const Graph& g, NodeId id) {
+  const auto inside = subtree_ids(g, id);
+  for (const auto& [from, to] : all_refs(g)) {
+    if (contains(inside, to) && !contains(inside, from)) return true;
+  }
+  return false;
+}
+
+bool delimiter_has_digit(BytesView delimiter) {
+  return std::any_of(delimiter.begin(), delimiter.end(),
+                     [](Byte b) { return b >= '0' && b <= '9'; });
+}
+
+}  // namespace protoobf

@@ -1,0 +1,55 @@
+// Applicability constraints for the generic transformations (paper Table II).
+//
+// The paper attaches constraints to each generic transformation ("Boundary
+// of parent nodes must be either Delegated or End", "parent nodes can be
+// anything but Delimited", ...). This header centralizes the structural
+// predicates those constraints compile down to in our model, plus the two
+// refinements DESIGN.md §5 documents:
+//
+//  * size-changing transformations are rejected under Fixed-size ancestors
+//    and inside already-split regions (a Half boundary requires its two
+//    halves to stay equal);
+//  * byte-randomizing transformations are rejected under any ancestor whose
+//    extent is found by scanning for a delimiter (Delimited nodes and
+//    stop-marker Repetitions), because random bytes could contain the
+//    delimiter and derail the scan.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace protoobf {
+
+/// Any ancestor (strictly above `id`) whose extent is delimiter-scanned:
+/// a Delimited node or a Delimited (stop-marker) Repetition.
+bool has_scan_ancestor(const Graph& g, NodeId id);
+
+/// Any ancestor with a Fixed boundary (its total size is frozen by spec).
+bool has_fixed_ancestor(const Graph& g, NodeId id);
+
+/// Any ancestor that is a split sequence (first child has a Half boundary).
+bool inside_split_region(const Graph& g, NodeId id);
+
+/// True when the subtree rooted at `id` contains an End-bounded node whose
+/// region owner lies strictly above `id` — such a subtree must stay the
+/// last thing emitted in its region.
+bool subtree_has_escaping_end(const Graph& g, NodeId id);
+
+/// True when some reference (Length/Counter boundary or Optional condition)
+/// crosses between the subtree rooted at `a` and the subtree rooted at `b`
+/// (either direction), or reaches `a`/`b` themselves from outside.
+bool refs_cross(const Graph& g, NodeId a, NodeId b);
+
+/// True when any node outside the subtree of `id` references `id` or one of
+/// its descendants.
+bool externally_referenced(const Graph& g, NodeId id);
+
+/// True when the delimiter contains any ASCII digit byte. An ASCII-decimal
+/// length field may only be inserted under scanned regions whose delimiters
+/// are digit-free, otherwise the inserted digits could form a spurious
+/// delimiter match.
+bool delimiter_has_digit(BytesView delimiter);
+
+/// Collects the node ids of the subtree rooted at `id` (including `id`).
+std::vector<NodeId> subtree_ids(const Graph& g, NodeId id);
+
+}  // namespace protoobf

@@ -1,0 +1,57 @@
+#include "transform/engine.hpp"
+
+#include <span>
+
+#include "graph/validate.hpp"
+#include "transform/apply.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf {
+
+Expected<ObfuscationResult> obfuscate(const Graph& g1,
+                                      const ObfuscationConfig& config) {
+  if (Status s = validate(g1); !s) {
+    return Unexpected("input graph invalid: " + s.error().message);
+  }
+
+  ObfuscationResult result{g1.clone(), {}, {}};
+  Graph& g = result.graph;
+  Rng rng(config.seed);
+  RewriteContext ctx{g, rng, 0};
+
+  std::vector<TransformKind> kinds = config.enabled;
+  if (kinds.empty()) {
+    kinds.assign(std::begin(kAllTransformKinds), std::end(kAllTransformKinds));
+  }
+
+  for (int round = 0; round < config.per_node; ++round) {
+    const std::vector<NodeId> snapshot = g.dfs_order();
+    for (NodeId id : snapshot) {
+      // A node may have been detached by a transformation applied earlier in
+      // this round (e.g. the element shell removed by TabSplit).
+      const auto positions = g.dfs_positions();
+      if (id >= positions.size() ||
+          positions[id] == static_cast<std::size_t>(-1)) {
+        continue;
+      }
+      std::vector<TransformKind> order = kinds;
+      rng.shuffle(std::span<TransformKind>(order));
+      for (TransformKind kind : order) {
+        if (auto entry = try_apply(ctx, kind, id)) {
+          result.journal.push_back(*entry);
+          ++result.stats.applied;
+          ++result.stats.per_kind[static_cast<std::size_t>(kind)];
+          break;
+        }
+      }
+    }
+  }
+
+  if (Status s = validate(g); !s) {
+    return Unexpected("internal error: obfuscated graph failed validation: " +
+                      s.error().message);
+  }
+  return result;
+}
+
+}  // namespace protoobf

@@ -1,0 +1,49 @@
+// The obfuscation engine (paper §VI).
+//
+// "Each node of the graph is analyzed to identify compatible generic
+// transformations. A transformation is randomly chosen among them and
+// applied to the node. This routine is applied as many times as indicated
+// by a parameter specified in the framework."
+//
+// `per_node` is that parameter — the paper's "number of obfuscations per
+// node" (0 to 4 in the evaluation). Each round walks a snapshot of the
+// current graph, so nodes created by earlier rounds are themselves
+// obfuscated in later rounds; this is why the number of effectively applied
+// transformations grows super-linearly with the parameter, exactly as in
+// Tables III and IV.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "transform/journal.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+struct ObfuscationConfig {
+  std::uint64_t seed = 0x70b5;
+  int per_node = 1;  // obfuscation rounds per node (0 = identity)
+  std::vector<TransformKind> enabled;  // empty = every generic transformation
+};
+
+struct ObfuscationStats {
+  std::size_t applied = 0;
+  std::array<std::size_t, kTransformKindCount> per_kind{};
+};
+
+struct ObfuscationResult {
+  Graph graph;  // G(n+1)
+  Journal journal;
+  ObfuscationStats stats;
+};
+
+/// Applies `per_node` rounds of random applicable transformations to a
+/// validated graph. The result re-validates by construction; a failure here
+/// indicates a framework bug and is returned as an error.
+Expected<ObfuscationResult> obfuscate(const Graph& g1,
+                                      const ObfuscationConfig& config);
+
+}  // namespace protoobf

@@ -1,0 +1,342 @@
+#include "transform/exec.hpp"
+
+#include <algorithm>
+
+namespace protoobf {
+
+namespace {
+
+Unexpected exec_fail(const AppliedTransform& entry, const std::string& what) {
+  return Unexpected(std::string(to_string(entry.kind)) + ": " + what);
+}
+
+// --- forward operations -----------------------------------------------------
+
+Status forward_split(InstPtr& p, const AppliedTransform& e, Rng& rng) {
+  const Bytes v = std::move(p->value);
+  Bytes a, b;
+  switch (e.kind) {
+    case TransformKind::SplitAdd:
+      a = rng.bytes(v.size());
+      b = add_mod256(v, a);
+      break;
+    case TransformKind::SplitSub:
+      a = rng.bytes(v.size());
+      b = sub_mod256(v, a);
+      break;
+    case TransformKind::SplitXor:
+      a = rng.bytes(v.size());
+      b = xor_bytes(v, a);
+      break;
+    case TransformKind::SplitCat: {
+      if (v.size() < e.split_point) {
+        return exec_fail(e, "value shorter than split point");
+      }
+      a.assign(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(e.split_point));
+      b.assign(v.begin() + static_cast<std::ptrdiff_t>(e.split_point), v.end());
+      break;
+    }
+    default:
+      return exec_fail(e, "not a split");
+  }
+  std::vector<InstPtr> children;
+  children.push_back(ast::terminal(e.created_a, std::move(a)));
+  children.push_back(ast::terminal(e.created_b, std::move(b)));
+  p = ast::composite(e.created_seq, std::move(children));
+  return Status::success();
+}
+
+Status inverse_split(InstPtr& p, const AppliedTransform& e) {
+  if (p->children.size() != 2) {
+    return exec_fail(e, "split sequence without two halves");
+  }
+  const Bytes& a = p->children[0]->value;
+  const Bytes& b = p->children[1]->value;
+  if (e.kind != TransformKind::SplitCat && a.size() != b.size()) {
+    return exec_fail(e, "split halves of unequal size");
+  }
+  Bytes v;
+  switch (e.kind) {
+    case TransformKind::SplitAdd: v = sub_mod256(b, a); break;
+    case TransformKind::SplitSub: v = add_mod256(b, a); break;
+    case TransformKind::SplitXor: v = xor_bytes(b, a); break;
+    case TransformKind::SplitCat: v = concat(a, b); break;
+    default: return exec_fail(e, "not a split");
+  }
+  p = ast::terminal(e.target, std::move(v));
+  return Status::success();
+}
+
+void forward_const(Inst& p, const AppliedTransform& e) {
+  switch (e.kind) {
+    case TransformKind::ConstAdd: p.value = add_key(p.value, e.key); break;
+    case TransformKind::ConstSub: p.value = sub_key(p.value, e.key); break;
+    case TransformKind::ConstXor: p.value = xor_key(p.value, e.key); break;
+    default: break;
+  }
+}
+
+void inverse_const(Inst& p, const AppliedTransform& e) {
+  switch (e.kind) {
+    case TransformKind::ConstAdd: p.value = sub_key(p.value, e.key); break;
+    case TransformKind::ConstSub: p.value = add_key(p.value, e.key); break;
+    case TransformKind::ConstXor: p.value = xor_key(p.value, e.key); break;
+    default: break;
+  }
+}
+
+Status forward_boundary_change(InstPtr& p, const AppliedTransform& e) {
+  // Width-correct placeholder; the real value is set by the holder fixpoint
+  // (runtime/derive) once the final wire size of the data child is known.
+  Bytes placeholder = e.len_ascii ? ascii_dec_encode(0, e.len_width)
+                                  : Bytes(e.len_width, 0);
+  std::vector<InstPtr> children;
+  children.push_back(ast::terminal(e.created_a, std::move(placeholder)));
+  children.push_back(std::move(p));
+  p = ast::composite(e.created_seq, std::move(children));
+  return Status::success();
+}
+
+Status inverse_boundary_change(InstPtr& p, const AppliedTransform& e) {
+  if (p->children.size() != 2 || p->children[1]->schema != e.target) {
+    return exec_fail(e, "unexpected boundary-change shape");
+  }
+  p = std::move(p->children[1]);
+  return Status::success();
+}
+
+Status forward_pad(Inst& p, const AppliedTransform& e, Rng& rng) {
+  if (e.pad_index > p.children.size()) {
+    return exec_fail(e, "pad index out of range");
+  }
+  p.children.insert(
+      p.children.begin() + static_cast<std::ptrdiff_t>(e.pad_index),
+      ast::terminal(e.created_a, rng.bytes(e.pad_size)));
+  return Status::success();
+}
+
+Status inverse_pad(Inst& p, const AppliedTransform& e) {
+  if (e.pad_index >= p.children.size() ||
+      p.children[e.pad_index]->schema != e.created_a) {
+    return exec_fail(e, "pad not found at recorded index");
+  }
+  p.children.erase(p.children.begin() +
+                   static_cast<std::ptrdiff_t>(e.pad_index));
+  return Status::success();
+}
+
+Status forward_group_split(InstPtr& p, const AppliedTransform& e,
+                           NodeId cnt_node, NodeId t1_node, NodeId t2_node,
+                           NodeId rest_node) {
+  std::vector<InstPtr> elements = std::move(p->children);
+  std::vector<InstPtr> firsts;
+  std::vector<InstPtr> seconds;
+  firsts.reserve(elements.size());
+  seconds.reserve(elements.size());
+  for (InstPtr& element : elements) {
+    if (element->children.size() < 2) {
+      return exec_fail(e, "element with fewer than two children");
+    }
+    firsts.push_back(std::move(element->children[0]));
+    if (rest_node == kNoNode) {
+      seconds.push_back(std::move(element->children[1]));
+    } else {
+      std::vector<InstPtr> rest;
+      for (std::size_t i = 1; i < element->children.size(); ++i) {
+        rest.push_back(std::move(element->children[i]));
+      }
+      seconds.push_back(ast::composite(rest_node, std::move(rest)));
+    }
+  }
+  const std::size_t m = firsts.size();
+  std::vector<InstPtr> children;
+  if (cnt_node != kNoNode) {
+    children.push_back(
+        ast::terminal(cnt_node, be_encode(static_cast<std::uint64_t>(m), 2)));
+  }
+  children.push_back(ast::composite(t1_node, std::move(firsts)));
+  children.push_back(ast::composite(t2_node, std::move(seconds)));
+  p = ast::composite(e.created_seq, std::move(children));
+  return Status::success();
+}
+
+Status inverse_group_split(InstPtr& p, const AppliedTransform& e,
+                           bool has_cnt, NodeId rest_node) {
+  const std::size_t expected = has_cnt ? 3 : 2;
+  if (p->children.size() != expected) {
+    return exec_fail(e, "unexpected group-split shape");
+  }
+  Inst& t1 = *p->children[expected - 2];
+  Inst& t2 = *p->children[expected - 1];
+  if (t1.children.size() != t2.children.size()) {
+    return exec_fail(e, "tabular halves with different element counts");
+  }
+  std::vector<InstPtr> elements;
+  elements.reserve(t1.children.size());
+  for (std::size_t k = 0; k < t1.children.size(); ++k) {
+    std::vector<InstPtr> element_children;
+    element_children.push_back(std::move(t1.children[k]));
+    if (rest_node == kNoNode) {
+      element_children.push_back(std::move(t2.children[k]));
+    } else {
+      Inst& rest = *t2.children[k];
+      for (auto& sub : rest.children) {
+        element_children.push_back(std::move(sub));
+      }
+    }
+    elements.push_back(
+        ast::composite(e.element, std::move(element_children)));
+  }
+  p = ast::composite(e.target, std::move(elements));
+  return Status::success();
+}
+
+Status forward_child_move(Inst& p, const AppliedTransform& e) {
+  const auto i = static_cast<std::size_t>(e.child_i);
+  const auto j = static_cast<std::size_t>(e.child_j);
+  if (j >= p.children.size()) {
+    return exec_fail(e, "swap index out of range");
+  }
+  std::swap(p.children[i], p.children[j]);
+  return Status::success();
+}
+
+// --- generic traversal ------------------------------------------------------
+
+/// Applies `op` at each instance whose schema equals `match`, bottom-first
+/// is not needed: an instance of `match` can never nest inside another one.
+template <typename Op>
+Status for_each_match(InstPtr& p, NodeId match, Op&& op) {
+  if (p->schema == match) return op(p);
+  if (!p->present) return Status::success();
+  for (InstPtr& child : p->children) {
+    if (Status s = for_each_match(child, match, op); !s) return s;
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Status forward_entry(InstPtr& root, const AppliedTransform& entry, Rng& rng) {
+  switch (entry.kind) {
+    case TransformKind::SplitAdd:
+    case TransformKind::SplitSub:
+    case TransformKind::SplitXor:
+    case TransformKind::SplitCat:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        return forward_split(p, entry, rng);
+      });
+    case TransformKind::ConstAdd:
+    case TransformKind::ConstSub:
+    case TransformKind::ConstXor:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        forward_const(*p, entry);
+        return Status::success();
+      });
+    case TransformKind::BoundaryChange:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        return forward_boundary_change(p, entry);
+      });
+    case TransformKind::PadInsert:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        return forward_pad(*p, entry, rng);
+      });
+    case TransformKind::ReadFromEnd:
+      return Status::success();  // handled at emission/parse time
+    case TransformKind::TabSplit:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        return forward_group_split(p, entry, kNoNode, entry.created_a,
+                                   entry.created_b, entry.created_c);
+      });
+    case TransformKind::RepSplit:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        return forward_group_split(p, entry, entry.created_a, entry.created_b,
+                                   entry.created_c, entry.created_d);
+      });
+    case TransformKind::ChildMove:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        return forward_child_move(*p, entry);
+      });
+  }
+  return Status::success();
+}
+
+Status inverse_entry(InstPtr& root, const AppliedTransform& entry) {
+  switch (entry.kind) {
+    case TransformKind::SplitAdd:
+    case TransformKind::SplitSub:
+    case TransformKind::SplitXor:
+    case TransformKind::SplitCat:
+      return for_each_match(root, entry.created_seq, [&](InstPtr& p) {
+        return inverse_split(p, entry);
+      });
+    case TransformKind::ConstAdd:
+    case TransformKind::ConstSub:
+    case TransformKind::ConstXor:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        inverse_const(*p, entry);
+        return Status::success();
+      });
+    case TransformKind::BoundaryChange:
+      return for_each_match(root, entry.created_seq, [&](InstPtr& p) {
+        return inverse_boundary_change(p, entry);
+      });
+    case TransformKind::PadInsert:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        return inverse_pad(*p, entry);
+      });
+    case TransformKind::ReadFromEnd:
+      return Status::success();
+    case TransformKind::TabSplit:
+      return for_each_match(root, entry.created_seq, [&](InstPtr& p) {
+        return inverse_group_split(p, entry, /*has_cnt=*/false,
+                                   entry.created_c);
+      });
+    case TransformKind::RepSplit:
+      return for_each_match(root, entry.created_seq, [&](InstPtr& p) {
+        return inverse_group_split(p, entry, /*has_cnt=*/true,
+                                   entry.created_d);
+      });
+    case TransformKind::ChildMove:
+      return for_each_match(root, entry.target, [&](InstPtr& p) {
+        return forward_child_move(*p, entry);  // swap is its own inverse
+      });
+  }
+  return Status::success();
+}
+
+Status forward_all(InstPtr& root, const Journal& journal, Rng& rng) {
+  for (const AppliedTransform& entry : journal) {
+    if (Status s = forward_entry(root, entry, rng); !s) return s;
+  }
+  return Status::success();
+}
+
+Status inverse_all(InstPtr& root, const Journal& journal) {
+  for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+    if (Status s = inverse_entry(root, *it); !s) return s;
+  }
+  return Status::success();
+}
+
+Expected<InstPtr> invert_clone(const Inst& wire_subtree,
+                               const Journal& journal) {
+  InstPtr copy = ast::clone(wire_subtree);
+  if (Status s = inverse_all(copy, journal); !s) return Unexpected(s.error());
+  return copy;
+}
+
+Expected<InstPtr> rerun_chain(NodeId origin, Bytes logical_value,
+                              const Journal& journal,
+                              const std::vector<std::size_t>& chain,
+                              Rng& rng) {
+  InstPtr p = ast::terminal(origin, std::move(logical_value));
+  for (std::size_t idx : chain) {
+    if (Status s = forward_entry(p, journal[idx], rng); !s) {
+      return Unexpected(s.error());
+    }
+  }
+  return p;
+}
+
+}  // namespace protoobf

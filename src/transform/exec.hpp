@@ -1,0 +1,45 @@
+// On-the-fly execution of transformations on message ASTs (paper §V-C).
+//
+// The serializer runs the journal *forward* — the AST of G1 becomes, entry
+// by entry, the AST of G(n+1) that is then emitted. The parser runs it
+// *backward* on the tree recovered from the wire. Per-entry randomness
+// (SplitAdd's X1, pad bytes) is drawn from the serializer's message RNG and
+// never needs to be recorded: the inverse operations eliminate it.
+//
+// Every operation satisfies inverse(forward(t)) == t by construction
+// (tested exhaustively in tests/transform_exec_test.cpp).
+#pragma once
+
+#include "ast/ast.hpp"
+#include "transform/journal.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf {
+
+/// Applies one τi to every matching instance in the tree.
+Status forward_entry(InstPtr& root, const AppliedTransform& entry, Rng& rng);
+
+/// Applies τi⁻¹ to every matching instance in the tree.
+Status inverse_entry(InstPtr& root, const AppliedTransform& entry);
+
+/// Runs the whole journal forward (τ1 ... τn).
+Status forward_all(InstPtr& root, const Journal& journal, Rng& rng);
+
+/// Runs the whole journal backward (τn⁻¹ ... τ1⁻¹).
+Status inverse_all(InstPtr& root, const Journal& journal);
+
+/// Deep-copies a wire subtree and inverts every journal entry inside it.
+/// Used to recover the logical value of a reference target while parsing.
+Expected<InstPtr> invert_clone(const Inst& wire_subtree,
+                               const Journal& journal);
+
+/// Rebuilds the wire subtree of a derived field: starts from the original
+/// terminal with its freshly computed logical value and replays the lineage
+/// entries (`chain`, indices into the journal). Deterministic for a given
+/// rng seed.
+Expected<InstPtr> rerun_chain(NodeId origin, Bytes logical_value,
+                              const Journal& journal,
+                              const std::vector<std::size_t>& chain, Rng& rng);
+
+}  // namespace protoobf

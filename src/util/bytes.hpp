@@ -1,0 +1,77 @@
+// Byte-buffer primitives shared by every module.
+//
+// A protocol message on the wire is a flat sequence of bytes; everything the
+// framework manipulates (terminal values, delimiters, constants, serialized
+// buffers) is expressed with the `Bytes` / `BytesView` pair defined here.
+// The byte-wise modular arithmetic helpers implement the value combination
+// semantics of the Split*/Const* transformations (DESIGN.md §5): operating
+// byte-wise mod 256 keeps every operation length-preserving and invertible
+// regardless of the terminal's width or encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protoobf {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using BytesView = std::span<const Byte>;
+
+/// Builds a byte buffer from raw text (no escape processing).
+Bytes to_bytes(std::string_view text);
+
+/// Interprets a buffer as text (bytes copied verbatim).
+std::string to_text(BytesView data);
+
+/// Lower-case hex rendering, e.g. {0xde, 0xad} -> "dead".
+std::string to_hex(BytesView data);
+
+/// Parses a hex string ("dead" or "DEAD"); std::nullopt on bad input.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Classic 16-bytes-per-row hex dump with an ASCII gutter, for examples/docs.
+std::string hexdump(BytesView data);
+
+void append(Bytes& dst, BytesView src);
+Bytes concat(BytesView a, BytesView b);
+Bytes reversed(BytesView data);
+
+bool starts_with(BytesView data, BytesView prefix);
+
+/// First position of `needle` in `data` at or after `from`.
+std::optional<std::size_t> find(BytesView data, BytesView needle,
+                                std::size_t from = 0);
+
+/// Byte-wise (a[i] + b[i]) mod 256. Requires equal sizes.
+Bytes add_mod256(BytesView a, BytesView b);
+/// Byte-wise (a[i] - b[i]) mod 256. Requires equal sizes.
+Bytes sub_mod256(BytesView a, BytesView b);
+/// Byte-wise a[i] ^ b[i]. Requires equal sizes.
+Bytes xor_bytes(BytesView a, BytesView b);
+
+/// Byte-wise (a[i] + key[i % key.size()]) mod 256; key must be non-empty.
+Bytes add_key(BytesView a, BytesView key);
+Bytes sub_key(BytesView a, BytesView key);
+Bytes xor_key(BytesView a, BytesView key);
+
+/// Big-endian encoding of `value` into exactly `width` bytes (width <= 8).
+/// Values wider than the field wrap (mod 2^(8*width)).
+Bytes be_encode(std::uint64_t value, std::size_t width);
+
+/// Big-endian decode of up to 8 bytes.
+std::uint64_t be_decode(BytesView data);
+
+/// ASCII decimal encoding, optionally zero-padded to `min_width` digits.
+Bytes ascii_dec_encode(std::uint64_t value, std::size_t min_width = 0);
+
+/// Parses ASCII decimal digits; nullopt if empty, non-digit, or > uint64 max.
+std::optional<std::uint64_t> ascii_dec_decode(BytesView data);
+
+bool operator_equal(BytesView a, BytesView b);
+
+}  // namespace protoobf

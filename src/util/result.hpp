@@ -1,0 +1,74 @@
+// Minimal expected/status vocabulary used across the framework.
+//
+// The C++20 toolchain in use has no std::expected, so we carry a small,
+// allocation-free equivalent. Errors are descriptive strings plus an
+// optional byte offset (parsers attach the wire position where the failure
+// was detected, which the tests assert on).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace protoobf {
+
+/// Error descriptor. `offset` is meaningful for wire/spec parse errors.
+struct Error {
+  std::string message;
+  std::size_t offset = kNoOffset;
+
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+};
+
+/// Tag wrapper so Expected<T> construction from an error is unambiguous.
+struct Unexpected {
+  Error error;
+  explicit Unexpected(Error e) : error(std::move(e)) {}
+  explicit Unexpected(std::string message, std::size_t offset = Error::kNoOffset)
+      : error{std::move(message), offset} {}
+};
+
+/// Value-or-error container; a pared down std::expected<T, Error>.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected u) : state_(std::in_place_index<1>, std::move(u.error)) {}
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & { return std::get<0>(state_); }
+  const T& value() const& { return std::get<0>(state_); }
+  T&& value() && { return std::get<0>(std::move(state_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const { return std::get<1>(state_); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Success-or-error for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Unexpected u) : error_(std::move(u.error)), failed_(true) {}
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return error_; }
+
+  static Status success() { return Status(); }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace protoobf

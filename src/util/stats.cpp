@@ -1,0 +1,58 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace protoobf {
+
+Summary Summary::of(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples[0];
+  s.max = samples[0];
+  double total = 0.0;
+  for (double v : samples) {
+    total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.avg = total / static_cast<double>(samples.size());
+  return s;
+}
+
+std::string Summary::format(int precision) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f[%.*f; %.*f]", precision, avg, precision,
+                min, precision, max);
+  return buf;
+}
+
+LinearFit LinearFit::of(std::span<const double> x, std::span<const double> y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.correlation = (syy > 0.0) ? sxy / std::sqrt(sxx * syy) : 0.0;
+  return fit;
+}
+
+}  // namespace protoobf

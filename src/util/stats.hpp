@@ -1,0 +1,49 @@
+// Statistics helpers backing the evaluation harness.
+//
+// The paper reports every metric as "average [min, max]" (Tables III/IV) and
+// fits linear regressions with correlation coefficients for the timing
+// figures (Figs. 4/5). These are the exact reductions implemented here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace protoobf {
+
+/// avg/min/max over a sample, the reduction used by Tables III and IV.
+struct Summary {
+  double avg = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+
+  static Summary of(std::span<const double> samples);
+
+  /// Paper-style rendering: "avg[min; max]" with `precision` decimals.
+  std::string format(int precision = 2) const;
+};
+
+/// Least-squares line fit with Pearson correlation (Figs. 4 and 5).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double correlation = 0.0;  // Pearson r
+
+  static LinearFit of(std::span<const double> x, std::span<const double> y);
+};
+
+/// Convenience accumulator used by experiment loops.
+class Series {
+ public:
+  void add(double v) { values_.push_back(v); }
+  Summary summary() const { return Summary::of(values_); }
+  std::span<const double> values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace protoobf

@@ -1,0 +1,128 @@
+// AST construction, comparison and path navigation tests.
+#include <gtest/gtest.h>
+
+#include "ast/ast.hpp"
+#include "spec/parser.hpp"
+
+namespace protoobf {
+namespace {
+
+Graph demo_graph() {
+  auto g = parse_spec(R"(
+protocol Demo
+m: seq end {
+  kind: terminal fixed(1)
+  opt: optional (kind == 0x01) { ov: terminal fixed(2) }
+  items: repeat end { item: seq { x: terminal fixed(1) y: terminal fixed(1) } }
+}
+)");
+  EXPECT_TRUE(g.ok()) << g.error().message;
+  return std::move(g.value());
+}
+
+InstPtr demo_message(const Graph& g, bool with_opt, int items) {
+  const auto id = [&](const char* name) {
+    return g.find_by_name(name).value();
+  };
+  std::vector<InstPtr> children;
+  children.push_back(ast::terminal(id("kind"), {with_opt ? Byte{1} : Byte{2}}));
+  if (with_opt) {
+    std::vector<InstPtr> opt_children;
+    opt_children.push_back(ast::terminal(id("ov"), {9, 9}));
+    children.push_back(ast::composite(id("opt"), std::move(opt_children)));
+  } else {
+    children.push_back(ast::absent(id("opt")));
+  }
+  std::vector<InstPtr> elements;
+  for (int i = 0; i < items; ++i) {
+    std::vector<InstPtr> pair;
+    pair.push_back(ast::terminal(id("x"), {static_cast<Byte>(i)}));
+    pair.push_back(ast::terminal(id("y"), {static_cast<Byte>(10 + i)}));
+    elements.push_back(ast::composite(id("item"), std::move(pair)));
+  }
+  children.push_back(ast::composite(id("items"), std::move(elements)));
+  return ast::composite(g.root(), std::move(children));
+}
+
+TEST(Ast, CloneIsDeepEqual) {
+  const Graph g = demo_graph();
+  InstPtr a = demo_message(g, true, 2);
+  InstPtr b = ast::clone(*a);
+  EXPECT_TRUE(ast::equal(*a, *b));
+  b->children[0]->value[0] = 7;
+  EXPECT_FALSE(ast::equal(*a, *b));
+}
+
+TEST(Ast, AbsentOptionalsCompareEqualRegardlessOfChildren) {
+  const Graph g = demo_graph();
+  InstPtr a = demo_message(g, false, 0);
+  InstPtr b = demo_message(g, false, 0);
+  // Stale children under an absent optional are ignored.
+  b->children[1]->children.push_back(
+      ast::terminal(g.find_by_name("ov").value(), {1, 2}));
+  EXPECT_TRUE(ast::equal(*a, *b));
+}
+
+TEST(Ast, CountsInstances) {
+  const Graph g = demo_graph();
+  EXPECT_EQ(ast::count(*demo_message(g, true, 2)),
+            1u + 1 + 2 + 1 + 2 * 3);  // root, kind, opt+ov, items, 2*(item,x,y)
+}
+
+TEST(Ast, FindSchemaLocatesAllInstances) {
+  const Graph g = demo_graph();
+  InstPtr msg = demo_message(g, true, 3);
+  const NodeId x = g.find_by_name("x").value();
+  EXPECT_EQ(ast::find_all_schema(*msg, x).size(), 3u);
+  EXPECT_NE(ast::find_schema(*msg, x), nullptr);
+  EXPECT_EQ(ast::find_schema(*msg, 9999), nullptr);
+}
+
+TEST(Ast, FindPathNavigatesElementsAndOptionals) {
+  const Graph g = demo_graph();
+  InstPtr msg = demo_message(g, true, 2);
+  EXPECT_EQ(ast::find_path(g, *msg, "m.kind")->value, Bytes{1});
+  EXPECT_EQ(ast::find_path(g, *msg, "m.opt.ov")->value, (Bytes{9, 9}));
+  EXPECT_EQ(ast::find_path(g, *msg, "m.items[1].item.y")->value, Bytes{11});
+  EXPECT_EQ(ast::find_path(g, *msg, "m.items[5].item.y"), nullptr);
+  EXPECT_EQ(ast::find_path(g, *msg, "m.bogus"), nullptr);
+}
+
+TEST(Ast, CheckAcceptsWellFormed) {
+  const Graph g = demo_graph();
+  InstPtr msg = demo_message(g, true, 2);
+  EXPECT_TRUE(ast::check(g, *msg).ok());
+}
+
+TEST(Ast, CheckRejectsChildCountMismatch) {
+  const Graph g = demo_graph();
+  InstPtr msg = demo_message(g, true, 1);
+  msg->children.pop_back();
+  EXPECT_FALSE(ast::check(g, *msg).ok());
+}
+
+TEST(Ast, CheckRejectsWrongFixedSize) {
+  const Graph g = demo_graph();
+  InstPtr msg = demo_message(g, true, 1);
+  msg->children[0]->value = {1, 2, 3};  // kind is fixed(1)
+  EXPECT_FALSE(ast::check(g, *msg).ok());
+}
+
+TEST(Ast, CheckRejectsWrongElementSchema) {
+  const Graph g = demo_graph();
+  InstPtr msg = demo_message(g, true, 1);
+  // Put a non-element instance under the repetition.
+  msg->children[2]->children.push_back(
+      ast::terminal(g.find_by_name("kind").value(), {1}));
+  EXPECT_FALSE(ast::check(g, *msg).ok());
+}
+
+TEST(Ast, DumpShowsValuesAndAbsence) {
+  const Graph g = demo_graph();
+  const std::string dump = ast::dump(g, *demo_message(g, false, 1));
+  EXPECT_NE(dump.find("kind = 02"), std::string::npos);
+  EXPECT_NE(dump.find("[absent]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protoobf

@@ -1,0 +1,157 @@
+// Direct unit tests for the structural predicates behind transformation
+// applicability (transform/constraints.hpp).
+#include <gtest/gtest.h>
+
+#include "spec/parser.hpp"
+#include "transform/constraints.hpp"
+
+namespace protoobf {
+namespace {
+
+Graph spec(std::string_view text) {
+  auto g = parse_spec(text);
+  EXPECT_TRUE(g.ok()) << g.error().message;
+  return std::move(g.value());
+}
+
+NodeId find(const Graph& g, std::string_view name) {
+  return g.find_by_name(name).value();
+}
+
+TEST(Constraints, ScanAncestorDetection) {
+  Graph g = spec(R"(
+protocol P
+m: seq end {
+  line: seq delimited("!") {
+    inner: terminal fixed(1)
+  }
+  plain: terminal fixed(1)
+  rep: repeat delimited(";") {
+    e: seq { x: terminal fixed(1) y: terminal fixed(1) }
+  }
+}
+)");
+  EXPECT_TRUE(has_scan_ancestor(g, find(g, "inner")));
+  EXPECT_FALSE(has_scan_ancestor(g, find(g, "plain")));
+  EXPECT_FALSE(has_scan_ancestor(g, find(g, "line")));  // self, not ancestor
+  // Stop-marker repetitions are scanned regions too.
+  EXPECT_TRUE(has_scan_ancestor(g, find(g, "x")));
+}
+
+TEST(Constraints, FixedAncestorDetection) {
+  Graph g = spec(R"(
+protocol P
+m: seq end {
+  block: seq fixed(4) {
+    a: terminal fixed(2)
+    b: terminal fixed(2)
+  }
+  free: terminal fixed(2)
+}
+)");
+  EXPECT_TRUE(has_fixed_ancestor(g, find(g, "a")));
+  EXPECT_FALSE(has_fixed_ancestor(g, find(g, "free")));
+  EXPECT_FALSE(has_fixed_ancestor(g, find(g, "block")));
+}
+
+TEST(Constraints, InsideSplitRegionDetection) {
+  // Build a split shape by hand: seq with a Half first child.
+  Graph g = spec(R"(
+protocol P
+m: seq end {
+  s: seq fixed(4) {
+    a: terminal fixed(2)
+    b: terminal fixed(2)
+  }
+}
+)");
+  EXPECT_FALSE(inside_split_region(g, find(g, "a")));
+  g.node(find(g, "a")).boundary = BoundaryKind::Half;
+  g.node(find(g, "b")).boundary = BoundaryKind::End;
+  EXPECT_TRUE(inside_split_region(g, find(g, "a")));
+  EXPECT_TRUE(inside_split_region(g, find(g, "b")));
+  EXPECT_FALSE(inside_split_region(g, find(g, "s")));
+}
+
+TEST(Constraints, EscapingEndDetection) {
+  Graph g = spec(R"(
+protocol P
+m: seq end {
+  len: terminal fixed(2)
+  bounded: seq length(len) {
+    contained: terminal end
+  }
+  open: seq {
+    escaping: terminal end
+  }
+}
+)");
+  // `contained`'s End region is owned by the Length-bounded `bounded`.
+  EXPECT_FALSE(subtree_has_escaping_end(g, find(g, "bounded")));
+  // `escaping` reaches past `open` to the message end.
+  EXPECT_TRUE(subtree_has_escaping_end(g, find(g, "open")));
+  // An End node itself trivially escapes its own subtree.
+  EXPECT_TRUE(subtree_has_escaping_end(g, find(g, "escaping")));
+  EXPECT_TRUE(subtree_has_escaping_end(g, find(g, "contained")));
+  // A plain terminal does not.
+  EXPECT_FALSE(subtree_has_escaping_end(g, find(g, "len")));
+}
+
+TEST(Constraints, RefsCrossDetection) {
+  Graph g = spec(R"(
+protocol P
+m: seq end {
+  left: seq {
+    llen: terminal fixed(1)
+  }
+  right: seq {
+    rdata: terminal length(llen)
+  }
+  lone: terminal fixed(1)
+}
+)");
+  EXPECT_TRUE(refs_cross(g, find(g, "left"), find(g, "right")));
+  EXPECT_FALSE(refs_cross(g, find(g, "lone"), find(g, "lone")));
+}
+
+TEST(Constraints, ExternallyReferencedDetection) {
+  Graph g = spec(R"(
+protocol P
+m: seq end {
+  hdr: seq {
+    len: terminal fixed(1)
+  }
+  body: terminal length(len)
+  free: terminal fixed(1)
+}
+)");
+  EXPECT_TRUE(externally_referenced(g, find(g, "hdr")));
+  EXPECT_TRUE(externally_referenced(g, find(g, "len")));
+  EXPECT_FALSE(externally_referenced(g, find(g, "free")));
+  // From inside the same subtree it is not "external".
+  EXPECT_FALSE(externally_referenced(g, g.root()));
+}
+
+TEST(Constraints, DelimiterDigitCheck) {
+  EXPECT_FALSE(delimiter_has_digit(to_bytes("\r\n")));
+  EXPECT_FALSE(delimiter_has_digit(to_bytes(": ")));
+  EXPECT_TRUE(delimiter_has_digit(to_bytes("=1=")));
+  EXPECT_FALSE(delimiter_has_digit(Bytes{}));
+}
+
+TEST(Constraints, SubtreeIdsCoversWholeSubtree) {
+  Graph g = spec(R"(
+protocol P
+m: seq end {
+  a: seq { b: terminal fixed(1) c: terminal fixed(1) }
+  d: terminal fixed(1)
+}
+)");
+  const auto ids = subtree_ids(g, find(g, "a"));
+  EXPECT_EQ(ids.size(), 3u);
+  const auto all = subtree_ids(g, g.root());
+  EXPECT_EQ(all.size(), g.size());
+}
+
+}  // namespace
+}  // namespace protoobf

@@ -1,0 +1,165 @@
+// Stress/property suite: the round-trip invariant on a feature-complete
+// synthetic protocol (TLV records, nested lengths, ASCII lengths, tabular
+// + repetition, deep optionals) across a wide seed sweep. This is where
+// interacting transformations (a split length holder inside a mirrored,
+// boundary-changed region...) get hammered.
+#include <gtest/gtest.h>
+
+#include "core/protoobf.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf {
+namespace {
+
+constexpr std::string_view kTortureSpec = R"(
+protocol Torture
+m: seq end {
+  magic: terminal fixed(2) const(0xface)
+  flags: terminal fixed(1)
+  title: terminal delimited("|") ascii
+  records: repeat delimited("$") {
+    record: seq delimited("$") {
+      rtag: terminal fixed(1)
+      rlen: terminal fixed(1)
+      rval: terminal length(rlen)
+    }
+  }
+  n: terminal fixed(1)
+  pairs: tabular(n) {
+    pair: seq {
+      pk: terminal fixed(1)
+      plen: terminal fixed(1)
+      pv: terminal length(plen)
+    }
+  }
+  ext: optional (flags nonzero) {
+    ext_body: seq {
+      elen: terminal delimited(";") ascii
+      edata: terminal length(elen)
+    }
+  }
+  blob_len: terminal fixed(2)
+  blob: terminal length(blob_len)
+  tail: terminal end
+}
+)";
+
+Message random_message(const Graph& g, Rng& rng) {
+  Message msg(g);
+  msg.set("flags", Bytes{static_cast<Byte>(rng.below(2))});
+  msg.set_text("title", "t" + std::to_string(rng.below(1000)));
+
+  const std::size_t records = rng.below(3);
+  for (std::size_t i = 0; i < records; ++i) {
+    msg.append("records");
+    const std::string base = "records[" + std::to_string(i) + "].record.";
+    // rtag must not look like the stop marker '$' at element start.
+    Bytes tag = rng.bytes(1);
+    if (tag[0] == '$') tag[0] = '!';
+    msg.set(base + "rtag", std::move(tag));
+    // rval must not contain the record delimiter '$'.
+    Bytes rv = rng.bytes(rng.below(5));
+    for (auto& b : rv) {
+      if (b == '$') b = '#';
+    }
+    msg.set(base + "rval", std::move(rv));
+  }
+
+  const std::size_t pairs = rng.below(4);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    msg.append("pairs");
+    const std::string base = "pairs[" + std::to_string(i) + "].pair.";
+    msg.set(base + "pk", rng.bytes(1));
+    msg.set(base + "pv", rng.bytes(rng.below(6)));
+  }
+
+  if (msg.get("flags").value()[0] != 0) {
+    msg.set("edata", rng.bytes(rng.between(0, 20)));
+  }
+  msg.set("blob", rng.bytes(rng.below(24)));
+  msg.set("tail", rng.bytes(rng.below(8)));
+  return msg;
+}
+
+class FuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzRoundTrip, TortureSpecSurvivesAllLevels) {
+  auto graph = Framework::load_spec(kTortureSpec);
+  ASSERT_TRUE(graph.ok()) << graph.error().message;
+
+  for (int per_node = 0; per_node <= 3; ++per_node) {
+    ObfuscationConfig cfg;
+    cfg.seed = GetParam();
+    cfg.per_node = per_node;
+    auto protocol = Framework::generate(*graph, cfg);
+    ASSERT_TRUE(protocol.ok())
+        << "o=" << per_node << ": " << protocol.error().message;
+
+    Rng rng(GetParam() * 1000003 + per_node);
+    for (int i = 0; i < 8; ++i) {
+      Message msg = random_message(*graph, rng);
+      InstPtr canonical = ast::clone(msg.root());
+      const Status canon = protocol->canonicalize(*canonical);
+      ASSERT_TRUE(canon.ok()) << canon.error().message << "\n"
+                              << ast::dump(*graph, msg.root());
+
+      auto wire = protocol->serialize(msg.root(), GetParam() + i);
+      ASSERT_TRUE(wire.ok())
+          << "o=" << per_node << " msg " << i << ": " << wire.error().message
+          << "\n" << ast::dump(*graph, msg.root());
+      auto parsed = protocol->parse(*wire);
+      ASSERT_TRUE(parsed.ok())
+          << "o=" << per_node << " msg " << i << ": "
+          << parsed.error().message << " at " << parsed.error().offset
+          << "\n" << hexdump(*wire) << ast::dump(*graph, msg.root());
+      EXPECT_TRUE(ast::equal(*canonical, **parsed))
+          << ast::dump(*graph, *canonical) << "vs\n"
+          << ast::dump(*graph, **parsed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzRoundTrip,
+    ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610,
+                      987, 1597, 2584, 4181, 6765, 10946));
+
+// Corrupt-wire fuzz: random single-byte corruption must never crash the
+// parser (it may legitimately still parse when the corrupted byte is
+// payload data — parsers detect *format* violations, not data changes).
+class CorruptionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptionFuzz, SingleByteCorruptionNeverCrashes) {
+  auto graph = Framework::load_spec(kTortureSpec);
+  ASSERT_TRUE(graph.ok());
+  ObfuscationConfig cfg;
+  cfg.seed = GetParam();
+  cfg.per_node = 2;
+  auto protocol = Framework::generate(*graph, cfg).value();
+
+  Rng rng(GetParam() ^ 0x1234);
+  Message msg = random_message(*graph, rng);
+  auto wire = protocol.serialize(msg.root(), 9);
+  ASSERT_TRUE(wire.ok());
+
+  for (int trial = 0; trial < 64; ++trial) {
+    Bytes corrupted = *wire;
+    const std::size_t pos = rng.below(corrupted.size());
+    corrupted[pos] ^= static_cast<Byte>(rng.between(1, 255));
+    auto parsed = protocol.parse(corrupted);  // must not crash or hang
+    (void)parsed;
+  }
+  // Truncations at every length likewise.
+  for (std::size_t keep = 0; keep < wire->size(); ++keep) {
+    Bytes truncated(wire->begin(),
+                    wire->begin() + static_cast<std::ptrdiff_t>(keep));
+    auto parsed = protocol.parse(truncated);
+    (void)parsed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace protoobf

@@ -1,0 +1,191 @@
+// PRE substrate tests: alignment, clustering, field inference, DPI.
+#include <gtest/gtest.h>
+
+#include "pre/alignment.hpp"
+#include "pre/clustering.hpp"
+#include "pre/dpi.hpp"
+#include "pre/field_inference.hpp"
+#include "pre/statistics.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf::pre {
+namespace {
+
+TEST(Alignment, IdenticalStringsScoreOne) {
+  const Bytes a = to_bytes("abcdef");
+  EXPECT_DOUBLE_EQ(similarity(a, a), 1.0);
+}
+
+TEST(Alignment, DisjointStringsScoreLow) {
+  EXPECT_LT(similarity(to_bytes("aaaa"), to_bytes("zzzz")), 0.5);
+}
+
+TEST(Alignment, GapsAreFoundByTraceback) {
+  const Alignment al = align(to_bytes("abcdef"), to_bytes("abdef"));
+  ASSERT_EQ(al.a.size(), al.b.size());
+  int gaps = 0;
+  for (std::size_t i = 0; i < al.b.size(); ++i) {
+    if (al.b[i] < 0) ++gaps;
+  }
+  EXPECT_EQ(gaps, 1);  // 'c' deletion
+}
+
+TEST(Alignment, SimilarityIsSymmetricEnough) {
+  const Bytes a = to_bytes("GET /index HTTP/1.1");
+  const Bytes b = to_bytes("GET /query HTTP/1.1");
+  EXPECT_NEAR(similarity(a, b), similarity(b, a), 1e-9);
+  EXPECT_GT(similarity(a, b), 0.7);  // same message type aligns well
+}
+
+TEST(Alignment, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(similarity(Bytes{}, Bytes{}), 1.0);
+  EXPECT_LT(similarity(Bytes{}, to_bytes("abc")), 0.5);
+}
+
+TEST(Clustering, SeparatesObviouslyDifferentTypes) {
+  std::vector<Bytes> messages = {
+      to_bytes("GET /a HTTP/1.1"),  to_bytes("GET /b HTTP/1.1"),
+      to_bytes("GET /cc HTTP/1.1"), to_bytes("\x01\x02\x03\x04\x05\x06"),
+      to_bytes("\x01\x02\x03\x04\x05\x07"),
+  };
+  const auto clusters = cluster_messages(messages, 0.35);
+  EXPECT_EQ(clusters.size(), 2u);
+  const std::vector<int> labels = {0, 0, 0, 1, 1};
+  const auto quality = score_clustering(clusters, labels);
+  EXPECT_DOUBLE_EQ(quality.purity, 1.0);
+  EXPECT_EQ(quality.true_types, 2u);
+}
+
+TEST(Clustering, ThresholdZeroKeepsSingletons) {
+  std::vector<Bytes> messages = {to_bytes("aa"), to_bytes("bb"),
+                                 to_bytes("cc")};
+  EXPECT_EQ(cluster_messages(messages, -1.0).size(), 3u);
+}
+
+TEST(Clustering, EmptyTraceYieldsNoClusters) {
+  EXPECT_TRUE(cluster_messages({}, 0.3).empty());
+}
+
+TEST(FieldInference, FindsConstantVariableBoundaries) {
+  // 4-byte constant header, 2 variable bytes, constant trailer.
+  std::vector<Bytes> cluster = {
+      to_bytes("HDR:ab!"),
+      to_bytes("HDR:cd!"),
+      to_bytes("HDR:ef!"),
+  };
+  const InferredFormat format = infer_format(cluster);
+  ASSERT_EQ(format.constant.size(), 7u);
+  EXPECT_TRUE(format.constant[0]);
+  EXPECT_FALSE(format.constant[4]);
+  EXPECT_TRUE(format.constant[6]);
+  // Boundaries at 0 (start), 4 (const->var) and 6 (var->const).
+  EXPECT_EQ(format.boundaries, (std::vector<std::size_t>{0, 4, 6}));
+}
+
+TEST(FieldInference, SingleMessageIsAllConstant) {
+  const InferredFormat format = infer_format({to_bytes("xyz")});
+  EXPECT_EQ(format.boundaries, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(format.constant[0] && format.constant[1] && format.constant[2]);
+}
+
+TEST(FieldInference, BoundaryScoring) {
+  const BoundaryScore s =
+      score_boundaries({0, 4, 6}, {0, 4, 7}, /*tolerance=*/1);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);  // 6 is within 1 of 7
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+  const BoundaryScore hard =
+      score_boundaries({0, 2}, {0, 8, 12}, /*tolerance=*/1);
+  EXPECT_NEAR(hard.precision, 0.5, 1e-9);
+  EXPECT_NEAR(hard.recall, 1.0 / 3.0, 1e-9);
+}
+
+// --- DPI ----------------------------------------------------------------------
+
+TEST(Dpi, DetectsPlainModbusRequest) {
+  // Read Holding Registers, the simplymodbus.ca reference frame.
+  const Bytes frame = from_hex("0001000000061103006b0003").value();
+  EXPECT_TRUE(looks_like_modbus(frame));
+  EXPECT_EQ(classify(frame), Protocol::ModbusTcp);
+}
+
+TEST(Dpi, DetectsModbusResponseAndException) {
+  const Bytes response = from_hex("000100000009110306ae415652434040").value();
+  // (length 9: unit+fn+bytecount+6 data bytes)
+  EXPECT_FALSE(looks_like_modbus(response));  // deliberately wrong bytecount
+  const Bytes good = from_hex("000100000009110306ae4156524340").value();
+  EXPECT_TRUE(looks_like_modbus(good));
+  const Bytes exception = from_hex("000100000003118302").value();
+  EXPECT_TRUE(looks_like_modbus(exception));
+}
+
+TEST(Dpi, RejectsCorruptModbus) {
+  Bytes frame = from_hex("0001000000061103006b0003").value();
+  frame[2] = 0x11;  // protocol id != 0
+  EXPECT_FALSE(looks_like_modbus(frame));
+  frame = from_hex("0001000000991103006b0003").value();  // bad length
+  EXPECT_FALSE(looks_like_modbus(frame));
+  EXPECT_FALSE(looks_like_modbus(Bytes{1, 2, 3}));  // too short
+}
+
+TEST(Dpi, DetectsHttpRequest) {
+  const Bytes req = to_bytes(
+      "GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n");
+  EXPECT_TRUE(looks_like_http(req));
+  EXPECT_EQ(classify(req), Protocol::Http);
+  const Bytes bare = to_bytes("POST /x HTTP/1.0\r\n\r\n");
+  EXPECT_TRUE(looks_like_http(bare));
+}
+
+TEST(Dpi, RejectsNonHttp) {
+  EXPECT_FALSE(looks_like_http(to_bytes("HELO example.com\r\n")));
+  EXPECT_FALSE(looks_like_http(to_bytes("GET without-version\r\n")));
+  EXPECT_FALSE(looks_like_http(to_bytes("GARBAGE")));
+  EXPECT_EQ(classify(to_bytes("random noise")), Protocol::Unknown);
+}
+
+TEST(Dpi, RandomBytesAreUnknown) {
+  Bytes noise(64);
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    noise[i] = static_cast<Byte>(i * 37 + 11);
+  }
+  EXPECT_EQ(classify(noise), Protocol::Unknown);
+}
+
+// --- statistical fingerprinting ------------------------------------------------
+
+TEST(Statistics, EntropyBounds) {
+  EXPECT_DOUBLE_EQ(shannon_entropy(Bytes{}), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_entropy(Bytes(100, 0x41)), 0.0);  // constant
+  Bytes all;
+  for (int v = 0; v < 256; ++v) all.push_back(static_cast<Byte>(v));
+  EXPECT_NEAR(shannon_entropy(all), 8.0, 1e-9);  // perfectly uniform
+}
+
+TEST(Statistics, PrintableRatio) {
+  EXPECT_DOUBLE_EQ(printable_ratio(to_bytes("hello")), 1.0);
+  EXPECT_DOUBLE_EQ(printable_ratio(Bytes{0x00, 0x01}), 0.0);
+  EXPECT_NEAR(printable_ratio(Bytes{'a', 0x00}), 0.5, 1e-9);
+}
+
+TEST(Statistics, ChiSquareDistinguishesUniformFromSkewed) {
+  protoobf::Rng rng(9);
+  const Bytes uniform = rng.bytes(4096);
+  const Bytes skewed(4096, 0x42);
+  EXPECT_LT(chi_square_uniform(uniform), chi_square_uniform(skewed));
+}
+
+TEST(Statistics, ClassifiesTrafficKinds) {
+  EXPECT_EQ(classify_profile(profile(to_bytes(
+                "GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n"))),
+            TrafficClass::TextLike);
+  const Bytes modbus = from_hex("0001000000061103006b0003").value();
+  EXPECT_EQ(classify_profile(profile(modbus)),
+            TrafficClass::StructuredBinary);
+  protoobf::Rng rng(5);
+  EXPECT_EQ(classify_profile(profile(rng.bytes(512))),
+            TrafficClass::RandomLike);
+}
+
+}  // namespace
+}  // namespace protoobf::pre

@@ -1,0 +1,126 @@
+// Parameterized corpus of invalid specifications: every rejection path of
+// the lexer/parser/validator, each with the reason the diagnostic must
+// mention. Complements spec_test.cpp's positive cases.
+#include <gtest/gtest.h>
+
+#include "spec/parser.hpp"
+
+namespace protoobf {
+namespace {
+
+struct BadSpec {
+  const char* name;
+  const char* source;
+  const char* expected_fragment;  // must appear in the error message
+};
+
+class SpecRejection : public ::testing::TestWithParam<BadSpec> {};
+
+TEST_P(SpecRejection, IsRejectedWithDiagnostic) {
+  const auto result = parse_spec(GetParam().source);
+  ASSERT_FALSE(result.ok()) << "spec unexpectedly accepted";
+  EXPECT_NE(result.error().message.find(GetParam().expected_fragment),
+            std::string::npos)
+      << "diagnostic was: " << result.error().message;
+}
+
+const BadSpec kCorpus[] = {
+    {"MissingProtocolKeyword", "m: seq end { a: terminal fixed(1) }",
+     "protocol"},
+    {"MissingColon", "protocol P\nm seq end { a: terminal fixed(1) }",
+     "':'"},
+    {"UnknownNodeType", "protocol P\nm: record end { }", "node type"},
+    {"UnterminatedBlock",
+     "protocol P\nm: seq end { a: terminal fixed(1)", "identifier"},
+    {"TrailingTokens",
+     "protocol P\nm: seq end { a: terminal fixed(1) } extra", "end of input"},
+    {"FixedWithoutSize", "protocol P\nm: seq end { a: terminal fixed }",
+     "'('"},
+    {"FixedSizeZero", "protocol P\nm: seq end { a: terminal fixed(0) }",
+     "zero"},
+    {"DelimitedEmpty",
+     "protocol P\nm: seq end { a: terminal delimited(\"\") }", "empty"},
+    {"TerminalWithoutBoundary", "protocol P\nm: seq end { a: terminal }",
+     "boundary"},
+    {"EmptySeq", "protocol P\nm: seq end { }", "at least one sub-node"},
+    {"UnresolvedLengthRef",
+     "protocol P\nm: seq end { a: terminal length(nothing) }", "unresolved"},
+    {"ForwardLengthRef",
+     "protocol P\nm: seq end { a: terminal length(l) l: terminal fixed(1) }",
+     "parse order"},
+    {"SelfLengthRef",
+     "protocol P\nm: seq end { a: terminal length(a) }", "parse order"},
+    {"AmbiguousRef",
+     "protocol P\nm: seq end { x: seq { l: terminal fixed(1) } "
+     "y: seq { l: terminal fixed(1) } b: terminal length(l) }",
+     "ambiguous"},
+    {"ConditionWithoutOperator",
+     "protocol P\nm: seq end { k: terminal fixed(1) "
+     "o: optional (k) { v: terminal fixed(1) } }",
+     "condition"},
+    {"ConditionForwardRef",
+     "protocol P\nm: seq end { o: optional (k == 0x01) "
+     "{ v: terminal fixed(1) } k: terminal fixed(1) }",
+     "parse order"},
+    {"TabularWithoutRef", "protocol P\nm: seq end { t: tabular { } }",
+     "'('"},
+    {"ConstSizeMismatch",
+     "protocol P\nm: seq end { a: terminal fixed(3) const(0x01) }",
+     "const"},
+    {"BadEscape", "protocol P\nm: seq end { a: terminal delimited(\"\\q\") }",
+     "escape"},
+    {"OddHex", "protocol P\nm: seq end { a: terminal fixed(1) const(0x1) }",
+     "even"},
+    {"RefIntoRepetitionFromOutside",
+     "protocol P\nm: seq end { r: repeat end { e: seq { "
+     "il: terminal fixed(1) iv: terminal length(il) } } "
+     "out: terminal length(il) }",
+     "repeated element"},
+};
+
+std::string corpus_name(const ::testing::TestParamInfo<BadSpec>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SpecRejection, ::testing::ValuesIn(kCorpus),
+                         corpus_name);
+
+// A couple of things that must be ACCEPTED even though they look odd.
+TEST(SpecAcceptance, KeywordsAreValidFieldNames) {
+  // Keywords are contextual; "end" and "fixed" work as node names.
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end {
+  end: terminal fixed(1)
+  fixed: terminal fixed(2)
+}
+)";
+  EXPECT_TRUE(parse_spec(spec).ok());
+}
+
+TEST(SpecAcceptance, DeeplyNestedStructures) {
+  constexpr std::string_view spec = R"(
+protocol P
+a: seq end { b: seq { c: seq { d: seq { e: seq {
+  f: terminal fixed(1)
+} } } } }
+)";
+  auto g = parse_spec(spec);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->depth(), 6u);
+}
+
+TEST(SpecAcceptance, CommentsEverywhere) {
+  constexpr std::string_view spec = R"(
+# leading comment
+protocol P  # trailing comment
+m: seq end {  # here too
+  a: terminal fixed(1)  # and here
+}
+# closing comment
+)";
+  EXPECT_TRUE(parse_spec(spec).ok());
+}
+
+}  // namespace
+}  // namespace protoobf

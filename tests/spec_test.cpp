@@ -1,0 +1,229 @@
+// Lexer/parser tests for the ProtoSpec specification language.
+#include <gtest/gtest.h>
+
+#include "spec/lexer.hpp"
+#include "spec/parser.hpp"
+
+namespace protoobf {
+namespace {
+
+TEST(Lexer, TokenizesPunctuationAndIdentifiers) {
+  auto tokens = tokenize("adu: seq { x: terminal fixed(2) }");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::Identifier);
+  EXPECT_EQ((*tokens)[0].text, "adu");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::Colon);
+  EXPECT_EQ(tokens->back().kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, StringEscapes) {
+  auto tokens = tokenize(R"("a\r\n\t\0\\\"\x41")");
+  ASSERT_TRUE(tokens.ok());
+  const Bytes expected{'a', '\r', '\n', '\t', '\0', '\\', '"', 'A'};
+  EXPECT_EQ((*tokens)[0].bytes, expected);
+}
+
+TEST(Lexer, HexLiteral) {
+  auto tokens = tokenize("0x00FF");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::HexBytes);
+  EXPECT_EQ((*tokens)[0].bytes, (Bytes{0x00, 0xff}));
+}
+
+TEST(Lexer, RejectsOddHexDigits) {
+  EXPECT_FALSE(tokenize("0xABC").ok());
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto tokens = tokenize("# a comment\nx");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "x");
+  EXPECT_EQ((*tokens)[0].line, 2u);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto tokens = tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[1].column, 3u);
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  EXPECT_FALSE(tokenize("\"abc").ok());
+}
+
+TEST(Lexer, RejectsLoneEquals) {
+  const auto result = tokenize("a = b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("'='"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kTinySpec = R"(
+protocol Tiny
+msg: seq end {
+  kind: terminal fixed(1)
+  len: terminal fixed(2)
+  payload: terminal length(len)
+}
+)";
+
+TEST(SpecParser, ParsesTinySpec) {
+  auto graph = parse_spec(kTinySpec);
+  ASSERT_TRUE(graph.ok()) << graph.error().message;
+  EXPECT_EQ(graph->protocol_name(), "Tiny");
+  EXPECT_EQ(graph->size(), 4u);
+  const Node& root = graph->node(graph->root());
+  EXPECT_EQ(root.type, NodeType::Sequence);
+  EXPECT_EQ(root.boundary, BoundaryKind::End);
+  ASSERT_EQ(root.children.size(), 3u);
+
+  const auto payload = graph->find_by_name("payload");
+  ASSERT_TRUE(payload.has_value());
+  const Node& p = graph->node(*payload);
+  EXPECT_EQ(p.boundary, BoundaryKind::Length);
+  EXPECT_EQ(graph->node(p.ref).name, "len");
+}
+
+TEST(SpecParser, ResolvesDottedAndSuffixReferences) {
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end {
+  hdr: seq {
+    len: terminal fixed(2)
+  }
+  body: terminal length(m.hdr.len)
+}
+)";
+  auto graph = parse_spec(spec);
+  ASSERT_TRUE(graph.ok()) << graph.error().message;
+  const Node& body = graph->node(graph->find_by_name("body").value());
+  EXPECT_EQ(graph->node(body.ref).name, "len");
+}
+
+TEST(SpecParser, RejectsUnresolvedReference) {
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end {
+  body: terminal length(nosuch)
+}
+)";
+  const auto result = parse_spec(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("unresolved"), std::string::npos);
+}
+
+TEST(SpecParser, RejectsForwardLengthReference) {
+  // The length holder must precede its dependant in parse order.
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end {
+  body: terminal length(len)
+  len: terminal fixed(2)
+}
+)";
+  EXPECT_FALSE(parse_spec(spec).ok());
+}
+
+TEST(SpecParser, ParsesOptionalWithConditions) {
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end {
+  kind: terminal fixed(1)
+  a: optional (kind == 0x01) { av: terminal fixed(2) }
+  b: optional (kind in {0x02, 0x03}) { bv: terminal fixed(2) }
+  c: optional (kind nonzero) { cv: terminal end }
+}
+)";
+  auto graph = parse_spec(spec);
+  ASSERT_TRUE(graph.ok()) << graph.error().message;
+  const Node& a = graph->node(graph->find_by_name("a").value());
+  EXPECT_EQ(a.condition.kind, Condition::Kind::Equals);
+  EXPECT_EQ(a.condition.values[0], (Bytes{0x01}));
+  const Node& b = graph->node(graph->find_by_name("b").value());
+  EXPECT_EQ(b.condition.kind, Condition::Kind::OneOf);
+  EXPECT_EQ(b.condition.values.size(), 2u);
+  const Node& c = graph->node(graph->find_by_name("c").value());
+  EXPECT_EQ(c.condition.kind, Condition::Kind::NonZero);
+}
+
+TEST(SpecParser, ParsesRepetitionAndTabular) {
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end {
+  count: terminal fixed(1)
+  items: tabular(count) { item: terminal fixed(2) }
+  lines: repeat delimited("\r\n") {
+    line: terminal delimited("\r\n") ascii
+  }
+}
+)";
+  auto graph = parse_spec(spec);
+  ASSERT_TRUE(graph.ok()) << graph.error().message;
+  const Node& items = graph->node(graph->find_by_name("items").value());
+  EXPECT_EQ(items.type, NodeType::Tabular);
+  EXPECT_EQ(items.boundary, BoundaryKind::Counter);
+  EXPECT_EQ(graph->node(items.ref).name, "count");
+  const Node& lines = graph->node(graph->find_by_name("lines").value());
+  EXPECT_EQ(lines.type, NodeType::Repetition);
+  EXPECT_EQ(lines.delimiter, to_bytes("\r\n"));
+}
+
+TEST(SpecParser, ParsesConstAndEncoding) {
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end {
+  magic: terminal fixed(2) const(0x0102)
+  count: terminal delimited(";") ascii
+  data: terminal end binary
+}
+)";
+  auto graph = parse_spec(spec);
+  ASSERT_TRUE(graph.ok()) << graph.error().message;
+  const Node& magic = graph->node(graph->find_by_name("magic").value());
+  EXPECT_TRUE(magic.has_const);
+  EXPECT_EQ(magic.const_value, (Bytes{0x01, 0x02}));
+  const Node& count = graph->node(graph->find_by_name("count").value());
+  EXPECT_EQ(count.encoding, Encoding::AsciiDec);
+}
+
+TEST(SpecParser, RejectsConstSizeMismatch) {
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end { magic: terminal fixed(2) const(0x01) }
+)";
+  EXPECT_FALSE(parse_spec(spec).ok());
+}
+
+TEST(SpecParser, RejectsEmptySequence) {
+  EXPECT_FALSE(parse_spec("protocol P\nm: seq end { }").ok());
+}
+
+TEST(SpecParser, RejectsMissingBoundaryOnTerminal) {
+  EXPECT_FALSE(parse_spec("protocol P\nm: terminal").ok());
+}
+
+TEST(SpecParser, ErrorsCarrySourcePosition) {
+  const auto result = parse_spec("protocol P\nm: seq end { x: bogus }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("spec:2"), std::string::npos);
+}
+
+TEST(SpecParser, AmbiguousReferenceIsRejected) {
+  constexpr std::string_view spec = R"(
+protocol P
+m: seq end {
+  a: seq { len: terminal fixed(2) }
+  b: seq { len: terminal fixed(2) }
+  body: terminal length(len)
+}
+)";
+  const auto result = parse_spec(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("ambiguous"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protoobf
