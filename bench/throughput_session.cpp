@@ -1,0 +1,209 @@
+// Session throughput baseline: single-message vs. batched paths.
+//
+// The ROADMAP's north star is traffic scale, and the session subsystem
+// (src/session) is the first step: protocol caching, arena-backed buffers,
+// and sharded batches. This bench pins the numbers future PRs optimize
+// against. Four measurements over the same message set:
+//
+//   serialize/single   ObfuscatedProtocol::serialize() per message — the
+//                      allocating baseline path
+//   serialize/batched  Session::serialize_batch() — arena emit + worker
+//                      shards
+//   parse/single       ObfuscatedProtocol::parse() per wire image
+//   parse/batched      Session::parse_batch()
+//
+// Usage: bench_throughput_session [messages] [repeats] [per_node]
+// Defaults keep a full run under ~5 s on one core for the CI smoke test.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness.hpp"
+#include "session/protocol_cache.hpp"
+#include "session/session.hpp"
+
+namespace {
+
+using namespace protoobf;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::uint64_t msg_seed_of(std::size_t i) { return 0x5e55 + 11400714819323198485ull * i; }
+
+struct Rate {
+  double msgs_per_sec = 0;
+  std::size_t messages = 0;
+};
+
+void print_rate(const char* label, const Rate& r) {
+  std::printf("  %-18s %12.0f msgs/s  (%zu msgs)\n", label, r.msgs_per_sec,
+              r.messages);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t messages =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 512;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int per_node = argc > 3 ? std::atoi(argv[3]) : 2;
+  if (messages == 0 || repeats <= 0 || per_node < 0) {
+    std::fprintf(stderr,
+                 "usage: bench_throughput_session [messages>0] [repeats>0] "
+                 "[per_node>=0]\n");
+    return 2;
+  }
+
+  bench::Workload workload = bench::http_workload();
+  const Graph& g = workload.graphs[0];
+
+  ObfuscationConfig config;
+  config.seed = 2018;
+  config.per_node = per_node;
+
+  // Compile through the cache so the bench also exercises the session
+  // entry point end to end.
+  ProtocolCache cache;
+  auto entry = cache.get_or_compile(g, ProtocolCache::hash_graph(g), config);
+  if (!entry) {
+    std::fprintf(stderr, "obfuscation failed: %s\n",
+                 entry.error().message.c_str());
+    return 1;
+  }
+  const ObfuscatedProtocol& protocol = **entry;
+
+  Rng rng(7);
+  std::vector<Message> msgs;
+  msgs.reserve(messages);
+  for (std::size_t i = 0; i < messages; ++i) {
+    msgs.push_back(workload.make(0, g, rng));
+  }
+
+  WorkerPool pool;
+  Session session(*entry, &pool);
+
+  std::vector<BatchItem> items;
+  items.reserve(messages);
+  for (std::size_t i = 0; i < messages; ++i) {
+    items.push_back({&msgs[i].root(), msg_seed_of(i)});
+  }
+
+  // Warm-up: touches every code path once, grows the arenas to steady
+  // state, and yields the wire set for the parse measurements.
+  std::vector<Bytes> wires;
+  wires.reserve(messages);
+  for (std::size_t i = 0; i < messages; ++i) {
+    auto wire = protocol.serialize(msgs[i].root(), msg_seed_of(i));
+    if (!wire) {
+      std::fprintf(stderr, "serialize failed: %s\n",
+                   wire.error().message.c_str());
+      return 1;
+    }
+    wires.push_back(std::move(*wire));
+  }
+  (void)session.serialize_batch(items);
+
+  std::vector<BytesView> views(wires.begin(), wires.end());
+  (void)session.parse_batch(views);
+
+  std::size_t checksum = 0;
+
+  // Each path is timed in `kTrials` windows interleaved round-robin across
+  // all paths, and the best window wins: a shared or throttled core
+  // perturbs stretches of wall time, so interleaving spreads the
+  // perturbation evenly instead of biasing whichever path happened to run
+  // during it.
+  constexpr int kTrials = 5;
+  Rate ser_single, ser_arena, ser_batched;
+  Rate parse_single, parse_arena, parse_batched;
+  std::vector<std::pair<Rate*, std::function<void()>>> paths;
+
+  // Single vs batched is apples-to-apples: the fixture is "N independent
+  // messages to process" and the batch call returns owned results, so the
+  // single-message baseline collects the same result vector one call at a
+  // time. The arena rows are the streaming variants (results consumed
+  // immediately), reported for reference.
+  paths.emplace_back(&ser_single, [&] {
+    std::vector<Expected<Bytes>> results;
+    results.reserve(messages);
+    for (std::size_t i = 0; i < messages; ++i) {
+      results.emplace_back(protocol.serialize(msgs[i].root(), msg_seed_of(i)));
+    }
+    for (const auto& result : results) checksum += result ? result->size() : 0;
+  });
+
+  paths.emplace_back(&ser_arena, [&] {
+    for (std::size_t i = 0; i < messages; ++i) {
+      auto wire = session.serialize(msgs[i].root(), msg_seed_of(i));
+      checksum += wire ? wire->size() : 0;
+    }
+  });
+
+  paths.emplace_back(&ser_batched, [&] {
+    auto results = session.serialize_batch(items);
+    for (const auto& result : results) checksum += result ? result->size() : 0;
+  });
+
+  paths.emplace_back(&parse_single, [&] {
+    std::vector<Expected<InstPtr>> results;
+    results.reserve(messages);
+    for (const Bytes& wire : wires) {
+      results.emplace_back(protocol.parse(wire));
+    }
+    for (const auto& result : results) {
+      checksum += result ? (*result)->children.size() : 0;
+    }
+  });
+
+  paths.emplace_back(&parse_arena, [&] {
+    for (const Bytes& wire : wires) {
+      auto tree = session.parse(wire);
+      checksum += tree ? (*tree)->children.size() : 0;
+    }
+  });
+
+  paths.emplace_back(&parse_batched, [&] {
+    auto results = session.parse_batch(views);
+    for (const auto& result : results) {
+      checksum += result ? (*result)->children.size() : 0;
+    }
+  });
+
+  for (auto& [rate, body] : paths) {
+    rate->messages = messages * static_cast<std::size_t>(repeats);
+  }
+  for (int t = 0; t < kTrials; ++t) {
+    for (auto& [rate, body] : paths) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) body();
+      const double rate_now =
+          static_cast<double>(rate->messages) / seconds_since(start);
+      if (rate_now > rate->msgs_per_sec) rate->msgs_per_sec = rate_now;
+    }
+  }
+
+  std::printf("throughput_session — %s, per_node=%d, %zu msgs x %d repeats, "
+              "%zu-way batches\n",
+              workload.name.c_str(), per_node, messages, repeats,
+              session.batch_width());
+  print_rate("serialize/single", ser_single);
+  print_rate("serialize/arena", ser_arena);
+  print_rate("serialize/batched", ser_batched);
+  print_rate("parse/single", parse_single);
+  print_rate("parse/arena", parse_arena);
+  print_rate("parse/batched", parse_batched);
+  std::printf("  serialize batched/single: %.3fx\n",
+              ser_batched.msgs_per_sec / ser_single.msgs_per_sec);
+  std::printf("  parse     batched/single: %.3fx\n",
+              parse_batched.msgs_per_sec / parse_single.msgs_per_sec);
+  std::printf("  (checksum %zu)\n", checksum);
+  return 0;
+}

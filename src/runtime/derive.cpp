@@ -65,6 +65,20 @@ Expected<std::vector<RefPair>> collect_pairs(const Graph& graph, Inst& root) {
   return pairs;
 }
 
+/// Holds one measurement buffer for the duration of a derivation pass,
+/// drawn from the session pool when one is attached so its capacity
+/// survives across messages.
+struct ScratchLease {
+  explicit ScratchLease(BufferPool* p)
+      : pool(p), buf(p != nullptr ? p->acquire() : Bytes()) {}
+  ~ScratchLease() {
+    if (pool != nullptr) pool->release(std::move(buf));
+  }
+
+  BufferPool* pool;
+  Bytes buf;
+};
+
 }  // namespace
 
 Status fill_consts(const Graph& graph, Inst& root) {
@@ -109,7 +123,8 @@ Status check_presence(const Graph& graph, Inst& root) {
       });
 }
 
-Status canonicalize(const Graph& g1, Inst& root) {
+Status canonicalize(const Graph& g1, Inst& root, BufferPool* scratch) {
+  ScratchLease lease(scratch);
   if (Status s = fill_consts(g1, root); !s) return s;
 
   // Width-correct placeholders so intermediate emissions succeed.
@@ -138,7 +153,7 @@ Status canonicalize(const Graph& g1, Inst& root) {
       if (pair.is_counter) {
         value = pair.measured->children.size();
       } else {
-        auto size = emitted_size(g1, *pair.measured);
+        auto size = emitted_size(g1, *pair.measured, &lease.buf);
         if (!size) return Unexpected(size.error());
         value = *size;
       }
@@ -156,7 +171,8 @@ Status canonicalize(const Graph& g1, Inst& root) {
 
 Status fix_holders(const Graph& wire, const Journal& journal,
                    const HolderTable& table, Inst& root,
-                   std::uint64_t msg_seed) {
+                   std::uint64_t msg_seed, BufferPool* scratch) {
+  ScratchLease lease(scratch);
   for (int iter = 0; iter < kMaxFixpointIterations; ++iter) {
     auto pairs = collect_pairs(wire, root);
     if (!pairs) return Unexpected(pairs.error());
@@ -167,7 +183,7 @@ Status fix_holders(const Graph& wire, const Journal& journal,
       if (pair.is_counter) {
         value = pair.measured->children.size();
       } else {
-        auto size = emitted_size(wire, *pair.measured);
+        auto size = emitted_size(wire, *pair.measured, &lease.buf);
         if (!size) return Unexpected(size.error());
         value = *size;
       }

@@ -24,6 +24,7 @@
 #include "ast/ast.hpp"
 #include "graph/graph.hpp"
 #include "transform/lineage.hpp"
+#include "util/bytes.hpp"
 #include "util/result.hpp"
 
 namespace protoobf {
@@ -37,13 +38,16 @@ Status fill_consts(const Graph& graph, Inst& root);
 Status check_presence(const Graph& graph, Inst& root);
 
 /// Logical derivation: consts + length/count holders per G1 semantics.
-Status canonicalize(const Graph& g1, Inst& root);
+/// `scratch`, when given, backs the intermediate size measurements so
+/// sessions amortize their allocations across messages.
+Status canonicalize(const Graph& g1, Inst& root,
+                    BufferPool* scratch = nullptr);
 
 /// Wire derivation on the transformed tree: recomputes every holder from
 /// the final wire sizes/counts and replays its transformation lineage.
 /// `msg_seed` keeps the replayed randomness deterministic per message.
 Status fix_holders(const Graph& wire, const Journal& journal,
                    const HolderTable& table, Inst& root,
-                   std::uint64_t msg_seed);
+                   std::uint64_t msg_seed, BufferPool* scratch = nullptr);
 
 }  // namespace protoobf

@@ -8,8 +8,8 @@ namespace {
 
 class Emitter {
  public:
-  Emitter(const Graph& graph, std::vector<FieldSpan>* spans)
-      : graph_(graph), spans_(spans) {}
+  Emitter(const Graph& graph, Bytes& out, std::vector<FieldSpan>* spans)
+      : graph_(graph), out_(out), spans_(spans) {}
 
   Status emit_node(const Inst& inst) {
     const Node& n = graph_.node(inst.schema);
@@ -90,8 +90,6 @@ class Emitter {
     return Status::success();
   }
 
-  Bytes take() { return std::move(out_); }
-
  private:
   Unexpected fail(const Inst& inst, const std::string& what) const {
     return Unexpected("serialize '" + graph_.path_of(inst.schema) +
@@ -109,7 +107,7 @@ class Emitter {
   }
 
   const Graph& graph_;
-  Bytes out_;
+  Bytes& out_;
   std::vector<FieldSpan>* spans_;
 };
 
@@ -117,15 +115,29 @@ class Emitter {
 
 Expected<Bytes> emit(const Graph& graph, const Inst& root,
                      std::vector<FieldSpan>* spans) {
-  Emitter emitter(graph, spans);
-  if (Status s = emitter.emit_node(root); !s) return Unexpected(s.error());
-  return emitter.take();
+  Bytes out;
+  if (Status s = emit_into(graph, root, out, spans); !s) {
+    return Unexpected(s.error());
+  }
+  return out;
 }
 
-Expected<std::size_t> emitted_size(const Graph& graph, const Inst& root) {
-  auto bytes = emit(graph, root);
-  if (!bytes) return Unexpected(bytes.error());
-  return bytes->size();
+Status emit_into(const Graph& graph, const Inst& root, Bytes& out,
+                 std::vector<FieldSpan>* spans) {
+  out.clear();
+  if (spans != nullptr) spans->clear();
+  Emitter emitter(graph, out, spans);
+  return emitter.emit_node(root);
+}
+
+Expected<std::size_t> emitted_size(const Graph& graph, const Inst& root,
+                                   Bytes* scratch) {
+  Bytes local;
+  Bytes& out = scratch != nullptr ? *scratch : local;
+  if (Status s = emit_into(graph, root, out); !s) {
+    return Unexpected(s.error());
+  }
+  return out.size();
 }
 
 }  // namespace protoobf

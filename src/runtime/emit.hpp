@@ -34,7 +34,16 @@ struct FieldSpan {
 Expected<Bytes> emit(const Graph& graph, const Inst& root,
                      std::vector<FieldSpan>* spans = nullptr);
 
-/// Size of the serialization without keeping the bytes.
-Expected<std::size_t> emitted_size(const Graph& graph, const Inst& root);
+/// Serializes into `out`, replacing its contents but reusing its capacity —
+/// the zero-allocation path for sessions that serialize many messages
+/// through one buffer. `spans`, when given, is likewise overwritten.
+Status emit_into(const Graph& graph, const Inst& root, Bytes& out,
+                 std::vector<FieldSpan>* spans = nullptr);
+
+/// Size of the serialization without keeping the bytes. `scratch`, when
+/// given, holds the intermediate image so repeated measurements (derive's
+/// fixpoint loops) reuse one buffer instead of allocating per call.
+Expected<std::size_t> emitted_size(const Graph& graph, const Inst& root,
+                                   Bytes* scratch = nullptr);
 
 }  // namespace protoobf

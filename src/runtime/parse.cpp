@@ -21,10 +21,16 @@ struct Reader {
 class WireParser {
  public:
   WireParser(const Graph& wire, const Journal& journal,
-             const HolderTable& table)
-      : wire_(wire), journal_(journal), table_(table) {}
+             const HolderTable& table, BufferPool* scratch,
+             ScopeChain* scopes)
+      : wire_(wire),
+        journal_(journal),
+        table_(table),
+        scratch_(scratch),
+        scopes_(scopes != nullptr ? *scopes : local_scopes_) {}
 
   Expected<InstPtr> parse(BytesView data) {
+    scopes_.reset();
     Reader reader{data, 0, data.size()};
     auto root = parse_node(wire_.root(), reader);
     if (!root) return root;
@@ -137,17 +143,21 @@ class WireParser {
         break;
     }
 
-    // Mirrored subtree: reverse the region, parse it as a fresh buffer.
+    // Mirrored subtree: reverse the region, parse it as a fresh buffer. The
+    // reversed copy comes from the scratch pool when one is attached, so
+    // steady-state sessions reuse its capacity instead of reallocating.
     if (n.mirrored && !ignore_mirror) {
       if (!region_end) {
         return fail(r, "mirrored node '" + n.name + "' without a region");
       }
-      const Bytes temp = reversed(
-          r.data.subspan(r.pos, *region_end - r.pos));
+      Bytes temp = scratch_ != nullptr ? scratch_->acquire() : Bytes();
+      assign_reversed(temp, r.data.subspan(r.pos, *region_end - r.pos));
       Reader mirror_reader{temp, 0, temp.size()};
       auto inst = parse_node_impl(id, mirror_reader, /*ignore_mirror=*/true);
+      const bool consumed = mirror_reader.pos == mirror_reader.end;
+      if (scratch_ != nullptr) scratch_->release(std::move(temp));
       if (!inst) return inst;
-      if (mirror_reader.pos != mirror_reader.end) {
+      if (!consumed) {
         return fail(r, "mirrored region of '" + n.name +
                            "' not fully consumed");
       }
@@ -283,14 +293,17 @@ class WireParser {
   const Graph& wire_;
   const Journal& journal_;
   const HolderTable& table_;
-  ScopeChain scopes_;
+  BufferPool* scratch_;
+  ScopeChain local_scopes_;
+  ScopeChain& scopes_;
 };
 
 }  // namespace
 
 Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
-                             const HolderTable& table, BytesView data) {
-  return WireParser(wire, journal, table).parse(data);
+                             const HolderTable& table, BytesView data,
+                             BufferPool* scratch, ScopeChain* scopes) {
+  return WireParser(wire, journal, table, scratch, scopes).parse(data);
 }
 
 }  // namespace protoobf

@@ -11,7 +11,9 @@
 
 #include "ast/ast.hpp"
 #include "graph/graph.hpp"
+#include "runtime/scope.hpp"
 #include "transform/lineage.hpp"
+#include "util/bytes.hpp"
 #include "util/result.hpp"
 
 namespace protoobf {
@@ -19,7 +21,15 @@ namespace protoobf {
 /// Parses a complete wire message. Errors carry the wire offset where the
 /// failure was detected. The returned tree instantiates the *final* graph;
 /// run transform/exec.hpp's inverse_all to recover the G1 tree.
+///
+/// `scratch`, when given, supplies reusable buffers for the reversed copies
+/// of mirrored regions so steady-state parsing stops allocating them, and
+/// `scopes` a reusable scope table (it is reset before use, so stale
+/// entries from a previous message never leak in). Both must outlive the
+/// call and may be reused across messages.
 Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
-                             const HolderTable& table, BytesView data);
+                             const HolderTable& table, BytesView data,
+                             BufferPool* scratch = nullptr,
+                             ScopeChain* scopes = nullptr);
 
 }  // namespace protoobf

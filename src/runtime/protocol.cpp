@@ -43,29 +43,38 @@ Expected<ObfuscatedProtocol> ObfuscatedProtocol::from_parts(Graph original,
 Expected<Bytes> ObfuscatedProtocol::serialize(
     const Inst& message, std::uint64_t msg_seed,
     std::vector<FieldSpan>* spans) const {
-  if (Status s = ast::check(original_, message); !s) {
+  Bytes out;
+  if (Status s = serialize_into(message, msg_seed, out, spans); !s) {
     return Unexpected(s.error());
   }
-  InstPtr tree = ast::clone(message);
-  if (Status s = protoobf::canonicalize(original_, *tree); !s) {
-    return Unexpected(s.error());
-  }
-  if (Status s = check_presence(original_, *tree); !s) {
-    return Unexpected(s.error());
-  }
-
-  Rng rng(msg_seed);
-  if (Status s = forward_all(tree, journal_, rng); !s) {
-    return Unexpected(s.error());
-  }
-  if (Status s = fix_holders(wire_, journal_, holders_, *tree, msg_seed); !s) {
-    return Unexpected(s.error());
-  }
-  return emit(wire_, *tree, spans);
+  return out;
 }
 
-Expected<InstPtr> ObfuscatedProtocol::parse(BytesView wire) const {
-  auto tree = parse_wire(wire_, journal_, holders_, wire);
+Status ObfuscatedProtocol::serialize_into(const Inst& message,
+                                          std::uint64_t msg_seed, Bytes& out,
+                                          std::vector<FieldSpan>* spans,
+                                          BufferPool* scratch) const {
+  if (Status s = ast::check(original_, message); !s) return s;
+  InstPtr tree = ast::clone(message);
+  if (Status s = protoobf::canonicalize(original_, *tree, scratch); !s) {
+    return s;
+  }
+  if (Status s = check_presence(original_, *tree); !s) return s;
+
+  Rng rng(msg_seed);
+  if (Status s = forward_all(tree, journal_, rng); !s) return s;
+  if (Status s = fix_holders(wire_, journal_, holders_, *tree, msg_seed,
+                             scratch);
+      !s) {
+    return s;
+  }
+  return emit_into(wire_, *tree, out, spans);
+}
+
+Expected<InstPtr> ObfuscatedProtocol::parse(BytesView wire,
+                                            BufferPool* scratch,
+                                            ScopeChain* scopes) const {
+  auto tree = parse_wire(wire_, journal_, holders_, wire, scratch, scopes);
   if (!tree) return tree;
   if (Status s = inverse_all(*tree, journal_); !s) {
     return Unexpected(s.error());
@@ -76,7 +85,7 @@ Expected<InstPtr> ObfuscatedProtocol::parse(BytesView wire) const {
   if (Status s = fill_consts(original_, **tree); !s) {
     return Unexpected("parsed message rejected: " + s.error().message);
   }
-  if (Status s = protoobf::canonicalize(original_, **tree); !s) {
+  if (Status s = protoobf::canonicalize(original_, **tree, scratch); !s) {
     return Unexpected(s.error());
   }
   if (Status s = ast::check(original_, **tree); !s) {

@@ -17,6 +17,7 @@
 
 #include "graph/graph.hpp"
 #include "runtime/emit.hpp"
+#include "runtime/scope.hpp"
 #include "transform/engine.hpp"
 #include "transform/lineage.hpp"
 #include "util/result.hpp"
@@ -47,8 +48,20 @@ class ObfuscatedProtocol {
   Expected<Bytes> serialize(const Inst& message, std::uint64_t msg_seed,
                             std::vector<FieldSpan>* spans = nullptr) const;
 
-  /// Parses a wire message back into a canonical logical tree.
-  Expected<InstPtr> parse(BytesView wire) const;
+  /// Allocation-lean variant: serializes into `out`, replacing its contents
+  /// but reusing its capacity, with `scratch` (when given) backing the
+  /// derivation passes' intermediate measurements. Sessions route every
+  /// message of a connection through one buffer and one pool
+  /// (session/arena.hpp) so the steady state stops growing the heap.
+  Status serialize_into(const Inst& message, std::uint64_t msg_seed,
+                        Bytes& out, std::vector<FieldSpan>* spans = nullptr,
+                        BufferPool* scratch = nullptr) const;
+
+  /// Parses a wire message back into a canonical logical tree. `scratch`,
+  /// when given, provides reusable buffers for mirrored-region copies and
+  /// derivation measurements; `scopes` a reusable reference-scope table.
+  Expected<InstPtr> parse(BytesView wire, BufferPool* scratch = nullptr,
+                          ScopeChain* scopes = nullptr) const;
 
   /// Fills constants and derived fields of a user-built logical tree so it
   /// compares equal with parse() results.

@@ -22,21 +22,39 @@ class ScopeChain {
  public:
   ScopeChain() { push(); }
 
-  void push() { maps_.emplace_back(); }
-  void pop() { maps_.pop_back(); }
+  /// Opens a scope. Retired maps (and their bucket arrays) are reused, so
+  /// iterating the elements of a Repetition costs no allocation after the
+  /// first element — and none at all when the chain itself is reused
+  /// across messages (session arenas hold one for exactly that).
+  void push() {
+    if (depth_ == maps_.size()) {
+      maps_.emplace_back();
+    } else {
+      maps_[depth_].clear();
+    }
+    ++depth_;
+  }
+  void pop() { --depth_; }
 
-  void add(Inst* inst) { maps_.back()[inst->schema] = inst; }
+  void add(Inst* inst) { maps_[depth_ - 1][inst->schema] = inst; }
 
   Inst* lookup(NodeId id) const {
-    for (auto it = maps_.rbegin(); it != maps_.rend(); ++it) {
-      const auto found = it->find(id);
-      if (found != it->end()) return found->second;
+    for (std::size_t i = depth_; i-- > 0;) {
+      const auto found = maps_[i].find(id);
+      if (found != maps_[i].end()) return found->second;
     }
     return nullptr;
   }
 
+  /// Back to a single empty root scope, keeping all map capacity.
+  void reset() {
+    depth_ = 0;
+    push();
+  }
+
  private:
   std::vector<std::unordered_map<NodeId, Inst*>> maps_;
+  std::size_t depth_ = 0;
 };
 
 /// In-order traversal mirroring parse order: `pre` runs when a node is

@@ -1,0 +1,11 @@
+#include "session/arena.hpp"
+
+namespace protoobf {
+
+void SessionArena::shrink() {
+  wire_ = Bytes();
+  scratch_.shrink();
+  scopes_ = ScopeChain();
+}
+
+}  // namespace protoobf

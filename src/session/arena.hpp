@@ -1,0 +1,46 @@
+// Per-session serialization arena.
+//
+// A session serializes and parses a long stream of messages against one
+// compiled protocol. Without an arena every serialize() grows a fresh Bytes
+// from zero capacity and every mirrored region in parse() allocates its
+// reversed copy; at traffic scale those per-message heap round-trips
+// dominate the runtime cost of small messages. The arena keeps one wire
+// buffer, one span table and one scratch pool per session (or per batch
+// worker) so the steady state reuses capacity established by the first few
+// messages.
+//
+// Not thread-safe: one arena per thread. Session keeps one arena per batch
+// shard for exactly this reason.
+#pragma once
+
+#include "runtime/scope.hpp"
+#include "util/bytes.hpp"
+
+namespace protoobf {
+
+class SessionArena {
+ public:
+  /// Reusable wire-image buffer for serialize_into(). Contents are valid
+  /// until the next serialization through this arena.
+  Bytes& wire() { return wire_; }
+  const Bytes& wire() const { return wire_; }
+
+  /// Scratch buffers for parse() mirrored-region copies.
+  BufferPool& scratch() { return scratch_; }
+
+  /// Reusable reference-scope table for parse() (reset per message).
+  ScopeChain& scopes() { return scopes_; }
+
+  /// Bytes of capacity currently retained by the wire buffer.
+  std::size_t retained() const { return wire_.capacity(); }
+
+  /// Releases all retained memory (e.g. when a session goes idle).
+  void shrink();
+
+ private:
+  Bytes wire_;
+  BufferPool scratch_;
+  ScopeChain scopes_;
+};
+
+}  // namespace protoobf

@@ -1,0 +1,150 @@
+#include "session/protocol_cache.hpp"
+
+#include "core/protoobf.hpp"
+#include "graph/dot.hpp"
+
+namespace protoobf {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view data) {
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xff;
+    h *= kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace
+
+ProtocolCache::ProtocolCache(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+std::uint64_t ProtocolCache::hash_spec(std::string_view text) {
+  return fnv1a(kFnvOffset, text);
+}
+
+std::uint64_t ProtocolCache::hash_graph(const Graph& g) {
+  return hash_spec(to_outline(g));
+}
+
+std::size_t ProtocolCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = fnv1a_u64(kFnvOffset, k.spec_hash);
+  h = fnv1a_u64(h, k.seed);
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(k.per_node));
+  h = fnv1a_u64(h, k.enabled.size());
+  for (const TransformKind kind : k.enabled) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(kind));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+/// Locates the slot for (key, source) and promotes it to the LRU front,
+/// counting a hit. A key match whose source differs is a spec-hash
+/// collision: counted, and lru_.end() is returned so the caller compiles
+/// (the newcomer then replaces the old occupant of the bucket).
+/// Caller must hold mu_.
+ProtocolCache::LruList::iterator ProtocolCache::find_slot(
+    const Key& key, std::string_view source, const ObfuscationConfig&) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return lru_.end();
+  Slot& slot = *it->second;
+  if (slot.source != source) {
+    ++stats_.collisions;
+    return lru_.end();
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return lru_.begin();
+}
+
+Expected<ProtocolCache::Entry> ProtocolCache::get_or_compile(
+    std::string_view spec_text, const ObfuscationConfig& config) {
+  const std::uint64_t spec_hash = hash_spec(spec_text);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Key key{spec_hash, config.seed, config.per_node, config.enabled};
+    if (auto slot = find_slot(key, spec_text, config); slot != lru_.end()) {
+      return slot->entry;
+    }
+  }
+  auto graph = Framework::load_spec(spec_text);
+  if (!graph) return Unexpected(graph.error());
+  return lookup_or_compile(*graph, spec_hash, spec_text, config);
+}
+
+Expected<ProtocolCache::Entry> ProtocolCache::get_or_compile(
+    const Graph& g1, std::uint64_t spec_hash,
+    const ObfuscationConfig& config) {
+  return lookup_or_compile(g1, spec_hash, to_outline(g1), config);
+}
+
+Expected<ProtocolCache::Entry> ProtocolCache::lookup_or_compile(
+    const Graph& g1, std::uint64_t spec_hash, std::string_view source,
+    const ObfuscationConfig& config) {
+  const Key key{spec_hash, config.seed, config.per_node, config.enabled};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto slot = find_slot(key, source, config); slot != lru_.end()) {
+      return slot->entry;
+    }
+  }
+
+  // Compile outside the lock: generation is the expensive step and other
+  // sessions' hits must not stall behind it. Two threads missing the same
+  // key may both compile; the loser's copy wins the insert race below and
+  // the duplicate is dropped (compilation is deterministic, so both copies
+  // behave identically).
+  auto compiled = ObfuscatedProtocol::create(g1, config);
+  if (!compiled) return Unexpected(compiled.error());
+  Entry entry = std::make_shared<const ObfuscatedProtocol>(
+      std::move(*compiled));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto slot = find_slot(key, source, config); slot != lru_.end()) {
+    return slot->entry;
+  }
+  ++stats_.misses;
+  // One slot per key: a colliding occupant (different source) is
+  // displaced rather than kept alongside.
+  if (auto it = index_.find(key); it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Slot{key, std::string(source), entry});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return entry;
+}
+
+ProtocolCache::Stats ProtocolCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.size = lru_.size();
+  return s;
+}
+
+void ProtocolCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace protoobf

@@ -1,0 +1,105 @@
+// Compiled-protocol cache.
+//
+// Version rotation (examples/version_rotation.cpp) re-generates the
+// obfuscation with a fresh seed on a schedule; a server terminating many
+// sessions sees a small working set of (specification, seed, per_node)
+// versions at any moment. Obfuscation is the expensive step — graph clone,
+// transformation selection, validation — so recompiling it per session (or
+// worse, per message) would dwarf serialization itself. ProtocolCache
+// memoizes compiled ObfuscatedProtocol instances behind shared_ptr, keyed by
+// (spec hash, seed, per_node, enabled-transform set), with LRU eviction.
+//
+// Entries are immutable once compiled (ObfuscatedProtocol is const through
+// the shared_ptr), so handed-out protocols stay valid even after eviction —
+// eviction only drops the cache's own reference.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/protocol.hpp"
+
+namespace protoobf {
+
+class ProtocolCache {
+ public:
+  using Entry = std::shared_ptr<const ObfuscatedProtocol>;
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t collisions = 0;  // hash matches with different spec/config
+    std::size_t size = 0;
+  };
+
+  explicit ProtocolCache(std::size_t capacity = 64);
+
+  /// Returns the cached protocol for (spec_text, config), compiling and
+  /// inserting it on a miss. Parse or obfuscation errors are not cached.
+  Expected<Entry> get_or_compile(std::string_view spec_text,
+                                 const ObfuscationConfig& config);
+
+  /// Same, for an already-parsed graph. `spec_hash` identifies the
+  /// specification the graph came from (hash_spec of its source text, or
+  /// hash_graph when only the graph exists). Entries are verified by the
+  /// graph's outline rendering, so this overload and the text overload
+  /// only share an entry when used with consistent hashes per protocol —
+  /// mixing them for one protocol recompiles rather than mis-hits.
+  Expected<Entry> get_or_compile(const Graph& g1, std::uint64_t spec_hash,
+                                 const ObfuscationConfig& config);
+
+  Stats stats() const;
+  void clear();
+
+  /// FNV-1a 64-bit over the specification text.
+  static std::uint64_t hash_spec(std::string_view text);
+
+  /// Specification hash of a graph without its source text (hashes the
+  /// deterministic outline rendering).
+  static std::uint64_t hash_graph(const Graph& g);
+
+ private:
+  // The enabled-transform list participates with exact (element-wise)
+  // equality; only the specification is reduced to a hash.
+  struct Key {
+    std::uint64_t spec_hash = 0;
+    std::uint64_t seed = 0;
+    int per_node = 0;
+    std::vector<TransformKind> enabled;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  // `source` (spec text or graph outline) verifies a key match, so a
+  // 64-bit spec-hash collision degrades to a recompile instead of
+  // silently returning a different specification's protocol.
+  struct Slot {
+    Key key;
+    std::string source;
+    Entry entry;
+  };
+  using LruList = std::list<Slot>;
+
+  Expected<Entry> lookup_or_compile(const Graph& g1, std::uint64_t spec_hash,
+                                    std::string_view source,
+                                    const ObfuscationConfig& config);
+  LruList::iterator find_slot(const Key& key, std::string_view source,
+                              const ObfuscationConfig& config);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  Stats stats_;
+};
+
+}  // namespace protoobf

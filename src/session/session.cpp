@@ -1,0 +1,97 @@
+#include "session/session.hpp"
+
+namespace protoobf {
+
+Session::Session(std::shared_ptr<const ObfuscatedProtocol> protocol,
+                 WorkerPool* pool)
+    : protocol_(std::move(protocol)),
+      pool_(pool),
+      shards_(pool_ != nullptr ? pool_->width() : 1) {}
+
+Expected<BytesView> Session::serialize(const Inst& message,
+                                       std::uint64_t msg_seed,
+                                       std::vector<FieldSpan>* spans) {
+  if (Status s = protocol_->serialize_into(message, msg_seed, arena_.wire(),
+                                           spans, &arena_.scratch());
+      !s) {
+    return Unexpected(s.error());
+  }
+  return BytesView(arena_.wire());
+}
+
+Expected<InstPtr> Session::parse(BytesView wire) {
+  return protocol_->parse(wire, &arena_.scratch(), &arena_.scopes());
+}
+
+Expected<Bytes> Session::serialize_one(SessionArena& arena,
+                                       const BatchItem& item) {
+  if (item.message == nullptr) {
+    return Unexpected("batch item has no message");
+  }
+  if (Status s = protocol_->serialize_into(*item.message, item.msg_seed,
+                                           arena.wire(), /*spans=*/nullptr,
+                                           &arena.scratch());
+      !s) {
+    return Unexpected(s.error());
+  }
+  // The arena buffer is reused for the next item; the result is a
+  // right-sized copy the caller owns.
+  return Bytes(arena.wire());
+}
+
+std::vector<Expected<Bytes>> Session::serialize_batch(
+    std::span<const BatchItem> items) {
+  std::vector<Expected<Bytes>> results;
+  results.reserve(items.size());
+
+  if (pool_ == nullptr || pool_->width() == 1 || items.size() <= 1) {
+    for (const BatchItem& item : items) {
+      results.emplace_back(serialize_one(shards_[0], item));
+    }
+    return results;
+  }
+
+  // Sharded run: pre-fill placeholders so shards can assign their slots
+  // concurrently. The empty error message stays within SSO, so this does
+  // not allocate per item.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    results.emplace_back(Unexpected(std::string()));
+  }
+  pool_->parallel_for(
+      items.size(), [&](std::size_t shard, std::size_t begin,
+                        std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = serialize_one(shards_[shard], items[i]);
+        }
+      });
+  return results;
+}
+
+std::vector<Expected<InstPtr>> Session::parse_batch(
+    std::span<const BytesView> wires) {
+  std::vector<Expected<InstPtr>> results;
+  results.reserve(wires.size());
+
+  if (pool_ == nullptr || pool_->width() == 1 || wires.size() <= 1) {
+    for (const BytesView wire : wires) {
+      results.emplace_back(
+          protocol_->parse(wire, &shards_[0].scratch(), &shards_[0].scopes()));
+    }
+    return results;
+  }
+
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    results.emplace_back(Unexpected(std::string()));
+  }
+  pool_->parallel_for(
+      wires.size(), [&](std::size_t shard, std::size_t begin,
+                        std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = protocol_->parse(wires[i], &shards_[shard].scratch(),
+                                        &shards_[shard].scopes());
+        }
+      });
+  return results;
+}
+
+}  // namespace protoobf

@@ -1,0 +1,82 @@
+#include "session/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace protoobf {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--inflight_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& body) {
+  if (n == 0) return;
+  // Base/remainder split: every shard gets n/shards items and the first
+  // n%shards get one extra, so no shard is ever empty (shards <= n).
+  const std::size_t shards = std::min(width(), n);
+  const std::size_t base = n / shards;
+  const std::size_t rem = n % shards;
+  const auto begin_of = [&](std::size_t shard) {
+    return shard * base + std::min(shard, rem);
+  };
+
+  // Shards 1.. go to the workers; shard 0 runs on the calling thread so a
+  // worker-less pool executes the whole batch inline.
+  if (shards > 1) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t shard = 1; shard < shards; ++shard) {
+        const std::size_t begin = begin_of(shard);
+        const std::size_t end = begin_of(shard + 1);
+        ++inflight_;
+        queue_.push_back(
+            [&body, shard, begin, end] { body(shard, begin, end); });
+      }
+    }
+    wake_.notify_all();
+  }
+
+  body(0, 0, begin_of(1));
+
+  if (shards > 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return inflight_ == 0; });
+  }
+}
+
+}  // namespace protoobf

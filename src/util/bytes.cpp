@@ -85,7 +85,25 @@ Bytes concat(BytesView a, BytesView b) {
 }
 
 Bytes reversed(BytesView data) {
-  return Bytes(data.rbegin(), data.rend());
+  Bytes out;
+  assign_reversed(out, data);
+  return out;
+}
+
+void assign_reversed(Bytes& dst, BytesView src) {
+  dst.assign(src.rbegin(), src.rend());
+}
+
+Bytes BufferPool::acquire() {
+  if (free_.empty()) return Bytes();
+  Bytes buffer = std::move(free_.back());
+  free_.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void BufferPool::release(Bytes buffer) {
+  free_.push_back(std::move(buffer));
 }
 
 bool starts_with(BytesView data, BytesView prefix) {

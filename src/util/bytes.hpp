@@ -41,6 +41,32 @@ void append(Bytes& dst, BytesView src);
 Bytes concat(BytesView a, BytesView b);
 Bytes reversed(BytesView data);
 
+/// Replaces `dst`'s contents with `src` reversed, reusing `dst`'s capacity.
+void assign_reversed(Bytes& dst, BytesView src);
+
+/// Recycles byte buffers so hot paths (per-message serialization, mirrored
+/// region parsing) stop paying a heap allocation per call. Buffers returned
+/// by acquire() keep whatever capacity they accumulated in earlier rounds;
+/// release() hands them back for the next acquire(). Not thread-safe: each
+/// session/worker owns its own pool.
+class BufferPool {
+ public:
+  /// A cleared buffer, reusing a retired one's capacity when available.
+  Bytes acquire();
+
+  /// Returns a buffer to the pool for later reuse.
+  void release(Bytes buffer);
+
+  /// Number of idle buffers currently held.
+  std::size_t idle() const { return free_.size(); }
+
+  /// Drops all idle buffers (and their capacity).
+  void shrink() { free_.clear(); }
+
+ private:
+  std::vector<Bytes> free_;
+};
+
 bool starts_with(BytesView data, BytesView prefix);
 
 /// First position of `needle` in `data` at or after `from`.

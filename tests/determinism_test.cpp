@@ -1,0 +1,182 @@
+// Determinism regression tests.
+//
+// The deployment model depends on reproducibility at two layers: the
+// generator (same spec + ObfuscationConfig must select the same
+// transformations, whenever and wherever it runs) and the runtime (same
+// message + msg_seed must emit the same wire bytes). A peer that rebuilds
+// the protocol — recompiling from the spec, loading a persisted artifact,
+// or reassembling via from_parts — must produce bit-identical traffic, or
+// rotated deployments stop interoperating mid-rotation.
+#include <gtest/gtest.h>
+
+#include "protocols/http.hpp"
+#include "protocols/modbus.hpp"
+#include "runtime/persist.hpp"
+#include "session/protocol_cache.hpp"
+
+namespace protoobf {
+namespace {
+
+constexpr std::string_view kFig3Spec = R"spec(
+protocol Fig3
+
+msg: seq end {
+  len: terminal fixed(2)
+  payload: seq length(len) {
+    fn: terminal fixed(1)
+    m1: optional (fn == 0x01) {
+      m1_body: seq {
+        addr: terminal fixed(2)
+        qty: terminal fixed(2)
+      }
+    }
+    m2: optional (fn == 0x02) {
+      m2_body: seq {
+        count: terminal fixed(1)
+        regs: tabular(count) {
+          reg: terminal fixed(2)
+        }
+      }
+    }
+  }
+}
+)spec";
+
+Message fig3_message(const Graph& g) {
+  Message msg(g);
+  msg.set_uint("fn", 2);
+  for (int i = 0; i < 3; ++i) {
+    msg.append("regs");
+    msg.set_uint("regs[" + std::to_string(i) + "].reg", 0x1000 + i);
+  }
+  return msg;
+}
+
+struct Case {
+  int per_node;
+  std::uint64_t seed;
+};
+
+class Determinism : public ::testing::TestWithParam<Case> {};
+
+// Two independent compilations of the same (spec, seed, per_node) are the
+// same protocol: identical artifact text and identical wire bytes for
+// identical (message, msg_seed).
+TEST_P(Determinism, RecompilationIsBitIdentical) {
+  const Case c = GetParam();
+  ObfuscationConfig cfg;
+  cfg.seed = c.seed;
+  cfg.per_node = c.per_node;
+
+  auto g1 = Framework::load_spec(kFig3Spec).value();
+  auto g2 = Framework::load_spec(kFig3Spec).value();
+  auto first = Framework::generate(g1, cfg).value();
+  auto second = Framework::generate(g2, cfg).value();
+  EXPECT_EQ(save_artifact(first), save_artifact(second));
+
+  Message msg = fig3_message(first.original());
+  for (const std::uint64_t msg_seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    auto a = first.serialize(msg.root(), msg_seed);
+    auto b = second.serialize(msg.root(), msg_seed);
+    ASSERT_TRUE(a.ok()) << a.error().message;
+    ASSERT_TRUE(b.ok()) << b.error().message;
+    EXPECT_EQ(*a, *b) << "msg_seed " << msg_seed;
+    // Repeated serialization of the same inputs is stable within one
+    // instance too (no hidden per-call state).
+    EXPECT_EQ(*a, *first.serialize(msg.root(), msg_seed));
+  }
+}
+
+// persist -> load and from_parts rebuilds serialize bit-identically and
+// parse each other's traffic.
+TEST_P(Determinism, RebuiltProtocolsMatchTheOriginal) {
+  const Case c = GetParam();
+  ObfuscationConfig cfg;
+  cfg.seed = c.seed;
+  cfg.per_node = c.per_node;
+  auto g = Framework::load_spec(kFig3Spec).value();
+  auto original = Framework::generate(g, cfg).value();
+
+  auto loaded = load_artifact(save_artifact(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  auto reparts = ObfuscatedProtocol::from_parts(original.original().clone(),
+                                                original.wire_graph().clone(),
+                                                original.journal());
+  ASSERT_TRUE(reparts.ok()) << reparts.error().message;
+
+  Message msg = fig3_message(original.original());
+  for (const std::uint64_t msg_seed : {3ull, 77ull, 123456789ull}) {
+    const Bytes wire = original.serialize(msg.root(), msg_seed).value();
+    EXPECT_EQ(wire, loaded->serialize(msg.root(), msg_seed).value());
+    EXPECT_EQ(wire, reparts->serialize(msg.root(), msg_seed).value());
+
+    auto tree = loaded->parse(wire);
+    ASSERT_TRUE(tree.ok()) << tree.error().message;
+    auto tree2 = reparts->parse(wire);
+    ASSERT_TRUE(tree2.ok()) << tree2.error().message;
+    EXPECT_TRUE(ast::equal(**tree, **tree2));
+  }
+}
+
+// The cache returns protocols indistinguishable from direct compilation.
+TEST_P(Determinism, CachedCompilationMatchesDirect) {
+  const Case c = GetParam();
+  ObfuscationConfig cfg;
+  cfg.seed = c.seed;
+  cfg.per_node = c.per_node;
+  auto g = Framework::load_spec(kFig3Spec).value();
+  auto direct = Framework::generate(g, cfg).value();
+  ProtocolCache cache;
+  auto cached = cache.get_or_compile(kFig3Spec, cfg);
+  ASSERT_TRUE(cached.ok()) << cached.error().message;
+
+  Message msg = fig3_message(direct.original());
+  EXPECT_EQ(direct.serialize(msg.root(), 5).value(),
+            (*cached)->serialize(msg.root(), 5).value());
+  EXPECT_EQ(save_artifact(direct), save_artifact(**cached));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, Determinism,
+    ::testing::Values(Case{0, 2018}, Case{1, 2018}, Case{2, 2018},
+                      Case{3, 2018}, Case{2, 0}, Case{4, 0xfeedface}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "o" + std::to_string(info.param.per_node) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// The identity protocol's wire image is fully pinned by the specification
+// semantics alone; a golden value locks cross-process/cross-version
+// stability of the canonical emission (paper §V-A DFS-concatenation).
+TEST(Determinism, IdentityWireGolden) {
+  ObfuscationConfig cfg;
+  cfg.per_node = 0;
+  auto g = Framework::load_spec(kFig3Spec).value();
+  auto protocol = Framework::generate(g, cfg).value();
+  Message msg = fig3_message(protocol.original());
+  const Bytes wire = protocol.serialize(msg.root(), 9).value();
+  // len(2)=0008 | fn(1)=02 | count(1)=03 | regs: 1000 1001 1002
+  EXPECT_EQ(to_hex(wire), "00080203100010011002");
+}
+
+// Wire bytes for the obfuscated protocol differ across msg_seeds when any
+// randomized transformation is present — determinism must not collapse the
+// per-message randomness.
+TEST(Determinism, MsgSeedStillVariesTheWire) {
+  ObfuscationConfig cfg;
+  cfg.seed = 2018;
+  cfg.per_node = 3;
+  auto g = Framework::load_spec(kFig3Spec).value();
+  auto protocol = Framework::generate(g, cfg).value();
+  Message msg = fig3_message(protocol.original());
+  auto a = protocol.serialize(msg.root(), 1);
+  auto b = protocol.serialize(msg.root(), 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Seeds drive split halves / pad bytes; with 3 rounds per node the two
+  // images are overwhelmingly likely to differ. Equality here would signal
+  // the seed is being ignored.
+  EXPECT_NE(*a, *b);
+}
+
+}  // namespace
+}  // namespace protoobf
