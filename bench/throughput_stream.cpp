@@ -1,0 +1,213 @@
+// Streaming throughput: Channel (framed byte stream) vs raw Session.
+//
+// The Channel is the intended server entry point for TCP traffic, so its
+// overhead over the raw batch paths is the number to watch: framing on
+// send, reassembly + frame decode + batched parse on receive. Measured
+// across chunk sizes because delivery granularity decides how often the
+// reader re-attempts a decode:
+//
+//   serialize/session    Session::serialize() per message (arena path)
+//   serialize/channel    Channel::send() — serialize + frame, arena-backed
+//   parse/session        Session::parse_batch() on pre-split wire images —
+//                        the baseline with boundaries known a priori
+//   parse/channel@N      feed the concatenated framed stream in N-byte
+//                        chunks, Channel::drain_batch() per chunk
+//
+// The CI smoke step guards "channel/session" (whole-stream delivery): the
+// framed path must stay within a constant factor of the raw batch path.
+//
+// Usage: bench_throughput_stream [messages] [repeats] [per_node]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness.hpp"
+#include "session/protocol_cache.hpp"
+#include "stream/channel.hpp"
+
+namespace {
+
+using namespace protoobf;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::uint64_t msg_seed_of(std::size_t i) {
+  return 0x57ea + 11400714819323198485ull * i;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t messages =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 256;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 6;
+  const int per_node = argc > 3 ? std::atoi(argv[3]) : 2;
+  if (messages == 0 || repeats <= 0 || per_node < 0) {
+    std::fprintf(stderr,
+                 "usage: bench_throughput_stream [messages>0] [repeats>0] "
+                 "[per_node>=0]\n");
+    return 2;
+  }
+
+  bench::Workload workload = bench::http_workload();
+  const Graph& g = workload.graphs[0];
+  ObfuscationConfig config;
+  config.seed = 2018;
+  config.per_node = per_node;
+  ProtocolCache cache;
+  auto entry = cache.get_or_compile(g, ProtocolCache::hash_graph(g), config);
+  if (!entry) {
+    std::fprintf(stderr, "obfuscation failed: %s\n",
+                 entry.error().message.c_str());
+    return 1;
+  }
+  const ObfuscatedProtocol& protocol = **entry;
+
+  Rng rng(7);
+  std::vector<Message> msgs;
+  msgs.reserve(messages);
+  for (std::size_t i = 0; i < messages; ++i) {
+    msgs.push_back(workload.make(0, g, rng));
+  }
+
+  WorkerPool pool;
+  Session sender(*entry, &pool);
+  Session receiver(*entry, &pool);
+  LengthPrefixFramer send_framer;
+  LengthPrefixFramer recv_framer;
+  Channel out(sender, send_framer);
+  Channel in(receiver, recv_framer);
+
+  // Fixture: plain wire images (the session baseline's input) and the
+  // concatenated framed stream (the channel's input).
+  std::vector<Bytes> wires;
+  Bytes stream;
+  for (std::size_t i = 0; i < messages; ++i) {
+    auto wire = protocol.serialize(msgs[i].root(), msg_seed_of(i));
+    if (!wire) {
+      std::fprintf(stderr, "serialize failed: %s\n",
+                   wire.error().message.c_str());
+      return 1;
+    }
+    auto framed = out.send(msgs[i].root(), msg_seed_of(i));
+    if (!framed) {
+      std::fprintf(stderr, "send failed: %s\n",
+                   framed.error().message.c_str());
+      return 1;
+    }
+    append(stream, *framed);
+    wires.push_back(std::move(*wire));
+  }
+  std::vector<BytesView> views(wires.begin(), wires.end());
+
+  const std::size_t chunk_sizes[] = {64, 1024, stream.size()};
+  std::size_t checksum = 0;
+
+  // One timed run of each path, interleaved over kTrials rounds; best
+  // window wins (same discipline as bench_throughput_session).
+  const auto run_channel = [&](std::size_t chunk) {
+    std::size_t got = 0;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t n = std::min(chunk, stream.size() - offset);
+      in.on_bytes(BytesView(stream).subspan(offset, n));
+      offset += n;
+      auto batch = in.drain_batch();
+      for (const auto& tree : batch) {
+        checksum += tree ? (*tree)->children.size() : 0;
+        ++got;
+      }
+    }
+    return got;
+  };
+
+  struct Row {
+    const char* label;
+    double msgs_per_sec = 0;
+  };
+  Row ser_session{"serialize/session"};
+  Row ser_channel{"serialize/channel"};
+  Row parse_session{"parse/session"};
+  std::vector<Row> parse_channel;
+  static char labels[3][32];
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::snprintf(labels[c], sizeof labels[c], "parse/channel@%zu",
+                  chunk_sizes[c]);
+    parse_channel.push_back(Row{labels[c]});
+  }
+
+  constexpr int kTrials = 5;
+  const double total =
+      static_cast<double>(messages) * static_cast<double>(repeats);
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        for (std::size_t i = 0; i < messages; ++i) {
+          auto wire = sender.serialize(msgs[i].root(), msg_seed_of(i));
+          checksum += wire ? wire->size() : 0;
+        }
+      }
+      ser_session.msgs_per_sec =
+          std::max(ser_session.msgs_per_sec, total / seconds_since(start));
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        for (std::size_t i = 0; i < messages; ++i) {
+          auto framed = out.send(msgs[i].root(), msg_seed_of(i));
+          checksum += framed ? framed->size() : 0;
+        }
+      }
+      ser_channel.msgs_per_sec =
+          std::max(ser_channel.msgs_per_sec, total / seconds_since(start));
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        auto batch = receiver.parse_batch(views);
+        for (const auto& tree : batch) {
+          checksum += tree ? (*tree)->children.size() : 0;
+        }
+      }
+      parse_session.msgs_per_sec =
+          std::max(parse_session.msgs_per_sec, total / seconds_since(start));
+    }
+    for (std::size_t c = 0; c < 3; ++c) {
+      std::size_t got = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) got += run_channel(chunk_sizes[c]);
+      if (got != messages * static_cast<std::size_t>(repeats)) {
+        std::fprintf(stderr, "FRAMING LOST MESSAGES: %zu/%zu\n", got,
+                     messages * static_cast<std::size_t>(repeats));
+        return 1;
+      }
+      parse_channel[c].msgs_per_sec =
+          std::max(parse_channel[c].msgs_per_sec,
+                   total / seconds_since(start));
+    }
+  }
+
+  std::printf("throughput_stream — %s, per_node=%d, %zu msgs x %d repeats, "
+              "stream %zu bytes, %zu-way batches\n",
+              workload.name.c_str(), per_node, messages, repeats,
+              stream.size(), receiver.batch_width());
+  const auto print_row = [](const Row& row) {
+    std::printf("  %-20s %12.0f msgs/s\n", row.label, row.msgs_per_sec);
+  };
+  print_row(ser_session);
+  print_row(ser_channel);
+  print_row(parse_session);
+  for (const Row& row : parse_channel) print_row(row);
+  std::printf("  serialize channel/session: %.3fx\n",
+              ser_channel.msgs_per_sec / ser_session.msgs_per_sec);
+  std::printf("  parse     channel/session: %.3fx\n",
+              parse_channel[2].msgs_per_sec / parse_session.msgs_per_sec);
+  std::printf("  (checksum %zu)\n", checksum);
+  return 0;
+}

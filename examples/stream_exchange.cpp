@@ -1,21 +1,28 @@
 // Streaming exchange: obfuscated messages over a byte-stream transport.
 //
-// On TCP the receiver must find message boundaries before it can parse. An
-// obfuscated protocol makes in-band delimitation intentionally hard, so the
-// usual engineering answer applies: an *outer* framing layer — itself just
-// another ProtoSpec (a 4-byte length + body) — carries the obfuscated
-// payload. This example runs a client and a server over an in-memory
-// "socket": three requests are framed, concatenated, chunk-delivered, and
-// reassembled on the other side.
-#include <deque>
+// On TCP the receiver must find message boundaries before it can parse —
+// and an obfuscated protocol makes in-band delimitation intentionally hard.
+// The streaming API (src/stream) answers with a pluggable framing layer:
+// a Channel binds a Session to a Framer and turns arbitrary received
+// chunks back into parsed messages.
+//
+// Two exchanges over an in-memory "socket":
+//   1. LengthPrefixFramer — a transparent 4-byte length + body frame;
+//   2. ObfuscatedFramer   — the frame spec itself compiled as an
+//      ObfuscatedProtocol, so even the message boundary is opaque to an
+//      observer (the framing layer is part of the obfuscation surface).
 #include <iostream>
 
 #include "protocols/modbus.hpp"
+#include "session/protocol_cache.hpp"
+#include "stream/channel.hpp"
 
 namespace {
 
 using namespace protoobf;
 
+/// A plain length+body frame spec; compiled with per_node > 0 it becomes an
+/// opaque boundary.
 constexpr std::string_view kFrameSpec = R"(
 protocol Frame
 frame: seq end {
@@ -24,89 +31,121 @@ frame: seq end {
 }
 )";
 
-/// Minimal stream reassembler: buffers chunks, yields complete frames.
-class FrameReader {
- public:
-  explicit FrameReader(const Graph& frame_graph,
-                       const ObfuscatedProtocol& framing)
-      : graph_(frame_graph), framing_(framing) {}
-
-  void feed(BytesView chunk) { append(buffer_, chunk); }
-
-  /// Pops one complete frame body, or nullopt if more bytes are needed.
-  std::optional<Bytes> next_frame() {
-    if (buffer_.size() < 4) return std::nullopt;
-    const std::uint64_t body = be_decode(BytesView(buffer_).first(4));
-    if (buffer_.size() < 4 + body) return std::nullopt;
-    const Bytes frame(buffer_.begin(),
-                      buffer_.begin() + static_cast<std::ptrdiff_t>(4 + body));
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(4 + body));
-    auto parsed = framing_.parse(frame);
-    if (!parsed.ok()) return std::nullopt;
-    return ast::find_path(graph_, **parsed, "frame.fbody")->value;
-  }
-
- private:
-  const Graph& graph_;
-  const ObfuscatedProtocol& framing_;
-  Bytes buffer_;
-};
-
-}  // namespace
-
-int main() {
-  // Inner protocol: obfuscated Modbus requests.
-  auto modbus_graph = Framework::load_spec(modbus::request_spec()).value();
-  ObfuscationConfig obf;
-  obf.per_node = 2;
-  obf.seed = 2024;
-  auto inner = Framework::generate(modbus_graph, obf).value();
-
-  // Outer framing: a plain 4-byte length prefix (it could be obfuscated
-  // too — then the boundary itself becomes opaque).
-  auto frame_graph = Framework::load_spec(kFrameSpec).value();
-  ObfuscationConfig plain;
-  plain.per_node = 0;
-  auto framing = Framework::generate(frame_graph, plain).value();
-
-  // --- client side: three requests into one TCP-ish byte stream ----------
+/// Sends three obfuscated Modbus requests through `client`, delivers the
+/// concatenated bytes to `server` in awkward 1..8-byte chunks, and parses
+/// them back. Returns the number recovered.
+int exchange(const Graph& modbus_graph, Channel& client, Channel& server,
+             std::uint64_t chop_seed) {
   Bytes stream;
   const std::uint16_t addrs[] = {0x0010, 0x0400, 0x006b};
   for (int i = 0; i < 3; ++i) {
     Message request = modbus::make_read_holding(
         modbus_graph, static_cast<std::uint16_t>(i + 1), 0x11, addrs[i], 2);
-    const Bytes payload = inner.serialize(request.root(), 100u + i).value();
-
-    Message frame(frame_graph);
-    frame.set("fbody", payload);
-    append(stream, framing.serialize(frame.root(), 0).value());
+    auto framed = client.send(request.root(), 100u + i);
+    if (!framed.ok()) {
+      std::cerr << "send failed: " << framed.error().message << "\n";
+      return 0;
+    }
+    append(stream, *framed);  // the view aliases the arena; copy to queue
   }
-  std::cout << "client sent " << stream.size()
+  std::cout << "  client sent " << stream.size()
             << " bytes carrying 3 obfuscated requests\n";
 
-  // --- server side: deliver in awkward chunks, reassemble, parse ---------
-  FrameReader reader(frame_graph, framing);
-  std::size_t offset = 0;
   int received = 0;
-  Rng chop(7);
+  Rng chop(chop_seed);
+  std::size_t offset = 0;
   while (offset < stream.size()) {
     const std::size_t n =
-        std::min<std::size_t>(chop.between(1, 9), stream.size() - offset);
-    reader.feed(BytesView(stream).subspan(offset, n));
+        std::min<std::size_t>(chop.between(1, 8), stream.size() - offset);
+    server.on_bytes(BytesView(stream).subspan(offset, n));
     offset += n;
-    while (auto body = reader.next_frame()) {
-      auto request = inner.parse(*body).value();
+    while (auto message = server.receive()) {
+      if (!message->ok()) {
+        std::cerr << "parse failed: " << (*message).error().message << "\n";
+        return received;
+      }
+      const Inst& request = ***message;
       const Inst* tx =
-          ast::find_path(modbus_graph, *request, "adu.transaction");
+          ast::find_path(modbus_graph, request, "adu.transaction");
       const Inst* addr = ast::find_path(
-          modbus_graph, *request, "adu.tail.read_holding.rh_body.rh_addr");
-      std::cout << "server got request tx=" << be_decode(tx->value)
+          modbus_graph, request, "adu.tail.read_holding.rh_body.rh_addr");
+      std::cout << "  server got request tx=" << be_decode(tx->value)
                 << " addr=0x" << to_hex(addr->value) << "\n";
       ++received;
     }
   }
-  std::cout << (received == 3 ? "all 3 requests recovered from the stream\n"
-                              : "FRAMING FAILED\n");
-  return received == 3 ? 0 : 1;
+  return received;
+}
+
+}  // namespace
+
+int main() {
+  // Inner protocol: obfuscated Modbus requests, shared by both exchanges.
+  ProtocolCache cache;
+  ObfuscationConfig obf;
+  obf.per_node = 2;
+  obf.seed = 2024;
+  auto inner = cache.get_or_compile(modbus::request_spec(), obf);
+  if (!inner.ok()) {
+    std::cerr << "obfuscation failed: " << inner.error().message << "\n";
+    return 1;
+  }
+  auto modbus_graph = Framework::load_spec(modbus::request_spec()).value();
+
+  // --- exchange 1: transparent length-prefix framing ----------------------
+  std::cout << "[length-prefix framing]\n";
+  LengthPrefixFramer client_framer;
+  LengthPrefixFramer server_framer;
+  Session client_session(*inner);
+  Session server_session(*inner);
+  Channel client(client_session, client_framer);
+  Channel server(server_session, server_framer);
+  const int plain = exchange(modbus_graph, client, server, 7);
+
+  // --- exchange 2: the boundary itself is obfuscated ----------------------
+  // The same frame spec, compiled with transformations: length field split
+  // and xored, pad bytes inserted — an observer cannot even tell where one
+  // message ends and the next begins. Not every compilation is usable on a
+  // stream (a seed that mirrors the frame root would make the boundary
+  // depend on where the input ends), so rotate seeds until
+  // ObfuscatedFramer::create accepts one — the same loop a server's version
+  // rotation runs.
+  std::cout << "[obfuscated framing]\n";
+  std::unique_ptr<ObfuscatedFramer> obf_client_framer;
+  std::unique_ptr<ObfuscatedFramer> obf_server_framer;
+  for (std::uint64_t seed = 11; seed < 11 + 32; ++seed) {
+    ObfuscationConfig frame_obf;
+    frame_obf.per_node = 2;
+    frame_obf.seed = seed;
+    auto framing = cache.get_or_compile(kFrameSpec, frame_obf);
+    if (!framing.ok()) continue;
+    ObfuscatedFramer::Config fc;
+    fc.frame_seed = 99;
+    auto client_try = ObfuscatedFramer::create(*framing, fc);
+    if (!client_try.ok()) {
+      std::cout << "  seed " << seed << " rejected ("
+                << client_try.error().message << "), rotating\n";
+      continue;
+    }
+    obf_client_framer = std::move(*client_try);
+    obf_server_framer = ObfuscatedFramer::create(*framing, fc).value();
+    std::cout << "  frame spec compiled stream-safe with seed " << seed
+              << " (" << (*framing)->journal().size()
+              << " transformations)\n";
+    break;
+  }
+  if (obf_client_framer == nullptr) {
+    std::cerr << "no stream-safe frame compilation found\n";
+    return 1;
+  }
+  Session obf_client_session(*inner);
+  Session obf_server_session(*inner);
+  Channel obf_client(obf_client_session, *obf_client_framer);
+  Channel obf_server(obf_server_session, *obf_server_framer);
+  const int opaque = exchange(modbus_graph, obf_client, obf_server, 13);
+
+  const bool ok = plain == 3 && opaque == 3;
+  std::cout << (ok ? "all requests recovered from both streams\n"
+                   : "FRAMING FAILED\n");
+  return ok ? 0 : 1;
 }

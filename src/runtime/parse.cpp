@@ -13,6 +13,10 @@ struct Reader {
   BytesView data;
   std::size_t pos = 0;
   std::size_t end = 0;
+  // A soft end is the end of the *input*, not of an enclosed region: more
+  // bytes appended to the stream would extend it. Running short against a
+  // soft end is a truncation; against a hard region it is a malformation.
+  bool soft = false;
 
   std::size_t remaining() const { return end - pos; }
   BytesView window() const { return data.subspan(pos, end - pos); }
@@ -22,19 +26,22 @@ class WireParser {
  public:
   WireParser(const Graph& wire, const Journal& journal,
              const HolderTable& table, BufferPool* scratch,
-             ScopeChain* scopes)
+             ScopeChain* scopes, bool prefix = false)
       : wire_(wire),
         journal_(journal),
         table_(table),
         scratch_(scratch),
+        prefix_(prefix),
         scopes_(scopes != nullptr ? *scopes : local_scopes_) {}
 
-  Expected<InstPtr> parse(BytesView data) {
+  Expected<InstPtr> parse(BytesView data, std::size_t* consumed = nullptr) {
     scopes_.reset();
-    Reader reader{data, 0, data.size()};
+    Reader reader{data, 0, data.size(), /*soft=*/true};
     auto root = parse_node(wire_.root(), reader);
     if (!root) return root;
-    if (reader.pos != reader.end) {
+    if (prefix_) {
+      if (consumed != nullptr) *consumed = reader.pos;
+    } else if (reader.pos != reader.end) {
       return fail(reader, "trailing bytes after message");
     }
     return root;
@@ -42,6 +49,14 @@ class WireParser {
 
  private:
   Unexpected fail(const Reader& r, const std::string& what) const {
+    return Unexpected(what, r.pos);
+  }
+
+  /// Ran out of bytes: a truncation when the shortage is against the end of
+  /// the input itself, a malformation when against an enclosing region.
+  Unexpected fail_short(const Reader& r, const std::string& what,
+                        std::size_t need) const {
+    if (r.soft) return Unexpected::truncated(what, r.pos, need);
     return Unexpected(what, r.pos);
   }
 
@@ -103,11 +118,16 @@ class WireParser {
     switch (n.boundary) {
       case BoundaryKind::Fixed:
         if (r.remaining() < n.fixed_size) {
-          return fail(r, "truncated input in '" + n.name + "'");
+          return fail_short(r, "truncated input in '" + n.name + "'",
+                            n.fixed_size - r.remaining());
         }
         region_end = r.pos + n.fixed_size;
         break;
       case BoundaryKind::Half: {
+        if (prefix_ && r.soft) {
+          return fail(r, "split half '" + n.name +
+                             "' is not self-delimiting in a stream");
+        }
         if (r.remaining() % 2 != 0) {
           return fail(r, "odd region for split halves in '" + n.name + "'");
         }
@@ -120,19 +140,33 @@ class WireParser {
         auto length = scalar(n.ref, **holder, r);
         if (!length) return Unexpected(length.error());
         if (*length > r.remaining()) {
-          return fail(r, "length of '" + n.name + "' exceeds region");
+          return fail_short(r, "length of '" + n.name + "' exceeds region",
+                            *length - r.remaining());
         }
         region_end = r.pos + *length;
         break;
       }
       case BoundaryKind::End:
+        // In prefix mode a region that runs "to the end of the input" is
+        // meaningless — the input end is wherever the stream happens to
+        // pause. A sequence copes (its children delimit themselves, so the
+        // region stays undetermined); anything else is not self-delimiting.
+        if (prefix_ && r.soft) {
+          if (n.type != NodeType::Sequence || n.mirrored) {
+            return fail(r, "'" + n.name +
+                               "' extends to the end of the input and is "
+                               "not self-delimiting in a stream");
+          }
+          break;
+        }
         region_end = r.end;
         break;
       case BoundaryKind::Delimited: {
         if (!stop_marker_rep) {
           const auto found = find(r.data.first(r.end), n.delimiter, r.pos);
           if (!found) {
-            return fail(r, "delimiter of '" + n.name + "' not found");
+            return fail_short(r, "delimiter of '" + n.name + "' not found",
+                              1);
           }
           region_end = *found;
         }
@@ -152,7 +186,8 @@ class WireParser {
       }
       Bytes temp = scratch_ != nullptr ? scratch_->acquire() : Bytes();
       assign_reversed(temp, r.data.subspan(r.pos, *region_end - r.pos));
-      Reader mirror_reader{temp, 0, temp.size()};
+      // The reversed copy is a complete region: its end is hard.
+      Reader mirror_reader{temp, 0, temp.size(), /*soft=*/false};
       auto inst = parse_node_impl(id, mirror_reader, /*ignore_mirror=*/true);
       const bool consumed = mirror_reader.pos == mirror_reader.end;
       if (scratch_ != nullptr) scratch_->release(std::move(temp));
@@ -172,6 +207,11 @@ class WireParser {
   Expected<InstPtr> parse_with_region(const Node& n, NodeId id, Reader& r,
                                       std::optional<std::size_t> region_end,
                                       bool stop_marker_rep) {
+    // Regions carved out of the input by an intrinsic boundary (fixed size,
+    // length holder, delimiter scan) are hard: running short inside them is
+    // a malformation. Only an `end` region inherits the reader's softness —
+    // it reaches to wherever the input currently stops.
+    const bool sub_soft = r.soft && n.boundary == BoundaryKind::End;
     InstPtr inst;
     switch (n.type) {
       case NodeType::Terminal: {
@@ -184,7 +224,7 @@ class WireParser {
       case NodeType::Sequence: {
         inst = std::make_unique<Inst>(id);
         if (region_end) {
-          Reader sub{r.data, r.pos, *region_end};
+          Reader sub{r.data, r.pos, *region_end, sub_soft};
           for (NodeId child : n.children) {
             auto parsed = parse_node(child, sub);
             if (!parsed) return parsed;
@@ -231,14 +271,15 @@ class WireParser {
               break;
             }
             if (r.pos >= r.end) {
-              return fail(r, "unterminated repetition '" + n.name + "'");
+              return fail_short(r, "unterminated repetition '" + n.name + "'",
+                                n.delimiter.size());
             }
             auto element = parse_element(n.children[0], r, true);
             if (!element) return element;
             inst->children.push_back(std::move(*element));
           }
         } else {
-          Reader sub{r.data, r.pos, *region_end};
+          Reader sub{r.data, r.pos, *region_end, sub_soft};
           while (sub.pos < sub.end) {
             auto element = parse_element(n.children[0], sub, true);
             if (!element) return element;
@@ -294,6 +335,7 @@ class WireParser {
   const Journal& journal_;
   const HolderTable& table_;
   BufferPool* scratch_;
+  bool prefix_ = false;
   ScopeChain local_scopes_;
   ScopeChain& scopes_;
 };
@@ -304,6 +346,67 @@ Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
                              const HolderTable& table, BytesView data,
                              BufferPool* scratch, ScopeChain* scopes) {
   return WireParser(wire, journal, table, scratch, scopes).parse(data);
+}
+
+Expected<InstPtr> parse_wire_prefix(const Graph& wire, const Journal& journal,
+                                    const HolderTable& table, BytesView data,
+                                    std::size_t* consumed, BufferPool* scratch,
+                                    ScopeChain* scopes) {
+  return WireParser(wire, journal, table, scratch, scopes, /*prefix=*/true)
+      .parse(data, consumed);
+}
+
+namespace {
+
+/// `open` mirrors the parser's soft flag: true while the node's region
+/// would reach to wherever the stream happens to pause.
+Status check_stream_safe(const Graph& g, NodeId id, bool open) {
+  const Node& n = g.node(id);
+  bool child_open = false;
+  if (open) {
+    switch (n.boundary) {
+      case BoundaryKind::End:
+        if (n.type != NodeType::Sequence || n.mirrored) {
+          return Unexpected("node '" + n.name +
+                            "' extends to the end of the input and cannot "
+                            "delimit itself in a stream");
+        }
+        child_open = true;
+        break;
+      case BoundaryKind::Half:
+        return Unexpected("split half '" + n.name +
+                          "' cannot delimit itself in a stream");
+      case BoundaryKind::Fixed:
+      case BoundaryKind::Length:
+        child_open = false;
+        break;
+      case BoundaryKind::Delimited:
+        // The scanned region is hard; a stop-marker repetition's elements
+        // parse in the open reader until the marker shows up.
+        child_open = n.type == NodeType::Repetition;
+        break;
+      case BoundaryKind::Delegated:
+      case BoundaryKind::Counter:
+        child_open = true;
+        break;
+    }
+    if (n.mirrored && n.boundary != BoundaryKind::Fixed &&
+        n.boundary != BoundaryKind::Length &&
+        n.boundary != BoundaryKind::Delimited) {
+      return Unexpected("mirrored node '" + n.name +
+                        "' has no intrinsic region in a stream");
+    }
+  }
+  for (const NodeId child : n.children) {
+    if (Status s = check_stream_safe(g, child, child_open); !s) return s;
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Status stream_safe(const Graph& wire) {
+  return check_stream_safe(wire, wire.root(), /*open=*/true);
 }
 
 }  // namespace protoobf

@@ -32,4 +32,29 @@ Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
                              BufferPool* scratch = nullptr,
                              ScopeChain* scopes = nullptr);
 
+/// Streaming variant: parses exactly one message from the *front* of
+/// `data`, tolerating trailing bytes (the next message's prefix in a byte
+/// stream). On success `*consumed` receives the message's wire size. When
+/// the buffer ends before the message does, the error carries
+/// ErrorKind::Truncated plus a minimum-additional-bytes hint instead of a
+/// plain failure — the signal framers turn into "need more bytes".
+///
+/// Requires a stream-safe wire graph (see stream_safe()): a boundary that
+/// extends "to the end of the input" cannot delimit itself in a stream, and
+/// is reported as malformed here.
+Expected<InstPtr> parse_wire_prefix(const Graph& wire, const Journal& journal,
+                                    const HolderTable& table, BytesView data,
+                                    std::size_t* consumed,
+                                    BufferPool* scratch = nullptr,
+                                    ScopeChain* scopes = nullptr);
+
+/// Checks that the wire graph delimits its own messages, i.e. that no node
+/// parsed in a stream-open position depends on where the input ends: a
+/// Terminal/Repetition (or mirrored subtree) bounded by `end`, or a split
+/// `half`, consumes "whatever is left" and therefore cannot be framed by
+/// content alone. Root sequences bounded by `end` are fine — their children
+/// delimit themselves. Framers check this once at construction instead of
+/// failing on the first decode.
+Status stream_safe(const Graph& wire);
+
 }  // namespace protoobf

@@ -75,6 +75,22 @@ Expected<InstPtr> ObfuscatedProtocol::parse(BytesView wire,
                                             BufferPool* scratch,
                                             ScopeChain* scopes) const {
   auto tree = parse_wire(wire_, journal_, holders_, wire, scratch, scopes);
+  return finish_parse(std::move(tree), scratch);
+}
+
+Expected<InstPtr> ObfuscatedProtocol::parse_prefix(BytesView buffer,
+                                                   std::size_t* consumed,
+                                                   BufferPool* scratch,
+                                                   ScopeChain* scopes) const {
+  auto tree = parse_wire_prefix(wire_, journal_, holders_, buffer, consumed,
+                                scratch, scopes);
+  return finish_parse(std::move(tree), scratch);
+}
+
+/// Shared tail of parse()/parse_prefix(): inverse transformations plus the
+/// canonical-form integrity checks.
+Expected<InstPtr> ObfuscatedProtocol::finish_parse(Expected<InstPtr> tree,
+                                                   BufferPool* scratch) const {
   if (!tree) return tree;
   if (Status s = inverse_all(*tree, journal_); !s) {
     return Unexpected(s.error());

@@ -63,12 +63,25 @@ class ObfuscatedProtocol {
   Expected<InstPtr> parse(BytesView wire, BufferPool* scratch = nullptr,
                           ScopeChain* scopes = nullptr) const;
 
+  /// Streaming variant of parse(): reads exactly one message from the front
+  /// of `buffer`, tolerating trailing bytes (the next message), and reports
+  /// the message's wire size in `*consumed`. A buffer that ends before the
+  /// message does fails with ErrorKind::Truncated and a minimum
+  /// additional-byte hint — the signal framers translate into "need more
+  /// bytes" instead of a parse failure. Requires stream_safe(wire_graph()).
+  Expected<InstPtr> parse_prefix(BytesView buffer, std::size_t* consumed,
+                                 BufferPool* scratch = nullptr,
+                                 ScopeChain* scopes = nullptr) const;
+
   /// Fills constants and derived fields of a user-built logical tree so it
   /// compares equal with parse() results.
   Status canonicalize(Inst& message) const;
 
  private:
   ObfuscatedProtocol(Graph original, ObfuscationResult result);
+
+  Expected<InstPtr> finish_parse(Expected<InstPtr> tree,
+                                 BufferPool* scratch) const;
 
   Graph original_;
   Graph wire_;

@@ -4,6 +4,7 @@ namespace protoobf {
 
 void SessionArena::shrink() {
   wire_ = Bytes();
+  frame_ = Bytes();
   scratch_.shrink();
   scopes_ = ScopeChain();
 }

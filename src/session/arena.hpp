@@ -25,20 +25,27 @@ class SessionArena {
   Bytes& wire() { return wire_; }
   const Bytes& wire() const { return wire_; }
 
+  /// Reusable framed-image buffer: Channel::send() wraps wire() into a
+  /// frame here, so the framing layer allocates nothing in steady state.
+  /// Contents are valid until the next send through this arena.
+  Bytes& frame() { return frame_; }
+  const Bytes& frame() const { return frame_; }
+
   /// Scratch buffers for parse() mirrored-region copies.
   BufferPool& scratch() { return scratch_; }
 
   /// Reusable reference-scope table for parse() (reset per message).
   ScopeChain& scopes() { return scopes_; }
 
-  /// Bytes of capacity currently retained by the wire buffer.
-  std::size_t retained() const { return wire_.capacity(); }
+  /// Bytes of capacity currently retained by the wire and frame buffers.
+  std::size_t retained() const { return wire_.capacity() + frame_.capacity(); }
 
   /// Releases all retained memory (e.g. when a session goes idle).
   void shrink();
 
  private:
   Bytes wire_;
+  Bytes frame_;
   BufferPool scratch_;
   ScopeChain scopes_;
 };

@@ -95,42 +95,85 @@ Expected<ProtocolCache::Entry> ProtocolCache::lookup_or_compile(
     const Graph& g1, std::uint64_t spec_hash, std::string_view source,
     const ObfuscationConfig& config) {
   const Key key{spec_hash, config.seed, config.per_node, config.enabled};
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto slot = find_slot(key, source, config); slot != lru_.end()) {
       return slot->entry;
     }
+    // Concurrent misses rendezvous here: the first thread in becomes the
+    // leader and compiles; everyone else waits for its result. A spec-hash
+    // collision with the in-flight source compiles independently (same
+    // degradation as Slot collisions: correctness over sharing).
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second->source == source) {
+      flight = it->second;
+      ++stats_.coalesced;
+    } else {
+      flight = std::make_shared<InFlight>();
+      flight->source = std::string(source);
+      inflight_[key] = flight;
+      leader = true;
+    }
   }
 
-  // Compile outside the lock: generation is the expensive step and other
-  // sessions' hits must not stall behind it. Two threads missing the same
-  // key may both compile; the loser's copy wins the insert race below and
-  // the duplicate is dropped (compilation is deterministic, so both copies
-  // behave identically).
-  auto compiled = ObfuscatedProtocol::create(g1, config);
-  if (!compiled) return Unexpected(compiled.error());
-  Entry entry = std::make_shared<const ObfuscatedProtocol>(
-      std::move(*compiled));
+  if (!leader) {
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&flight] { return flight->done; });
+    return *flight->result;
+  }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto slot = find_slot(key, source, config); slot != lru_.end()) {
-    return slot->entry;
+  // Retires the rendezvous (erasing only our own entry — a colliding
+  // leader may have replaced it) and hands `result` to every waiter. The
+  // leader must publish on *every* exit: a stranded InFlight would hang
+  // its waiters forever and poison the key for all future misses.
+  const auto publish = [&](Expected<Entry> result) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
+    }
+    std::lock_guard<std::mutex> signal(flight->mu);
+    flight->result = std::move(result);
+    flight->done = true;
+    flight->cv.notify_all();
+  };
+
+  std::optional<Expected<Entry>> outcome;
+  try {
+    // Compile outside the cache lock: generation is the expensive step and
+    // other keys' hits must not stall behind it.
+    auto compiled = ObfuscatedProtocol::create(g1, config);
+    if (!compiled) {
+      outcome.emplace(Unexpected(compiled.error()));
+    } else {
+      Entry entry =
+          std::make_shared<const ObfuscatedProtocol>(std::move(*compiled));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+      // One slot per key: a colliding occupant (different source) is
+      // displaced rather than kept alongside.
+      if (auto it = index_.find(key); it != index_.end()) {
+        lru_.erase(it->second);
+        index_.erase(it);
+      }
+      lru_.push_front(Slot{key, std::string(source), entry});
+      index_[key] = lru_.begin();
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+      outcome.emplace(std::move(entry));
+    }
+  } catch (...) {
+    publish(Unexpected("protocol compilation threw"));
+    throw;
   }
-  ++stats_.misses;
-  // One slot per key: a colliding occupant (different source) is
-  // displaced rather than kept alongside.
-  if (auto it = index_.find(key); it != index_.end()) {
-    lru_.erase(it->second);
-    index_.erase(it);
-  }
-  lru_.push_front(Slot{key, std::string(source), entry});
-  index_[key] = lru_.begin();
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
-  return entry;
+
+  publish(*outcome);
+  return *outcome;
 }
 
 ProtocolCache::Stats ProtocolCache::stats() const {

@@ -14,10 +14,12 @@
 // eviction only drops the cache's own reference.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -33,9 +35,10 @@ class ProtocolCache {
 
   struct Stats {
     std::size_t hits = 0;
-    std::size_t misses = 0;
+    std::size_t misses = 0;      // one per fresh compile inserted
     std::size_t evictions = 0;
     std::size_t collisions = 0;  // hash matches with different spec/config
+    std::size_t coalesced = 0;   // misses that waited on an in-flight compile
     std::size_t size = 0;
   };
 
@@ -89,6 +92,17 @@ class ProtocolCache {
   };
   using LruList = std::list<Slot>;
 
+  // Rendezvous for concurrent misses on one key: the first thread (the
+  // leader) compiles; followers block on `cv` and take the published
+  // result, so a miss storm on a hot key compiles exactly once.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string source;  // collision guard, like Slot::source
+    std::optional<Expected<Entry>> result;
+  };
+
   Expected<Entry> lookup_or_compile(const Graph& g1, std::uint64_t spec_hash,
                                     std::string_view source,
                                     const ObfuscationConfig& config);
@@ -99,6 +113,7 @@ class ProtocolCache {
   std::size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHash> inflight_;
   Stats stats_;
 };
 

@@ -65,6 +65,14 @@ class Session {
   const SessionArena& shard_arena(std::size_t i) const { return shards_[i]; }
   std::size_t batch_width() const { return shards_.size(); }
 
+  /// The single-message-path arena. Channel routes its frame buffer through
+  /// it so streaming reuses the session's capacity; same threading rule as
+  /// the session itself (one thread of control).
+  SessionArena& arena() { return arena_; }
+
+  /// The worker pool batches shard over, or null when batches run inline.
+  WorkerPool* pool() const { return pool_; }
+
  private:
   Expected<Bytes> serialize_one(SessionArena& arena, const BatchItem& item);
 

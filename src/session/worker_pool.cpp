@@ -34,11 +34,7 @@ void WorkerPool::worker_loop() {
       job = std::move(queue_.back());
       queue_.pop_back();
     }
-    job();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--inflight_ == 0) done_.notify_all();
-    }
+    job();  // counts its own call's latch down; nothing pool-global left
   }
 }
 
@@ -55,6 +51,17 @@ void WorkerPool::parallel_for(
     return shard * base + std::min(shard, rem);
   };
 
+  // Per-call completion latch: lives on this frame, counted down by this
+  // call's shard jobs only. Waits from concurrent parallel_for calls are
+  // fully independent. The final notify happens while holding the latch
+  // mutex, so the waiter cannot destroy the latch under the notifier.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+  } latch;
+  latch.remaining = shards - 1;
+
   // Shards 1.. go to the workers; shard 0 runs on the calling thread so a
   // worker-less pool executes the whole batch inline.
   if (shards > 1) {
@@ -63,9 +70,11 @@ void WorkerPool::parallel_for(
       for (std::size_t shard = 1; shard < shards; ++shard) {
         const std::size_t begin = begin_of(shard);
         const std::size_t end = begin_of(shard + 1);
-        ++inflight_;
-        queue_.push_back(
-            [&body, shard, begin, end] { body(shard, begin, end); });
+        queue_.push_back([&body, &latch, shard, begin, end] {
+          body(shard, begin, end);
+          std::lock_guard<std::mutex> signal(latch.mu);
+          if (--latch.remaining == 0) latch.done.notify_all();
+        });
       }
     }
     wake_.notify_all();
@@ -74,8 +83,8 @@ void WorkerPool::parallel_for(
   body(0, 0, begin_of(1));
 
   if (shards > 1) {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return inflight_ == 0; });
+    std::unique_lock<std::mutex> lock(latch.mu);
+    latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
   }
 }
 

@@ -38,6 +38,11 @@ class WorkerPool {
   /// contiguous shards and blocks until every shard finished. Shard ids are
   /// dense in [0, width()): use them to index per-shard state (arenas).
   /// `body` must not throw and must not re-enter the pool.
+  ///
+  /// Completion is tracked per call (a stack latch each shard job counts
+  /// down), so concurrent parallel_for calls from different threads sharing
+  /// one pool wait only on their own shards — one caller blocking inside
+  /// its body never strands another caller's wait.
   void parallel_for(
       std::size_t n,
       const std::function<void(std::size_t shard, std::size_t begin,
@@ -48,10 +53,8 @@ class WorkerPool {
 
   std::mutex mu_;
   std::condition_variable wake_;
-  std::condition_variable done_;
   std::vector<std::thread> workers_;
   std::vector<std::function<void()>> queue_;
-  std::size_t inflight_ = 0;
   bool stopping_ = false;
 };
 

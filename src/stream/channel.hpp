@@ -1,0 +1,79 @@
+// Channel: the duplex streaming endpoint of the framework.
+//
+// A Channel binds a Session (compiled protocol + arenas + worker pool) to a
+// Framer (boundary codec) and exposes the two operations a TCP server
+// actually performs: send one logical message as framed bytes, and turn an
+// arbitrary received chunk into zero or more parsed messages. It is the
+// streaming counterpart of Session — same "byte-identical to the plain
+// protocol calls" contract, message boundaries handled for you.
+//
+//   Channel ch(session, framer);
+//   write(fd, ch.send(msg.root(), seed).value());   // framed, arena-backed
+//   ...
+//   ch.on_bytes(chunk);                             // any chunking
+//   while (auto m = ch.receive()) consume(**m);     // or ch.drain_batch()
+//
+// Buffer lifetime rules (also in README "Streaming over TCP"): the view
+// send() returns aliases the session arena's frame buffer and is valid
+// until the next send() on any channel sharing that session; trees from
+// receive()/drain_batch() are owned by the caller.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "session/session.hpp"
+#include "stream/framer.hpp"
+#include "stream/stream_reader.hpp"
+
+namespace protoobf {
+
+class Channel {
+ public:
+  /// Both are borrowed and must outlive the channel. One channel per
+  /// session thread of control; the framer must not be shared across
+  /// channels (it owns decode scratch).
+  Channel(Session& session, Framer& framer)
+      : session_(session), framer_(framer), reader_(framer) {}
+
+  /// Serializes `message` through the session arena and frames it. The
+  /// returned view aliases the arena's frame buffer — valid until the next
+  /// send(); callers that queue frames copy them.
+  Expected<BytesView> send(const Inst& message, std::uint64_t msg_seed);
+
+  /// Feeds bytes received from the transport into the reassembly buffer.
+  void on_bytes(BytesView chunk);
+
+  /// Parses the next complete buffered frame. nullopt when no complete
+  /// frame is available — more bytes are needed (need_bytes()) or the
+  /// stream is corrupt (failed()/resync()). A present-but-error result is a
+  /// per-message parse failure; the stream itself continues past it.
+  std::optional<Expected<InstPtr>> receive();
+
+  /// Drains every complete buffered frame and parses them as one batch
+  /// through the session's worker pool (Session::parse_batch) — the
+  /// high-throughput path when chunks carry many messages. Result i is the
+  /// i-th frame in stream order.
+  std::vector<Expected<InstPtr>> drain_batch();
+
+  /// Minimum bytes on_bytes() must deliver before receive() can progress.
+  std::size_t need_bytes() const { return reader_.need_bytes(); }
+
+  bool failed() const { return reader_.failed(); }
+  const Error& error() const { return reader_.error(); }
+
+  /// Skips one byte of garbage at the failure position (see
+  /// StreamReader::resync()).
+  void resync() { reader_.resync(); }
+
+  Session& session() { return session_; }
+  StreamReader& reader() { return reader_; }
+
+ private:
+  Session& session_;
+  Framer& framer_;
+  StreamReader reader_;
+  std::vector<Bytes> stash_;  // drain_batch copies for scratch-backed framers
+};
+
+}  // namespace protoobf

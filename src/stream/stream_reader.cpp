@@ -1,0 +1,62 @@
+#include "stream/stream_reader.hpp"
+
+namespace protoobf {
+
+void StreamReader::feed(BytesView chunk) {
+  // Compact when the consumed prefix outweighs the live remainder: each
+  // retained byte is then moved at most once per doubling of the consumed
+  // region, keeping reassembly amortized O(1) per byte.
+  if (head_ > 0 && head_ >= buffered()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  append(buffer_, chunk);
+}
+
+std::optional<BytesView> StreamReader::next_frame() {
+  if (error_.has_value()) return std::nullopt;
+  if (buffered() < target_) return std::nullopt;
+  const FrameDecode d = framer_.decode(window());
+  switch (d.kind) {
+    case FrameDecode::Kind::Frame:
+      if (d.consumed == 0) {
+        // A zero-byte frame cannot advance the stream; surfacing it would
+        // loop forever. Degenerate (empty-message) frame specs hit this.
+        error_ = Error{"framer consumed no bytes", 0};
+        return std::nullopt;
+      }
+      head_ += d.consumed;
+      target_ = 1;
+      return d.payload;
+    case FrameDecode::Kind::NeedMore: {
+      // Saturate: a framer with its size guard disabled may legitimately
+      // report astronomical needs; wrapping would re-enable per-byte
+      // decode retries (or worse, a target below buffered()).
+      const std::size_t have = buffered();
+      target_ = d.need > static_cast<std::size_t>(-1) - have
+                    ? static_cast<std::size_t>(-1)
+                    : have + d.need;
+      return std::nullopt;
+    }
+    case FrameDecode::Kind::Error:
+      error_ = d.error;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void StreamReader::resync() {
+  error_.reset();
+  if (buffered() > 0) ++head_;
+  target_ = 1;
+}
+
+void StreamReader::reset() {
+  buffer_.clear();
+  head_ = 0;
+  target_ = 1;
+  error_.reset();
+}
+
+}  // namespace protoobf

@@ -1,0 +1,81 @@
+// Stream reassembly: arbitrary chunk boundaries in, complete frames out.
+//
+// A StreamReader owns the receive-side buffer of one connection. feed()
+// appends whatever the transport delivered — a byte, a frame, forty frames
+// and a half — and next_frame() hands back complete frame payloads until
+// the buffer holds only a frame prefix. The reader consumes the buffer
+// front-to-back with a head cursor and compacts lazily (amortized O(1) per
+// byte), so steady-state reassembly reuses one allocation.
+//
+// Need-more accounting: a framer's NeedMore answer includes a minimum byte
+// count, and the reader skips re-decoding until that many bytes arrived.
+// For length-driven frame formats the hints are exact, so one-byte
+// delivery costs one decode attempt per *frame*; a delimiter-bounded frame
+// format can only ever hint "one more byte" and degrades to a decode
+// attempt per byte (a resumable prefix-parse is the ROADMAP answer).
+//
+// Buffer lifetime rules (also in README "Streaming over TCP"):
+//   * payload views from a buffer-aliasing framer stay valid until the next
+//     feed()/reset() — next_frame() itself never moves the buffer;
+//   * payload views from a scratch-backed framer (ObfuscatedFramer) are
+//     valid only until the next next_frame() call.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "stream/framer.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+class StreamReader {
+ public:
+  /// `framer` is borrowed, not owned; it must outlive the reader.
+  explicit StreamReader(Framer& framer) : framer_(framer) {}
+
+  /// Appends a received chunk. May compact or grow the buffer, so payload
+  /// views handed out earlier are invalidated here (and only here).
+  void feed(BytesView chunk);
+
+  /// Pops the next complete frame payload. nullopt when the buffer holds
+  /// no complete frame: either more bytes are needed (need_bytes()) or the
+  /// stream is corrupt at the buffer front (failed(); see resync()).
+  std::optional<BytesView> next_frame();
+
+  /// Minimum bytes feed() must deliver before next_frame() can progress.
+  std::size_t need_bytes() const {
+    const std::size_t have = buffered();
+    return target_ > have ? target_ - have : 0;
+  }
+
+  /// A framing error is sticky: the bytes at the buffer front can never
+  /// become a frame, so pumping more input cannot help.
+  bool failed() const { return error_.has_value(); }
+  const Error& error() const { return *error_; }
+
+  /// Skips one byte at the failure position and clears the error — calling
+  /// this in a loop scans forward through garbage until the framer locks
+  /// onto the next parseable frame.
+  void resync();
+
+  /// Bytes currently buffered but not yet consumed by a frame.
+  std::size_t buffered() const { return buffer_.size() - head_; }
+
+  /// Drops all buffered bytes and clears any error.
+  void reset();
+
+  const Framer& framer() const { return framer_; }
+
+ private:
+  BytesView window() const { return BytesView(buffer_).subspan(head_); }
+
+  Framer& framer_;
+  Bytes buffer_;
+  std::size_t head_ = 0;    // consumed prefix of buffer_
+  std::size_t target_ = 1;  // buffered() needed before the next decode try
+  std::optional<Error> error_;
+};
+
+}  // namespace protoobf

@@ -7,18 +7,31 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
 
 namespace protoobf {
 
-/// Error descriptor. `offset` is meaningful for wire/spec parse errors.
+/// Failure class. Truncated means the input ended before the message did:
+/// the same bytes with more appended may parse, so stream framers translate
+/// it into a need-more-bytes signal instead of a parse failure. Malformed
+/// input can never parse no matter what follows.
+enum class ErrorKind : std::uint8_t { Malformed, Truncated };
+
+/// Error descriptor. `offset` is meaningful for wire/spec parse errors;
+/// `need` (Truncated only) is a lower bound on the additional bytes
+/// required before the parse could progress past the failure point.
 struct Error {
   std::string message;
   std::size_t offset = kNoOffset;
+  ErrorKind kind = ErrorKind::Malformed;
+  std::size_t need = 0;
 
   static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+  bool truncated() const { return kind == ErrorKind::Truncated; }
 };
 
 /// Tag wrapper so Expected<T> construction from an error is unambiguous.
@@ -27,6 +40,14 @@ struct Unexpected {
   explicit Unexpected(Error e) : error(std::move(e)) {}
   explicit Unexpected(std::string message, std::size_t offset = Error::kNoOffset)
       : error{std::move(message), offset} {}
+
+  /// Truncated-input error with a minimum-additional-bytes hint.
+  static Unexpected truncated(std::string message, std::size_t offset,
+                              std::size_t need) {
+    return Unexpected(
+        Error{std::move(message), offset, ErrorKind::Truncated,
+              need > 0 ? need : 1});
+  }
 };
 
 /// Value-or-error container; a pared down std::expected<T, Error>.

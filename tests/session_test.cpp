@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
+#include <thread>
 
 #include "protocols/http.hpp"
 #include "protocols/modbus.hpp"
@@ -110,6 +112,54 @@ TEST(ProtocolCache, CompileErrorIsReportedNotCached) {
   EXPECT_EQ(cache.stats().size, 0u);
 }
 
+TEST(ProtocolCache, ConcurrentMissesOnOneKeyCompileOnce) {
+  // A miss storm on one key must compile exactly once: the first thread in
+  // becomes the leader, the rest either coalesce onto its in-flight compile
+  // or (arriving after publication) hit the cache.
+  ProtocolCache cache;
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::vector<ProtocolCache::Entry> entries(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      auto entry = cache.get_or_compile(http::request_spec(), config_of(5, 2));
+      ASSERT_TRUE(entry.ok()) << entry.error().message;
+      entries[t] = *entry;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(entries[0].get(), entries[t].get()) << "thread " << t;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            static_cast<std::size_t>(kThreads - 1));
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ProtocolCache, CoalescedWaitersSeeCompileErrors) {
+  ProtocolCache cache;
+  constexpr int kThreads = 4;
+  std::atomic<int> ready{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      auto entry = cache.get_or_compile("protocol Broken {", config_of(1, 1));
+      if (!entry.ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
 TEST(ProtocolCache, GraphOverloadSharesEntriesViaHash) {
   ProtocolCache cache;
   auto g = Framework::load_spec(kSmallSpec).value();
@@ -143,6 +193,96 @@ TEST(WorkerPool, ShardIdsAreDenseAndDistinct) {
     shards.insert(shard);
   });
   for (const std::size_t shard : shards) EXPECT_LT(shard, pool.width());
+}
+
+TEST(WorkerPool, ConcurrentCallsWaitOnlyOnTheirOwnShards) {
+  // Regression for the global in-flight counter: caller B's wait must not
+  // be entangled with caller A's shards. A's shards block until B finishes
+  // its own parallel_for — with shared completion state that is a deadlock
+  // (B waits for A's blocked shards, which wait for B). A watchdog turns a
+  // regression into a failure instead of a hang.
+  WorkerPool pool(/*threads=*/4);
+  std::atomic<bool> release{false};
+  std::atomic<bool> b_done{false};
+
+  std::thread a([&] {
+    pool.parallel_for(2, [&](std::size_t, std::size_t, std::size_t) {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  });
+  // Let A's shards occupy the pool before B starts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread b([&] {
+    std::atomic<int> covered{0};
+    pool.parallel_for(2, [&](std::size_t, std::size_t begin,
+                             std::size_t end) {
+      covered += static_cast<int>(end - begin);
+    });
+    EXPECT_EQ(covered.load(), 2);
+    b_done.store(true);
+  });
+
+  for (int i = 0; i < 500 && !b_done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(b_done.load())
+      << "parallel_for waits are serialized across concurrent callers";
+  release.store(true);
+  a.join();
+  b.join();
+}
+
+TEST(WorkerPool, TwoSessionsSharingAPoolBatchConcurrently) {
+  // Two sessions over one pool running batches at the same time: results
+  // must match the plain per-message paths, with no cross-talk between the
+  // concurrent parallel_for waits.
+  ProtocolCache cache;
+  auto protocol =
+      cache.get_or_compile(modbus::request_spec(), config_of(21, 2));
+  ASSERT_TRUE(protocol.ok()) << protocol.error().message;
+  auto g = Framework::load_spec(modbus::request_spec()).value();
+
+  WorkerPool pool(/*threads=*/3);
+  constexpr int kRounds = 8;
+  constexpr std::size_t kBatch = 24;
+
+  auto run_session = [&](std::uint64_t salt) {
+    Rng rng(salt);
+    std::vector<Message> msgs;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      msgs.push_back(modbus::random_request(g, rng));
+    }
+    std::vector<BatchItem> items;
+    std::vector<Bytes> expected;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      items.push_back({&msgs[i].root(), salt + i});
+      expected.push_back(
+          (*protocol)->serialize(msgs[i].root(), salt + i).value());
+    }
+    Session session(*protocol, &pool);
+    for (int round = 0; round < kRounds; ++round) {
+      auto wires = session.serialize_batch(items);
+      ASSERT_EQ(wires.size(), kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        ASSERT_TRUE(wires[i].ok()) << wires[i].error().message;
+        EXPECT_EQ(*wires[i], expected[i]) << "item " << i;
+      }
+      std::vector<BytesView> views(expected.begin(), expected.end());
+      auto trees = session.parse_batch(views);
+      ASSERT_EQ(trees.size(), kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        ASSERT_TRUE(trees[i].ok()) << trees[i].error().message;
+      }
+    }
+  };
+
+  std::thread first([&] { run_session(1000); });
+  std::thread second([&] { run_session(9000); });
+  first.join();
+  second.join();
 }
 
 TEST(WorkerPool, HandlesEmptyAndTinyRanges) {

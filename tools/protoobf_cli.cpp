@@ -10,6 +10,14 @@
 //   protoobf codegen <spec-file> --seed N --per-node K [-o out.cpp]
 //       Generate the serializer/parser library; print the complexity
 //       metrics of §VII-B.
+//   protoobf stream <spec-file> [--seed N --per-node K] [--emit COUNT]
+//       Framed-stream filter over stdin/stdout (src/stream's Channel).
+//       With --emit, writes COUNT framed random messages to stdout;
+//       without, reassembles frames from stdin (any chunking) and prints
+//       one line per recovered message. The two ends pipe together:
+//         protoobf stream p.spec --emit 20 | protoobf stream p.spec
+//       --frame-width W picks the length-prefix width; --obf-frame S:K
+//       obfuscates the framing layer itself (both ends must agree).
 //
 // Spec files use the ProtoSpec language (see README.md).
 #include <cstdio>
@@ -17,9 +25,12 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "codegen/generator.hpp"
 #include "core/protoobf.hpp"
+#include "stream/channel.hpp"
 
 namespace {
 
@@ -27,8 +38,11 @@ using namespace protoobf;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: protoobf <validate|graph|obfuscate|codegen> "
-               "<spec-file> [--seed N] [--per-node K] [-o FILE]\n");
+               "usage: protoobf <validate|graph|obfuscate|codegen|stream> "
+               "<spec-file> [--seed N] [--per-node K] [-o FILE]\n"
+               "       stream extras: [--emit COUNT] [--expect COUNT] "
+               "[--msg-seed N] [--frame-width W] "
+               "[--obf-frame SEED:PER_NODE] [--dump]\n");
   return 2;
 }
 
@@ -38,6 +52,15 @@ struct Options {
   std::uint64_t seed = 1;
   int per_node = 1;
   std::string output;
+  // stream command
+  std::size_t emit = 0;         // 0 = decode mode
+  std::size_t expect = 0;       // decode: fail unless exactly N recovered
+  std::uint64_t msg_seed = 42;  // message randomness for --emit
+  std::size_t frame_width = 4;
+  bool obf_frame = false;
+  std::uint64_t obf_frame_seed = 13;
+  int obf_frame_per_node = 2;
+  bool dump = false;
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -52,6 +75,26 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.per_node = std::atoi(argv[++i]);
     } else if (arg == "-o" && i + 1 < argc) {
       opts.output = argv[++i];
+    } else if (arg == "--emit" && i + 1 < argc) {
+      opts.emit = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--expect" && i + 1 < argc) {
+      opts.expect =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--msg-seed" && i + 1 < argc) {
+      opts.msg_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--frame-width" && i + 1 < argc) {
+      opts.frame_width =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--obf-frame" && i + 1 < argc) {
+      opts.obf_frame = true;
+      const std::string value = argv[++i];
+      const std::size_t colon = value.find(':');
+      opts.obf_frame_seed = std::strtoull(value.c_str(), nullptr, 0);
+      if (colon != std::string::npos) {
+        opts.obf_frame_per_node = std::atoi(value.c_str() + colon + 1);
+      }
+    } else if (arg == "--dump") {
+      opts.dump = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -156,6 +199,222 @@ int cmd_codegen(const Options& opts) {
   return 0;
 }
 
+// --- stream -----------------------------------------------------------------
+
+/// Frame spec for --obf-frame; identical on both ends of a pipe by
+/// construction (obfuscation is deterministic in (spec, seed, per_node)).
+constexpr std::string_view kCliFrameSpec = R"(
+protocol Frame
+frame: seq end {
+  flen: terminal fixed(4)
+  fbody: terminal length(flen)
+}
+)";
+
+/// Best-effort random logical message for --emit: letters/digits in user
+/// terminals, derived fields left for the serializer, optional presence
+/// chosen consistently with its condition (conditions reference fields that
+/// parse earlier, so the referenced value is already drawn when the
+/// Optional is reached). Specs with exotic constraints may still reject a
+/// draw; those are reported and skipped.
+InstPtr random_instance(const Graph& g, NodeId id, Rng& rng,
+                        const std::unordered_set<NodeId>& derived,
+                        std::unordered_map<NodeId, const Inst*>& built) {
+  const Node& n = g.node(id);
+  InstPtr inst;
+  switch (n.type) {
+    case NodeType::Terminal: {
+      inst = ast::deferred(id);
+      if (!n.has_const && derived.count(id) == 0) {
+        const std::size_t size =
+            n.boundary == BoundaryKind::Fixed
+                ? n.fixed_size
+                : static_cast<std::size_t>(rng.between(1, 10));
+        Bytes value(size);
+        for (Byte& b : value) {
+          b = n.encoding == Encoding::AsciiDec
+                  ? static_cast<Byte>(rng.between('0', '9'))
+                  : static_cast<Byte>(rng.between('a', 'z'));
+        }
+        inst->value = std::move(value);
+      }
+      break;
+    }
+    case NodeType::Sequence: {
+      inst = std::make_unique<Inst>(id);
+      for (const NodeId child : n.children) {
+        inst->children.push_back(
+            random_instance(g, child, rng, derived, built));
+      }
+      break;
+    }
+    case NodeType::Optional: {
+      bool present = n.condition.kind == Condition::Kind::Always;
+      if (!present) {
+        const auto ref = built.find(n.condition.ref);
+        if (ref != built.end()) {
+          const Node& holder = g.node(n.condition.ref);
+          present = n.condition.evaluate(
+              holder.has_const ? holder.const_value : ref->second->value);
+        }
+      }
+      if (present) {
+        inst = std::make_unique<Inst>(id);
+        inst->children.push_back(
+            random_instance(g, n.children[0], rng, derived, built));
+      } else {
+        inst = ast::absent(id);
+      }
+      break;
+    }
+    case NodeType::Repetition:
+    case NodeType::Tabular: {
+      inst = std::make_unique<Inst>(id);
+      const std::uint64_t count = rng.between(1, 2);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        inst->children.push_back(
+            random_instance(g, n.children[0], rng, derived, built));
+      }
+      break;
+    }
+  }
+  built[id] = inst.get();
+  return inst;
+}
+
+std::unordered_set<NodeId> derived_nodes(const Graph& g) {
+  std::unordered_set<NodeId> derived;
+  for (const NodeId id : g.dfs_order()) {
+    const Node& n = g.node(id);
+    if (n.ref != kNoNode) derived.insert(n.ref);
+  }
+  return derived;
+}
+
+int cmd_stream(const Options& opts) {
+  auto graph = load(opts.spec_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.error().message.c_str());
+    return 1;
+  }
+  ObfuscationConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.per_node = opts.per_node;
+  auto compiled = Framework::generate(*graph, cfg);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "error: %s\n", compiled.error().message.c_str());
+    return 1;
+  }
+  auto protocol =
+      std::make_shared<const ObfuscatedProtocol>(std::move(*compiled));
+
+  // Framing layer: transparent length prefix, or the obfuscated frame spec
+  // when both ends agreed on --obf-frame SEED:PER_NODE.
+  LengthPrefixFramer::Config lp;
+  lp.width = opts.frame_width;
+  LengthPrefixFramer plain_framer(lp);
+  std::unique_ptr<ObfuscatedFramer> obf_framer;
+  if (opts.obf_frame) {
+    auto frame_graph = Framework::load_spec(kCliFrameSpec).value();
+    ObfuscationConfig fcfg;
+    fcfg.seed = opts.obf_frame_seed;
+    fcfg.per_node = opts.obf_frame_per_node;
+    auto framing = Framework::generate(frame_graph, fcfg);
+    if (!framing.ok()) {
+      std::fprintf(stderr, "error: %s\n", framing.error().message.c_str());
+      return 1;
+    }
+    auto framer = ObfuscatedFramer::create(
+        std::make_shared<const ObfuscatedProtocol>(std::move(*framing)));
+    if (!framer.ok()) {
+      std::fprintf(stderr,
+                   "error: %s (try another --obf-frame seed)\n",
+                   framer.error().message.c_str());
+      return 1;
+    }
+    obf_framer = std::move(*framer);
+  }
+  Framer& framer =
+      obf_framer != nullptr ? static_cast<Framer&>(*obf_framer) : plain_framer;
+
+  Session session(protocol);
+  Channel channel(session, framer);
+
+  if (opts.emit > 0) {
+    // Emit mode: framed random messages to stdout, summary to stderr.
+    const auto derived = derived_nodes(*graph);
+    Rng rng(opts.msg_seed);
+    std::size_t sent = 0;
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < opts.emit; ++i) {
+      std::unordered_map<NodeId, const Inst*> built;
+      InstPtr msg =
+          random_instance(*graph, graph->root(), rng, derived, built);
+      auto framed = channel.send(*msg, opts.msg_seed + i);
+      if (!framed.ok()) {
+        std::fprintf(stderr, "message %zu rejected: %s\n", i,
+                     framed.error().message.c_str());
+        continue;
+      }
+      std::fwrite(framed->data(), 1, framed->size(), stdout);
+      ++sent;
+      bytes += framed->size();
+    }
+    std::fflush(stdout);
+    std::fprintf(stderr, "emitted %zu/%zu messages, %zu bytes\n", sent,
+                 opts.emit, bytes);
+    // Rejected draws are skipped by contract; only a fully dry run fails.
+    return sent > 0 ? 0 : 1;
+  }
+
+  // Decode mode: reassemble whatever chunking stdin delivers.
+  std::size_t received = 0;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t n = std::fread(chunk, 1, sizeof chunk, stdin);
+    if (n == 0) break;
+    channel.on_bytes(
+        BytesView(reinterpret_cast<const Byte*>(chunk), n));
+    while (auto message = channel.receive()) {
+      if (!message->ok()) {
+        std::fprintf(stderr, "message %zu parse error: %s\n", received,
+                     (*message).error().message.c_str());
+        return 1;
+      }
+      if (opts.dump) {
+        std::fputs(ast::dump(*graph, ***message).c_str(), stdout);
+      } else {
+        std::printf("message %zu: %zu instances\n", received,
+                    ast::count(***message));
+      }
+      ++received;
+    }
+    if (channel.failed()) {
+      std::fprintf(stderr, "framing error: %s\n",
+                   channel.error().message.c_str());
+      return 1;
+    }
+  }
+  if (std::ferror(stdin)) {
+    std::fprintf(stderr, "read error on stdin after %zu messages\n",
+                 received);
+    return 1;
+  }
+  if (channel.reader().buffered() > 0) {
+    std::fprintf(stderr, "stream ended mid-frame (%zu bytes buffered, %zu "
+                 "more needed)\n",
+                 channel.reader().buffered(), channel.need_bytes());
+    return 1;
+  }
+  std::printf("recovered %zu messages\n", received);
+  if (opts.expect > 0 && received != opts.expect) {
+    std::fprintf(stderr, "expected %zu messages, recovered %zu\n",
+                 opts.expect, received);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,5 +424,6 @@ int main(int argc, char** argv) {
   if (opts.command == "graph") return cmd_graph(opts);
   if (opts.command == "obfuscate") return cmd_obfuscate(opts);
   if (opts.command == "codegen") return cmd_codegen(opts);
+  if (opts.command == "stream") return cmd_stream(opts);
   return usage();
 }
