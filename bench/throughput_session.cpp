@@ -12,8 +12,10 @@
 //   parse/single       ObfuscatedProtocol::parse() per wire image
 //   parse/batched      Session::parse_batch()
 //
-// Usage: bench_throughput_session [messages] [repeats] [per_node]
+// Usage: bench_throughput_session [messages] [repeats] [per_node] [json_path]
 // Defaults keep a full run under ~5 s on one core for the CI smoke test.
+// Every run also writes a machine-readable BENCH_throughput.json so the
+// perf trajectory across PRs can be archived from CI.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -55,10 +57,11 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 512;
   const int repeats = argc > 2 ? std::atoi(argv[2]) : 8;
   const int per_node = argc > 3 ? std::atoi(argv[3]) : 2;
+  const char* json_path = argc > 4 ? argv[4] : "BENCH_throughput.json";
   if (messages == 0 || repeats <= 0 || per_node < 0) {
     std::fprintf(stderr,
                  "usage: bench_throughput_session [messages>0] [repeats>0] "
-                 "[per_node>=0]\n");
+                 "[per_node>=0] [json_path]\n");
     return 2;
   }
 
@@ -204,6 +207,40 @@ int main(int argc, char** argv) {
               ser_batched.msgs_per_sec / ser_single.msgs_per_sec);
   std::printf("  parse     batched/single: %.3fx\n",
               parse_batched.msgs_per_sec / parse_single.msgs_per_sec);
+  // The pooled single-session paths must at least match the allocating
+  // plain calls (CI guards these ratios).
+  std::printf("  serialize arena/single:   %.3fx\n",
+              ser_arena.msgs_per_sec / ser_single.msgs_per_sec);
+  std::printf("  parse     arena/single:   %.3fx\n",
+              parse_arena.msgs_per_sec / parse_single.msgs_per_sec);
   std::printf("  (checksum %zu)\n", checksum);
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"throughput_session\",\n"
+                 "  \"workload\": \"%s\",\n"
+                 "  \"per_node\": %d,\n"
+                 "  \"messages\": %zu,\n"
+                 "  \"repeats\": %d,\n"
+                 "  \"batch_width\": %zu,\n"
+                 "  \"serialize_single_msgs_per_sec\": %.0f,\n"
+                 "  \"serialize_arena_msgs_per_sec\": %.0f,\n"
+                 "  \"serialize_batched_msgs_per_sec\": %.0f,\n"
+                 "  \"parse_single_msgs_per_sec\": %.0f,\n"
+                 "  \"parse_arena_msgs_per_sec\": %.0f,\n"
+                 "  \"parse_batched_msgs_per_sec\": %.0f\n"
+                 "}\n",
+                 workload.name.c_str(), per_node, messages, repeats,
+                 session.batch_width(), ser_single.msgs_per_sec,
+                 ser_arena.msgs_per_sec, ser_batched.msgs_per_sec,
+                 parse_single.msgs_per_sec, parse_arena.msgs_per_sec,
+                 parse_batched.msgs_per_sec);
+    std::fclose(f);
+    std::printf("  wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
   return 0;
 }

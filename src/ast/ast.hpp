@@ -23,16 +23,44 @@
 namespace protoobf {
 
 struct Inst;
-using InstPtr = std::unique_ptr<Inst>;
+class InstPool;
+
+/// Routes node destruction by provenance: pool nodes return to their
+/// freelist (ast/pool.hpp), heap nodes are deleted. The converting
+/// constructor keeps `std::make_unique<Inst>` call sites working.
+struct InstDeleter {
+  InstDeleter() = default;
+  InstDeleter(std::default_delete<Inst>) {}
+  void operator()(Inst* inst) const noexcept;
+};
+using InstPtr = std::unique_ptr<Inst, InstDeleter>;
 
 struct Inst {
   NodeId schema = kNoNode;
   Bytes value;                    // Terminal payload
   std::vector<InstPtr> children;  // composite payload
   bool present = true;            // Optional presence
+  InstPool* pool = nullptr;       // provenance; fixed at creation
 
   Inst() = default;
   explicit Inst(NodeId s) : schema(s) {}
+
+  // Assignment moves the payload, never the provenance: a node stays owned
+  // by whatever allocated it even when its contents are replaced wholesale
+  // (the holder-rebuild path in runtime/derive does exactly that). Buffers
+  // are swapped, not moved: the moved-from node usually returns to a pool
+  // right after, and swapping hands it the destination's old capacity
+  // instead of freeing it — so replacement cycles recycle instead of churn.
+  Inst(const Inst&) = delete;
+  Inst(Inst&&) = delete;
+  Inst& operator=(const Inst&) = delete;
+  Inst& operator=(Inst&& other) noexcept {
+    schema = other.schema;
+    value.swap(other.value);
+    children.swap(other.children);
+    present = other.present;
+    return *this;
+  }
 };
 
 namespace ast {
@@ -64,6 +92,10 @@ const Inst* find_schema(const Inst& root, NodeId schema);
 
 /// All instances whose schema id matches, in pre-order.
 std::vector<Inst*> find_all_schema(Inst& root, NodeId schema);
+
+/// Same, refilling `out` (cleared first) so per-message callers reuse its
+/// capacity.
+void find_all_schema(Inst& root, NodeId schema, std::vector<Inst*>& out);
 
 /// Resolves a dotted path with optional element indices against the graph
 /// and the instance tree, e.g. "request.headers[2].header.name". Path

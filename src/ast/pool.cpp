@@ -1,0 +1,117 @@
+#include "ast/pool.hpp"
+
+namespace protoobf {
+
+namespace {
+
+/// Marks nodes whose pool died before them. They live in leaked slabs, so
+/// the only safe disposal is none at all (deleting a slab-interior pointer
+/// or touching the dead freelist would both be undefined behaviour).
+InstPool* detached_sentinel() {
+  static unsigned char storage;
+  return reinterpret_cast<InstPool*>(&storage);
+}
+
+}  // namespace
+
+void InstDeleter::operator()(Inst* inst) const noexcept {
+  if (inst == nullptr) return;
+  if (inst->pool == nullptr) {
+    delete inst;
+  } else if (inst->pool != detached_sentinel()) {
+    inst->pool->release(inst);
+  }
+}
+
+InstPool::~InstPool() {
+  if (stats_.live == 0) return;
+  // Trees outlived their pool: detach every node so the deleter no-ops
+  // instead of touching a dead freelist, and leak the slabs the survivors
+  // live in. A leak is diagnosable; a use-after-free is not.
+  for (auto& slab : slabs_) {
+    for (std::size_t i = 0; i < kSlabNodes; ++i) {
+      slab[i].pool = detached_sentinel();
+    }
+    slab.release();
+  }
+}
+
+void InstPool::grow() {
+  auto slab = std::make_unique<Inst[]>(kSlabNodes);
+  free_.reserve(free_.size() + kSlabNodes);
+  for (std::size_t i = kSlabNodes; i-- > 0;) {
+    slab[i].pool = this;
+    free_.push_back(&slab[i]);
+  }
+  slabs_.push_back(std::move(slab));
+  ++stats_.slabs;
+}
+
+InstPtr InstPool::make(NodeId schema) {
+  if (free_.empty()) {
+    grow();
+    ++stats_.misses;
+  } else {
+    ++stats_.hits;
+  }
+  Inst* node = free_.back();
+  free_.pop_back();
+  node->schema = schema;
+  ++stats_.live;
+  return InstPtr(node);
+}
+
+void InstPool::release(Inst* node) {
+  node->children.clear();  // children return through their own deleters
+  node->value.clear();     // capacity retained for the next terminal
+  node->present = true;
+  node->schema = kNoNode;
+  free_.push_back(node);
+  --stats_.live;
+}
+
+void InstPool::shrink() {
+  if (stats_.live != 0) return;
+  free_.clear();
+  slabs_.clear();
+  stats_.slabs = 0;
+}
+
+namespace ast {
+
+InstPtr make(InstPool* pool, NodeId schema) {
+  if (pool != nullptr) return pool->make(schema);
+  return InstPtr(new Inst(schema));
+}
+
+InstPtr terminal(InstPool* pool, NodeId schema, BytesView value) {
+  InstPtr inst = make(pool, schema);
+  inst->value.assign(value.begin(), value.end());
+  return inst;
+}
+
+InstPtr terminal(InstPool* pool, NodeId schema, Bytes&& value) {
+  InstPtr inst = make(pool, schema);
+  inst->value = std::move(value);
+  return inst;
+}
+
+InstPtr absent(InstPool* pool, NodeId schema) {
+  InstPtr inst = make(pool, schema);
+  inst->present = false;
+  return inst;
+}
+
+InstPtr copy(InstPool* pool, const Inst& inst) {
+  InstPtr out = make(pool, inst.schema);
+  out->value.assign(inst.value.begin(), inst.value.end());
+  out->present = inst.present;
+  out->children.reserve(inst.children.size());
+  for (const auto& child : inst.children) {
+    out->children.push_back(copy(pool, *child));
+  }
+  return out;
+}
+
+}  // namespace ast
+}  // namespace protoobf

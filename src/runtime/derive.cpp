@@ -11,19 +11,21 @@ namespace {
 
 constexpr int kMaxFixpointIterations = 16;
 
-/// Encodes a derived scalar with the holder terminal's encoding and width.
-Expected<Bytes> encode_holder(const Graph& graph, NodeId holder,
-                              std::uint64_t value) {
+/// Encodes a derived scalar with the holder terminal's encoding and width
+/// into `out`, reusing its capacity (these run inside per-message fixpoint
+/// loops, so they must not allocate in steady state).
+Status encode_holder_into(Bytes& out, const Graph& graph, NodeId holder,
+                          std::uint64_t value) {
   const Node& n = graph.node(holder);
   if (n.encoding == Encoding::AsciiDec) {
     const std::size_t width =
         n.boundary == BoundaryKind::Fixed ? n.fixed_size : 0;
-    Bytes out = ascii_dec_encode(value, width);
+    ascii_dec_encode_into(out, value, width);
     if (width != 0 && out.size() != width) {
       return Unexpected("derived value " + std::to_string(value) +
                         " does not fit in ASCII field '" + n.name + "'");
     }
-    return out;
+    return Status::success();
   }
   if (n.boundary != BoundaryKind::Fixed) {
     return Unexpected("binary holder '" + n.name + "' must be fixed-size");
@@ -32,7 +34,8 @@ Expected<Bytes> encode_holder(const Graph& graph, NodeId holder,
     return Unexpected("derived value " + std::to_string(value) +
                       " overflows field '" + n.name + "'");
   }
-  return be_encode(value, n.fixed_size);
+  be_encode_into(out, value, n.fixed_size);
+  return Status::success();
 }
 
 struct RefPair {
@@ -42,17 +45,23 @@ struct RefPair {
   bool is_counter;
 };
 
-/// Collects (holder, measured) pairs in parse order against `graph`.
-Expected<std::vector<RefPair>> collect_pairs(const Graph& graph, Inst& root) {
-  std::vector<RefPair> pairs;
-  Status walk = walk_scoped(
-      graph, root, [&](Inst& inst, ScopeChain& scopes) -> Status {
+/// Collects (holder, measured) pairs in parse order against `graph` into
+/// `pairs` (cleared first, capacity reused across fixpoint iterations).
+Status collect_pairs(const Graph& graph, Inst& root,
+                     std::vector<RefPair>& pairs, ScopeChain* scopes) {
+  pairs.clear();
+  // One right-sized allocation instead of a doubling climb on every call
+  // (the vector itself is function-local in the fixpoint drivers).
+  if (pairs.capacity() == 0) pairs.reserve(16);
+  return walk_scoped(
+      graph, root,
+      [&](Inst& inst, ScopeChain& chain) -> Status {
         const Node& n = graph.node(inst.schema);
         if (n.boundary != BoundaryKind::Length &&
             n.boundary != BoundaryKind::Counter) {
           return Status::success();
         }
-        Inst* holder = scopes.lookup(n.ref);
+        Inst* holder = chain.lookup(n.ref);
         if (holder == nullptr) {
           return Unexpected("reference target '" + graph.node(n.ref).name +
                             "' not in scope of '" + n.name + "'");
@@ -60,24 +69,9 @@ Expected<std::vector<RefPair>> collect_pairs(const Graph& graph, Inst& root) {
         pairs.push_back(
             {holder, &inst, n.boundary == BoundaryKind::Counter});
         return Status::success();
-      });
-  if (!walk) return Unexpected(walk.error());
-  return pairs;
+      },
+      scopes);
 }
-
-/// Holds one measurement buffer for the duration of a derivation pass,
-/// drawn from the session pool when one is attached so its capacity
-/// survives across messages.
-struct ScratchLease {
-  explicit ScratchLease(BufferPool* p)
-      : pool(p), buf(p != nullptr ? p->acquire() : Bytes()) {}
-  ~ScratchLease() {
-    if (pool != nullptr) pool->release(std::move(buf));
-  }
-
-  BufferPool* pool;
-  Bytes buf;
-};
 
 }  // namespace
 
@@ -99,15 +93,16 @@ Status fill_consts(const Graph& graph, Inst& root) {
   return Status::success();
 }
 
-Status check_presence(const Graph& graph, Inst& root) {
+Status check_presence(const Graph& graph, Inst& root, ScopeChain* scopes) {
   return walk_scoped(
-      graph, root, [&](Inst& inst, ScopeChain& scopes) -> Status {
+      graph, root,
+      [&](Inst& inst, ScopeChain& chain) -> Status {
         const Node& n = graph.node(inst.schema);
         if (n.type != NodeType::Optional ||
             n.condition.kind == Condition::Kind::Always) {
           return Status::success();
         }
-        const Inst* ref = scopes.lookup(n.condition.ref);
+        const Inst* ref = chain.lookup(n.condition.ref);
         if (ref == nullptr) {
           return Unexpected("condition target of '" + n.name +
                             "' not in scope");
@@ -120,47 +115,61 @@ Status check_presence(const Graph& graph, Inst& root) {
                             (expected ? "true" : "false"));
         }
         return Status::success();
-      });
+      },
+      scopes);
 }
 
-Status canonicalize(const Graph& g1, Inst& root, BufferPool* scratch) {
-  ScratchLease lease(scratch);
-  if (Status s = fill_consts(g1, root); !s) return s;
-
-  // Width-correct placeholders so intermediate emissions succeed.
-  const auto order = g1.dfs_order();
+std::vector<NodeId> canonical_holder_ids(const Graph& g1) {
   std::vector<NodeId> holders;
-  for (NodeId id : order) {
+  for (NodeId id : g1.dfs_order()) {
     if (g1.node(id).type == NodeType::Terminal &&
         (g1.is_length_target(id) || g1.is_counter_target(id))) {
       holders.push_back(id);
     }
   }
-  for (NodeId holder : holders) {
-    auto placeholder = encode_holder(g1, holder, 0);
-    if (!placeholder) return Unexpected(placeholder.error());
-    for (Inst* inst : ast::find_all_schema(root, holder)) {
-      inst->value = *placeholder;
-    }
+  return holders;
+}
+
+Status canonicalize(const Graph& g1, Inst& root,
+                    const std::vector<NodeId>* holder_ids,
+                    ScopeChain* scopes) {
+  if (Status s = fill_consts(g1, root); !s) return s;
+
+  std::vector<NodeId> local_holders;
+  if (holder_ids == nullptr) {
+    local_holders = canonical_holder_ids(g1);
+    holder_ids = &local_holders;
   }
 
+  // Width-correct placeholders so intermediate measurements succeed.
+  Bytes encoded;
+  std::vector<Inst*> matches;
+  for (NodeId holder : *holder_ids) {
+    if (Status s = encode_holder_into(encoded, g1, holder, 0); !s) return s;
+    ast::find_all_schema(root, holder, matches);
+    for (Inst* inst : matches) inst->value = encoded;
+  }
+
+  std::vector<RefPair> pairs;
   for (int iter = 0; iter < kMaxFixpointIterations; ++iter) {
-    auto pairs = collect_pairs(g1, root);
-    if (!pairs) return Unexpected(pairs.error());
+    if (Status s = collect_pairs(g1, root, pairs, scopes); !s) return s;
     bool changed = false;
-    for (const RefPair& pair : *pairs) {
+    for (const RefPair& pair : pairs) {
       std::uint64_t value = 0;
       if (pair.is_counter) {
         value = pair.measured->children.size();
       } else {
-        auto size = emitted_size(g1, *pair.measured, &lease.buf);
+        auto size = emitted_size(g1, *pair.measured);
         if (!size) return Unexpected(size.error());
         value = *size;
       }
-      auto bytes = encode_holder(g1, pair.holder->schema, value);
-      if (!bytes) return Unexpected(bytes.error());
-      if (pair.holder->value != *bytes) {
-        pair.holder->value = std::move(*bytes);
+      if (Status s = encode_holder_into(encoded, g1, pair.holder->schema,
+                                        value);
+          !s) {
+        return s;
+      }
+      if (pair.holder->value != encoded) {
+        pair.holder->value = encoded;
         changed = true;
       }
     }
@@ -171,19 +180,20 @@ Status canonicalize(const Graph& g1, Inst& root, BufferPool* scratch) {
 
 Status fix_holders(const Graph& wire, const Journal& journal,
                    const HolderTable& table, Inst& root,
-                   std::uint64_t msg_seed, BufferPool* scratch) {
-  ScratchLease lease(scratch);
+                   std::uint64_t msg_seed, InstPool* pool,
+                   ScopeChain* scopes) {
+  std::vector<RefPair> pairs;
+  Bytes encoded;
   for (int iter = 0; iter < kMaxFixpointIterations; ++iter) {
-    auto pairs = collect_pairs(wire, root);
-    if (!pairs) return Unexpected(pairs.error());
+    if (Status s = collect_pairs(wire, root, pairs, scopes); !s) return s;
     bool changed = false;
-    for (std::size_t k = 0; k < pairs->size(); ++k) {
-      const RefPair& pair = (*pairs)[k];
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const RefPair& pair = pairs[k];
       std::uint64_t value = 0;
       if (pair.is_counter) {
         value = pair.measured->children.size();
       } else {
-        auto size = emitted_size(wire, *pair.measured, &lease.buf);
+        auto size = emitted_size(wire, *pair.measured);
         if (!size) return Unexpected(size.error());
         value = *size;
       }
@@ -192,20 +202,21 @@ Status fix_holders(const Graph& wire, const Journal& journal,
         return Unexpected("no lineage for holder '" +
                           wire.node(pair.holder->schema).name + "'");
       }
-      auto bytes = encode_holder(wire, info->origin, value);
-      if (!bytes) return Unexpected(bytes.error());
+      if (Status s = encode_holder_into(encoded, wire, info->origin, value);
+          !s) {
+        return s;
+      }
 
       // Skip the rebuild if the holder already carries this logical value.
-      auto current = invert_clone(*pair.holder, journal);
+      auto current = invert_clone(*pair.holder, journal, pool);
       if (current && (*current)->schema == info->origin &&
-          (*current)->value == *bytes) {
+          (*current)->value == encoded) {
         continue;
       }
 
       Rng rng(msg_seed ^ (0x9e3779b97f4a7c15ull * (k + 1)));
       auto rebuilt =
-          rerun_chain(info->origin, std::move(*bytes), journal, info->chain,
-                      rng);
+          rerun_chain(info->origin, encoded, journal, info->chain, rng, pool);
       if (!rebuilt) return Unexpected(rebuilt.error());
       *pair.holder = std::move(**rebuilt);
       changed = true;

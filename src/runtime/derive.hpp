@@ -23,6 +23,7 @@
 
 #include "ast/ast.hpp"
 #include "graph/graph.hpp"
+#include "runtime/scope.hpp"
 #include "transform/lineage.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
@@ -34,20 +35,34 @@ namespace protoobf {
 Status fill_consts(const Graph& graph, Inst& root);
 
 /// Verifies every Optional's presence flag matches its condition evaluated
-/// on the (logical, canonicalized) tree.
-Status check_presence(const Graph& graph, Inst& root);
+/// on the (logical, canonicalized) tree. `scopes`, when given, supplies a
+/// reusable reference-scope table (reset first).
+Status check_presence(const Graph& graph, Inst& root,
+                      ScopeChain* scopes = nullptr);
+
+/// The holder terminals (length/count targets) canonicalize seeds with
+/// width-correct placeholders, in DFS order. Depends only on the graph, so
+/// callers that canonicalize per message (ObfuscatedProtocol) compute it
+/// once and pass it back in.
+std::vector<NodeId> canonical_holder_ids(const Graph& g1);
 
 /// Logical derivation: consts + length/count holders per G1 semantics.
-/// `scratch`, when given, backs the intermediate size measurements so
-/// sessions amortize their allocations across messages.
+/// Size measurements run through the counting emitter, so no intermediate
+/// buffer is ever materialized. `holder_ids`, when given, must equal
+/// canonical_holder_ids(g1) (it is recomputed when null); `scopes` is a
+/// reusable scope table for the fixpoint walks.
 Status canonicalize(const Graph& g1, Inst& root,
-                    BufferPool* scratch = nullptr);
+                    const std::vector<NodeId>* holder_ids = nullptr,
+                    ScopeChain* scopes = nullptr);
 
 /// Wire derivation on the transformed tree: recomputes every holder from
 /// the final wire sizes/counts and replays its transformation lineage.
-/// `msg_seed` keeps the replayed randomness deterministic per message.
+/// `msg_seed` keeps the replayed randomness deterministic per message;
+/// `pool`, when given, backs the rebuilt holder subtrees so steady-state
+/// sessions rebuild without heap traffic, and `scopes` the fixpoint walks.
 Status fix_holders(const Graph& wire, const Journal& journal,
                    const HolderTable& table, Inst& root,
-                   std::uint64_t msg_seed, BufferPool* scratch = nullptr);
+                   std::uint64_t msg_seed, InstPool* pool = nullptr,
+                   ScopeChain* scopes = nullptr);
 
 }  // namespace protoobf

@@ -40,10 +40,14 @@ Expected<Bytes> emit(const Graph& graph, const Inst& root,
 Status emit_into(const Graph& graph, const Inst& root, Bytes& out,
                  std::vector<FieldSpan>* spans = nullptr);
 
-/// Size of the serialization without keeping the bytes. `scratch`, when
-/// given, holds the intermediate image so repeated measurements (derive's
-/// fixpoint loops) reuse one buffer instead of allocating per call.
-Expected<std::size_t> emitted_size(const Graph& graph, const Inst& root,
-                                   Bytes* scratch = nullptr);
+/// Size of the serialization without materializing any bytes: a counting
+/// walk over the tree that performs every validation a real emission would
+/// (fixed-size mismatches, delimiter containment, stop-marker collisions,
+/// empty repetition elements) by streaming values through incremental
+/// matchers instead of writing a buffer. Returns exactly the size (and
+/// exactly the errors, in the same order) that emit() would produce —
+/// derive's fixpoint loops call this many times per message, so it must
+/// neither write nor allocate per byte.
+Expected<std::size_t> emitted_size(const Graph& graph, const Inst& root);
 
 }  // namespace protoobf

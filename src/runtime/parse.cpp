@@ -26,11 +26,12 @@ class WireParser {
  public:
   WireParser(const Graph& wire, const Journal& journal,
              const HolderTable& table, BufferPool* scratch,
-             ScopeChain* scopes, bool prefix = false)
+             ScopeChain* scopes, InstPool* nodes, bool prefix = false)
       : wire_(wire),
         journal_(journal),
         table_(table),
         scratch_(scratch),
+        nodes_(nodes),
         prefix_(prefix),
         scopes_(scopes != nullptr ? *scopes : local_scopes_) {}
 
@@ -60,33 +61,36 @@ class WireParser {
     return Unexpected(what, r.pos);
   }
 
-  /// Logical value of an already-parsed reference target: clone the holder
-  /// subtree and invert every transformation inside it.
-  Expected<Bytes> logical_bytes(const Inst& holder, const Reader& r) const {
-    auto logical = invert_clone(holder, journal_);
+  /// Logical value of an already-parsed reference target: pool-copy the
+  /// holder subtree and invert every transformation inside it. The caller
+  /// reads the value out of the returned (single-terminal) tree, so no
+  /// extra byte copy is made.
+  Expected<InstPtr> logical_tree(const Inst& holder, const Reader& r) const {
+    auto logical = invert_clone(holder, journal_, nodes_);
     if (!logical) return Unexpected(logical.error());
     if (!(*logical)->children.empty()) {
       return fail(r, "reference target does not invert to a terminal");
     }
-    return (*logical)->value;
+    return logical;
   }
 
   /// Logical scalar of a holder (length or count), decoded with the origin
   /// terminal's encoding.
   Expected<std::uint64_t> scalar(NodeId ref, const Inst& holder,
                                  const Reader& r) const {
-    auto bytes = logical_bytes(holder, r);
-    if (!bytes) return Unexpected(bytes.error());
+    auto logical = logical_tree(holder, r);
+    if (!logical) return Unexpected(logical.error());
+    const Bytes& bytes = (*logical)->value;
     const HolderInfo* info = table_.find_by_top(ref);
     const NodeId origin = info != nullptr ? info->origin : ref;
     const Node& n = wire_.node(origin);
     if (n.encoding == Encoding::AsciiDec) {
-      auto value = ascii_dec_decode(*bytes);
+      auto value = ascii_dec_decode(bytes);
       if (!value) return fail(r, "holder is not a decimal number");
       return *value;
     }
-    if (bytes->size() > 8) return fail(r, "holder wider than 8 bytes");
-    return be_decode(*bytes);
+    if (bytes.size() > 8) return fail(r, "holder wider than 8 bytes");
+    return be_decode(bytes);
   }
 
   Expected<Inst*> lookup(NodeId ref, const Reader& r) {
@@ -215,14 +219,13 @@ class WireParser {
     InstPtr inst;
     switch (n.type) {
       case NodeType::Terminal: {
-        inst = ast::terminal(
-            id, Bytes(r.data.begin() + static_cast<std::ptrdiff_t>(r.pos),
-                      r.data.begin() + static_cast<std::ptrdiff_t>(*region_end)));
+        inst = ast::terminal(nodes_, id,
+                             r.data.subspan(r.pos, *region_end - r.pos));
         r.pos = *region_end;
         break;
       }
       case NodeType::Sequence: {
-        inst = std::make_unique<Inst>(id);
+        inst = ast::make(nodes_, id);
         if (region_end) {
           Reader sub{r.data, r.pos, *region_end, sub_soft};
           for (NodeId child : n.children) {
@@ -248,22 +251,22 @@ class WireParser {
         if (n.condition.kind != Condition::Kind::Always) {
           auto ref = lookup(n.condition.ref, r);
           if (!ref) return Unexpected(ref.error());
-          auto value = logical_bytes(**ref, r);
-          if (!value) return Unexpected(value.error());
-          present = n.condition.evaluate(*value);
+          auto logical = logical_tree(**ref, r);
+          if (!logical) return Unexpected(logical.error());
+          present = n.condition.evaluate((*logical)->value);
         }
         if (present) {
-          inst = std::make_unique<Inst>(id);
+          inst = ast::make(nodes_, id);
           auto child = parse_node(n.children[0], r);
           if (!child) return child;
           inst->children.push_back(std::move(*child));
         } else {
-          inst = ast::absent(id);
+          inst = ast::absent(nodes_, id);
         }
         break;
       }
       case NodeType::Repetition: {
-        inst = std::make_unique<Inst>(id);
+        inst = ast::make(nodes_, id);
         if (stop_marker_rep) {
           while (true) {
             if (starts_with(r.window(), n.delimiter)) {
@@ -294,7 +297,7 @@ class WireParser {
         if (!holder) return Unexpected(holder.error());
         auto count = scalar(n.ref, **holder, r);
         if (!count) return Unexpected(count.error());
-        inst = std::make_unique<Inst>(id);
+        inst = ast::make(nodes_, id);
         for (std::uint64_t k = 0; k < *count; ++k) {
           // Tabular elements may be legitimately empty: the count, not
           // progress, terminates the loop.
@@ -335,6 +338,7 @@ class WireParser {
   const Journal& journal_;
   const HolderTable& table_;
   BufferPool* scratch_;
+  InstPool* nodes_;
   bool prefix_ = false;
   ScopeChain local_scopes_;
   ScopeChain& scopes_;
@@ -344,15 +348,17 @@ class WireParser {
 
 Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
                              const HolderTable& table, BytesView data,
-                             BufferPool* scratch, ScopeChain* scopes) {
-  return WireParser(wire, journal, table, scratch, scopes).parse(data);
+                             BufferPool* scratch, ScopeChain* scopes,
+                             InstPool* nodes) {
+  return WireParser(wire, journal, table, scratch, scopes, nodes).parse(data);
 }
 
 Expected<InstPtr> parse_wire_prefix(const Graph& wire, const Journal& journal,
                                     const HolderTable& table, BytesView data,
                                     std::size_t* consumed, BufferPool* scratch,
-                                    ScopeChain* scopes) {
-  return WireParser(wire, journal, table, scratch, scopes, /*prefix=*/true)
+                                    ScopeChain* scopes, InstPool* nodes) {
+  return WireParser(wire, journal, table, scratch, scopes, nodes,
+                    /*prefix=*/true)
       .parse(data, consumed);
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "ast/ast.hpp"
+#include "ast/pool.hpp"
 #include "graph/graph.hpp"
 #include "runtime/scope.hpp"
 #include "transform/lineage.hpp"
@@ -25,12 +26,16 @@ namespace protoobf {
 /// `scratch`, when given, supplies reusable buffers for the reversed copies
 /// of mirrored regions so steady-state parsing stops allocating them, and
 /// `scopes` a reusable scope table (it is reset before use, so stale
-/// entries from a previous message never leak in). Both must outlive the
-/// call and may be reused across messages.
+/// entries from a previous message never leak in). `nodes`, when given,
+/// backs every tree node — and every terminal payload, via recycled Bytes
+/// capacity — so a session parses with no heap allocation in steady state;
+/// it must then outlive the returned tree. All must outlive the call and
+/// may be reused across messages.
 Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
                              const HolderTable& table, BytesView data,
                              BufferPool* scratch = nullptr,
-                             ScopeChain* scopes = nullptr);
+                             ScopeChain* scopes = nullptr,
+                             InstPool* nodes = nullptr);
 
 /// Streaming variant: parses exactly one message from the *front* of
 /// `data`, tolerating trailing bytes (the next message's prefix in a byte
@@ -46,7 +51,8 @@ Expected<InstPtr> parse_wire_prefix(const Graph& wire, const Journal& journal,
                                     const HolderTable& table, BytesView data,
                                     std::size_t* consumed,
                                     BufferPool* scratch = nullptr,
-                                    ScopeChain* scopes = nullptr);
+                                    ScopeChain* scopes = nullptr,
+                                    InstPool* nodes = nullptr);
 
 /// Checks that the wire graph delimits its own messages, i.e. that no node
 /// parsed in a stream-open position depends on where the input ends: a

@@ -13,7 +13,8 @@ ObfuscatedProtocol::ObfuscatedProtocol(Graph original, ObfuscationResult result)
       wire_(std::move(result.graph)),
       journal_(std::move(result.journal)),
       stats_(result.stats),
-      holders_(build_holder_table(original_, journal_)) {}
+      holders_(build_holder_table(original_, journal_)),
+      canon_holders_(canonical_holder_ids(original_)) {}
 
 Expected<ObfuscatedProtocol> ObfuscatedProtocol::create(
     const Graph& g1, const ObfuscationConfig& config) {
@@ -53,18 +54,25 @@ Expected<Bytes> ObfuscatedProtocol::serialize(
 Status ObfuscatedProtocol::serialize_into(const Inst& message,
                                           std::uint64_t msg_seed, Bytes& out,
                                           std::vector<FieldSpan>* spans,
-                                          BufferPool* scratch) const {
+                                          InstPool* nodes,
+                                          ScopeChain* scopes) const {
   if (Status s = ast::check(original_, message); !s) return s;
-  InstPtr tree = ast::clone(message);
-  if (Status s = protoobf::canonicalize(original_, *tree, scratch); !s) {
+  // The caller's tree is read-only; the transformation passes mutate a
+  // workspace copy drawn from the node pool. With a session pool attached
+  // the whole copy lands in recycled nodes and recycled payload capacity —
+  // the clone that used to dominate the serialize path is gone.
+  InstPtr tree = ast::copy(nodes, message);
+  if (Status s = protoobf::canonicalize(original_, *tree, &canon_holders_,
+                                        scopes);
+      !s) {
     return s;
   }
-  if (Status s = check_presence(original_, *tree); !s) return s;
+  if (Status s = check_presence(original_, *tree, scopes); !s) return s;
 
   Rng rng(msg_seed);
-  if (Status s = forward_all(tree, journal_, rng); !s) return s;
+  if (Status s = forward_all(tree, journal_, rng, nodes); !s) return s;
   if (Status s = fix_holders(wire_, journal_, holders_, *tree, msg_seed,
-                             scratch);
+                             nodes, scopes);
       !s) {
     return s;
   }
@@ -73,26 +81,30 @@ Status ObfuscatedProtocol::serialize_into(const Inst& message,
 
 Expected<InstPtr> ObfuscatedProtocol::parse(BytesView wire,
                                             BufferPool* scratch,
-                                            ScopeChain* scopes) const {
-  auto tree = parse_wire(wire_, journal_, holders_, wire, scratch, scopes);
-  return finish_parse(std::move(tree), scratch);
+                                            ScopeChain* scopes,
+                                            InstPool* nodes) const {
+  auto tree =
+      parse_wire(wire_, journal_, holders_, wire, scratch, scopes, nodes);
+  return finish_parse(std::move(tree), nodes, scopes);
 }
 
 Expected<InstPtr> ObfuscatedProtocol::parse_prefix(BytesView buffer,
                                                    std::size_t* consumed,
                                                    BufferPool* scratch,
-                                                   ScopeChain* scopes) const {
+                                                   ScopeChain* scopes,
+                                                   InstPool* nodes) const {
   auto tree = parse_wire_prefix(wire_, journal_, holders_, buffer, consumed,
-                                scratch, scopes);
-  return finish_parse(std::move(tree), scratch);
+                                scratch, scopes, nodes);
+  return finish_parse(std::move(tree), nodes, scopes);
 }
 
 /// Shared tail of parse()/parse_prefix(): inverse transformations plus the
 /// canonical-form integrity checks.
 Expected<InstPtr> ObfuscatedProtocol::finish_parse(Expected<InstPtr> tree,
-                                                   BufferPool* scratch) const {
+                                                   InstPool* nodes,
+                                                   ScopeChain* scopes) const {
   if (!tree) return tree;
-  if (Status s = inverse_all(*tree, journal_); !s) {
+  if (Status s = inverse_all(*tree, journal_, nodes); !s) {
     return Unexpected(s.error());
   }
   // fill_consts doubles as an integrity check: a recovered constant field
@@ -101,7 +113,9 @@ Expected<InstPtr> ObfuscatedProtocol::finish_parse(Expected<InstPtr> tree,
   if (Status s = fill_consts(original_, **tree); !s) {
     return Unexpected("parsed message rejected: " + s.error().message);
   }
-  if (Status s = protoobf::canonicalize(original_, **tree, scratch); !s) {
+  if (Status s = protoobf::canonicalize(original_, **tree, &canon_holders_,
+                                        scopes);
+      !s) {
     return Unexpected(s.error());
   }
   if (Status s = ast::check(original_, **tree); !s) {
@@ -111,7 +125,10 @@ Expected<InstPtr> ObfuscatedProtocol::finish_parse(Expected<InstPtr> tree,
 }
 
 Status ObfuscatedProtocol::canonicalize(Inst& message) const {
-  if (Status s = protoobf::canonicalize(original_, message); !s) return s;
+  if (Status s = protoobf::canonicalize(original_, message, &canon_holders_);
+      !s) {
+    return s;
+  }
   return check_presence(original_, message);
 }
 

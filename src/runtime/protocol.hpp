@@ -49,19 +49,26 @@ class ObfuscatedProtocol {
                             std::vector<FieldSpan>* spans = nullptr) const;
 
   /// Allocation-lean variant: serializes into `out`, replacing its contents
-  /// but reusing its capacity, with `scratch` (when given) backing the
-  /// derivation passes' intermediate measurements. Sessions route every
-  /// message of a connection through one buffer and one pool
-  /// (session/arena.hpp) so the steady state stops growing the heap.
+  /// but reusing its capacity. The user's tree is never cloned on the heap:
+  /// the canonicalize/forward-transform passes mutate a workspace copy
+  /// whose nodes come from `nodes` (when given) — the session arena's pool
+  /// — so a steady-state session serializes with O(1) small allocations
+  /// per message (fixpoint-local scratch) instead of O(nodes). Size
+  /// measurement runs through the counting emitter, so no scratch buffer
+  /// is needed anymore.
   Status serialize_into(const Inst& message, std::uint64_t msg_seed,
                         Bytes& out, std::vector<FieldSpan>* spans = nullptr,
-                        BufferPool* scratch = nullptr) const;
+                        InstPool* nodes = nullptr,
+                        ScopeChain* scopes = nullptr) const;
 
   /// Parses a wire message back into a canonical logical tree. `scratch`,
-  /// when given, provides reusable buffers for mirrored-region copies and
-  /// derivation measurements; `scopes` a reusable reference-scope table.
+  /// when given, provides reusable buffers for mirrored-region copies;
+  /// `scopes` a reusable reference-scope table; `nodes` a tree-node pool
+  /// backing every instance of the result (which then must not outlive the
+  /// pool).
   Expected<InstPtr> parse(BytesView wire, BufferPool* scratch = nullptr,
-                          ScopeChain* scopes = nullptr) const;
+                          ScopeChain* scopes = nullptr,
+                          InstPool* nodes = nullptr) const;
 
   /// Streaming variant of parse(): reads exactly one message from the front
   /// of `buffer`, tolerating trailing bytes (the next message), and reports
@@ -71,7 +78,8 @@ class ObfuscatedProtocol {
   /// bytes" instead of a parse failure. Requires stream_safe(wire_graph()).
   Expected<InstPtr> parse_prefix(BytesView buffer, std::size_t* consumed,
                                  BufferPool* scratch = nullptr,
-                                 ScopeChain* scopes = nullptr) const;
+                                 ScopeChain* scopes = nullptr,
+                                 InstPool* nodes = nullptr) const;
 
   /// Fills constants and derived fields of a user-built logical tree so it
   /// compares equal with parse() results.
@@ -80,14 +88,15 @@ class ObfuscatedProtocol {
  private:
   ObfuscatedProtocol(Graph original, ObfuscationResult result);
 
-  Expected<InstPtr> finish_parse(Expected<InstPtr> tree,
-                                 BufferPool* scratch) const;
+  Expected<InstPtr> finish_parse(Expected<InstPtr> tree, InstPool* nodes,
+                                 ScopeChain* scopes) const;
 
   Graph original_;
   Graph wire_;
   Journal journal_;
   ObfuscationStats stats_;
   HolderTable holders_;
+  std::vector<NodeId> canon_holders_;  // canonical_holder_ids(original_)
 };
 
 }  // namespace protoobf

@@ -2,21 +2,56 @@
 //
 // A session serializes and parses a long stream of messages against one
 // compiled protocol. Without an arena every serialize() grows a fresh Bytes
-// from zero capacity and every mirrored region in parse() allocates its
-// reversed copy; at traffic scale those per-message heap round-trips
-// dominate the runtime cost of small messages. The arena keeps one wire
-// buffer, one span table and one scratch pool per session (or per batch
-// worker) so the steady state reuses capacity established by the first few
-// messages.
+// from zero capacity, every mirrored region in parse() allocates its
+// reversed copy, and every message materializes a fresh Inst tree node by
+// node; at traffic scale those per-message heap round-trips dominate the
+// runtime cost of small messages. The arena keeps one wire buffer, one
+// frame buffer, one scratch pool, one scope table and one AST node pool
+// per session (or per batch worker) so the steady state reuses capacity
+// established by the first few messages — including whole parse trees and
+// serialize workspaces, which recycle through the node pool.
 //
 // Not thread-safe: one arena per thread. Session keeps one arena per batch
 // shard for exactly this reason.
 #pragma once
 
+#include <atomic>
+
+#include "ast/pool.hpp"
 #include "runtime/scope.hpp"
 #include "util/bytes.hpp"
 
 namespace protoobf {
+
+/// Cross-arena EWMA of recently emitted sizes. One buffer's own capacity
+/// already remembers its personal high-water mark, so a *per-arena* hint
+/// would never reserve anything new; the value of the hint is sharing it
+/// across a session's arenas — the single-message path, every batch
+/// shard, and the channel frame path — so a cold arena's first message
+/// reserves the size its siblings established instead of doubling its way
+/// up. Atomic because batch shards note sizes from worker threads; races
+/// just make the hint slightly stale, which is harmless.
+class SizeHint {
+ public:
+  /// Records an emitted size: rises to a larger size instantly, decays a
+  /// quarter of the gap toward a smaller one — a burst of large messages
+  /// is covered immediately, one small message barely moves the hint.
+  void note(std::size_t size) {
+    const std::size_t prev = hint_.load(std::memory_order_relaxed);
+    const std::size_t next = size >= prev ? size : prev - (prev - size) / 4;
+    hint_.store(next, std::memory_order_relaxed);
+  }
+
+  std::size_t get() const { return hint_.load(std::memory_order_relaxed); }
+
+  /// Pre-sizes `buffer` for the next emission (no-op with no history).
+  void reserve(Bytes& buffer) const { buffer.reserve(get()); }
+
+  void reset() { hint_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::size_t> hint_{0};
+};
 
 class SessionArena {
  public:
@@ -37,10 +72,16 @@ class SessionArena {
   /// Reusable reference-scope table for parse() (reset per message).
   ScopeChain& scopes() { return scopes_; }
 
+  /// AST node pool backing parse trees and serialize workspaces. Trees
+  /// drawn from it must not outlive the arena.
+  InstPool& nodes() { return nodes_; }
+  const InstPool& nodes() const { return nodes_; }
+
   /// Bytes of capacity currently retained by the wire and frame buffers.
   std::size_t retained() const { return wire_.capacity() + frame_.capacity(); }
 
-  /// Releases all retained memory (e.g. when a session goes idle).
+  /// Releases all retained memory (e.g. when a session goes idle). Node
+  /// slabs with live trees stay pinned until those trees are dropped.
   void shrink();
 
  private:
@@ -48,6 +89,7 @@ class SessionArena {
   Bytes frame_;
   BufferPool scratch_;
   ScopeChain scopes_;
+  InstPool nodes_;
 };
 
 }  // namespace protoobf

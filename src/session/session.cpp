@@ -11,16 +11,20 @@ Session::Session(std::shared_ptr<const ObfuscatedProtocol> protocol,
 Expected<BytesView> Session::serialize(const Inst& message,
                                        std::uint64_t msg_seed,
                                        std::vector<FieldSpan>* spans) {
+  wire_hint_.reserve(arena_.wire());
   if (Status s = protocol_->serialize_into(message, msg_seed, arena_.wire(),
-                                           spans, &arena_.scratch());
+                                           spans, &arena_.nodes(),
+                                           &arena_.scopes());
       !s) {
     return Unexpected(s.error());
   }
+  wire_hint_.note(arena_.wire().size());
   return BytesView(arena_.wire());
 }
 
 Expected<InstPtr> Session::parse(BytesView wire) {
-  return protocol_->parse(wire, &arena_.scratch(), &arena_.scopes());
+  return protocol_->parse(wire, &arena_.scratch(), &arena_.scopes(),
+                          &arena_.nodes());
 }
 
 Expected<Bytes> Session::serialize_one(SessionArena& arena,
@@ -28,12 +32,14 @@ Expected<Bytes> Session::serialize_one(SessionArena& arena,
   if (item.message == nullptr) {
     return Unexpected("batch item has no message");
   }
+  wire_hint_.reserve(arena.wire());
   if (Status s = protocol_->serialize_into(*item.message, item.msg_seed,
                                            arena.wire(), /*spans=*/nullptr,
-                                           &arena.scratch());
+                                           &arena.nodes(), &arena.scopes());
       !s) {
     return Unexpected(s.error());
   }
+  wire_hint_.note(arena.wire().size());
   // The arena buffer is reused for the next item; the result is a
   // right-sized copy the caller owns.
   return Bytes(arena.wire());
@@ -74,8 +80,9 @@ std::vector<Expected<InstPtr>> Session::parse_batch(
 
   if (pool_ == nullptr || pool_->width() == 1 || wires.size() <= 1) {
     for (const BytesView wire : wires) {
-      results.emplace_back(
-          protocol_->parse(wire, &shards_[0].scratch(), &shards_[0].scopes()));
+      results.emplace_back(protocol_->parse(wire, &shards_[0].scratch(),
+                                            &shards_[0].scopes(),
+                                            &shards_[0].nodes()));
     }
     return results;
   }
@@ -88,7 +95,8 @@ std::vector<Expected<InstPtr>> Session::parse_batch(
                         std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           results[i] = protocol_->parse(wires[i], &shards_[shard].scratch(),
-                                        &shards_[shard].scopes());
+                                        &shards_[shard].scopes(),
+                                        &shards_[shard].nodes());
         }
       });
   return results;

@@ -48,7 +48,15 @@ class Session {
   Expected<BytesView> serialize(const Inst& message, std::uint64_t msg_seed,
                                 std::vector<FieldSpan>* spans = nullptr);
 
-  /// Parses with the arena's scratch pool backing mirrored regions.
+  /// Parses with the arena backing the whole operation: scratch buffers
+  /// for mirrored regions, the scope table, and the node pool every
+  /// instance of the result comes from. Steady state performs O(1) small
+  /// allocations per message (fixpoint-local scratch), never O(nodes).
+  /// Because dropping the returned tree recycles its nodes
+  /// into the arena's pool, the tree must not outlive the session and
+  /// must be destroyed on the session's thread of control — handing a
+  /// tree to another thread requires dropping it back here (or copying
+  /// it). Same rules for parse_batch results.
   Expected<InstPtr> parse(BytesView wire);
 
   /// Serializes every item; result i corresponds to item i and equals what
@@ -73,6 +81,13 @@ class Session {
   /// The worker pool batches shard over, or null when batches run inline.
   WorkerPool* pool() const { return pool_; }
 
+  /// Shared emitted-size hints: every serialize path notes its result and
+  /// pre-reserves from it, so a cold batch shard (or the channel frame
+  /// buffer) starts at the capacity its siblings established instead of
+  /// growing through doublings. Channel::send uses frame_hint().
+  SizeHint& wire_hint() { return wire_hint_; }
+  SizeHint& frame_hint() { return frame_hint_; }
+
  private:
   Expected<Bytes> serialize_one(SessionArena& arena, const BatchItem& item);
 
@@ -80,6 +95,8 @@ class Session {
   WorkerPool* pool_;
   SessionArena arena_;                // single-message fast path
   std::vector<SessionArena> shards_;  // one per batch shard
+  SizeHint wire_hint_;                // shared across all arenas above
+  SizeHint frame_hint_;               // for the channel framing layer
 };
 
 }  // namespace protoobf

@@ -16,7 +16,9 @@
 // Buffer lifetime rules (also in README "Streaming over TCP"): the view
 // send() returns aliases the session arena's frame buffer and is valid
 // until the next send() on any channel sharing that session; trees from
-// receive()/drain_batch() are owned by the caller.
+// receive()/drain_batch() are owned by the caller but recycle into the
+// session's node pool when dropped — drop them on the session's thread,
+// before the session goes away.
 #pragma once
 
 #include <optional>

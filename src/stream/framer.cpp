@@ -157,7 +157,8 @@ ObfuscatedFramer::ObfuscatedFramer(
 Status ObfuscatedFramer::encode(BytesView payload, Bytes& out) {
   payload_slot_->value.assign(payload.begin(), payload.end());
   if (Status s = framing_->serialize_into(*skeleton_, rng_.next_u64(), out,
-                                          /*spans=*/nullptr, &scratch_);
+                                          /*spans=*/nullptr, &nodes_,
+                                          &scopes_);
       !s) {
     return s;
   }
@@ -171,7 +172,8 @@ Status ObfuscatedFramer::encode(BytesView payload, Bytes& out) {
 FrameDecode ObfuscatedFramer::decode(BytesView buffer) {
   if (buffer.empty()) return FrameDecode::need_more(1);
   std::size_t consumed = 0;
-  auto tree = framing_->parse_prefix(buffer, &consumed, &scratch_, &scopes_);
+  auto tree =
+      framing_->parse_prefix(buffer, &consumed, &scratch_, &scopes_, &nodes_);
   if (!tree) {
     const Error& e = tree.error();
     if (e.truncated()) {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "ast/pool.hpp"
 #include "runtime/protocol.hpp"
 #include "runtime/scope.hpp"
 #include "util/bytes.hpp"
@@ -158,8 +159,9 @@ class ObfuscatedFramer final : public Framer {
   InstPtr skeleton_;       // reusable logical frame; payload mutated per encode
   Inst* payload_slot_;     // the payload terminal inside skeleton_
   NodeId payload_node_;    // its schema in the original frame graph
-  BufferPool scratch_;     // mirrored-region/derivation buffers
+  BufferPool scratch_;     // mirrored-region buffers
   ScopeChain scopes_;      // reusable reference-scope table
+  InstPool nodes_;         // recycles frame trees across encodes/decodes
   Bytes payload_copy_;     // backs decode() payload views
 };
 

@@ -11,42 +11,53 @@ Unexpected exec_fail(const AppliedTransform& entry, const std::string& what) {
 }
 
 // --- forward operations -----------------------------------------------------
+//
+// Replacement nodes come from the pool (recycled node + recycled payload
+// capacity) and replaced nodes return to it, so steady-state journal replay
+// touches the heap only while buffers are still growing toward their
+// high-water capacity. Randomness is drawn in exactly the order the
+// original heap implementation drew it, keeping wire images bit-identical.
 
-Status forward_split(InstPtr& p, const AppliedTransform& e, Rng& rng) {
-  const Bytes v = std::move(p->value);
-  Bytes a, b;
+Status forward_split(InstPtr& p, const AppliedTransform& e, Rng& rng,
+                     InstPool* pool) {
+  InstPtr first = ast::make(pool, e.created_a);
+  InstPtr second = ast::make(pool, e.created_b);
+  const Bytes& v = p->value;
   switch (e.kind) {
     case TransformKind::SplitAdd:
-      a = rng.bytes(v.size());
-      b = add_mod256(v, a);
+      rng.fill(first->value, v.size());
+      add_mod256_into(second->value, v, first->value);
       break;
     case TransformKind::SplitSub:
-      a = rng.bytes(v.size());
-      b = sub_mod256(v, a);
+      rng.fill(first->value, v.size());
+      sub_mod256_into(second->value, v, first->value);
       break;
     case TransformKind::SplitXor:
-      a = rng.bytes(v.size());
-      b = xor_bytes(v, a);
+      rng.fill(first->value, v.size());
+      xor_bytes_into(second->value, v, first->value);
       break;
     case TransformKind::SplitCat: {
       if (v.size() < e.split_point) {
         return exec_fail(e, "value shorter than split point");
       }
-      a.assign(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(e.split_point));
-      b.assign(v.begin() + static_cast<std::ptrdiff_t>(e.split_point), v.end());
+      first->value.assign(
+          v.begin(), v.begin() + static_cast<std::ptrdiff_t>(e.split_point));
+      second->value.assign(
+          v.begin() + static_cast<std::ptrdiff_t>(e.split_point), v.end());
       break;
     }
     default:
       return exec_fail(e, "not a split");
   }
-  std::vector<InstPtr> children;
-  children.push_back(ast::terminal(e.created_a, std::move(a)));
-  children.push_back(ast::terminal(e.created_b, std::move(b)));
-  p = ast::composite(e.created_seq, std::move(children));
+  InstPtr seq = ast::make(pool, e.created_seq);
+  seq->children.reserve(2);
+  seq->children.push_back(std::move(first));
+  seq->children.push_back(std::move(second));
+  p = std::move(seq);
   return Status::success();
 }
 
-Status inverse_split(InstPtr& p, const AppliedTransform& e) {
+Status inverse_split(InstPtr& p, const AppliedTransform& e, InstPool* pool) {
   if (p->children.size() != 2) {
     return exec_fail(e, "split sequence without two halves");
   }
@@ -55,45 +66,54 @@ Status inverse_split(InstPtr& p, const AppliedTransform& e) {
   if (e.kind != TransformKind::SplitCat && a.size() != b.size()) {
     return exec_fail(e, "split halves of unequal size");
   }
-  Bytes v;
+  InstPtr merged = ast::make(pool, e.target);
   switch (e.kind) {
-    case TransformKind::SplitAdd: v = sub_mod256(b, a); break;
-    case TransformKind::SplitSub: v = add_mod256(b, a); break;
-    case TransformKind::SplitXor: v = xor_bytes(b, a); break;
-    case TransformKind::SplitCat: v = concat(a, b); break;
+    case TransformKind::SplitAdd: sub_mod256_into(merged->value, b, a); break;
+    case TransformKind::SplitSub: add_mod256_into(merged->value, b, a); break;
+    case TransformKind::SplitXor: xor_bytes_into(merged->value, b, a); break;
+    case TransformKind::SplitCat:
+      merged->value.assign(a.begin(), a.end());
+      append(merged->value, b);
+      break;
     default: return exec_fail(e, "not a split");
   }
-  p = ast::terminal(e.target, std::move(v));
+  p = std::move(merged);
   return Status::success();
 }
 
 void forward_const(Inst& p, const AppliedTransform& e) {
   switch (e.kind) {
-    case TransformKind::ConstAdd: p.value = add_key(p.value, e.key); break;
-    case TransformKind::ConstSub: p.value = sub_key(p.value, e.key); break;
-    case TransformKind::ConstXor: p.value = xor_key(p.value, e.key); break;
+    case TransformKind::ConstAdd: add_key_in(p.value, e.key); break;
+    case TransformKind::ConstSub: sub_key_in(p.value, e.key); break;
+    case TransformKind::ConstXor: xor_key_in(p.value, e.key); break;
     default: break;
   }
 }
 
 void inverse_const(Inst& p, const AppliedTransform& e) {
   switch (e.kind) {
-    case TransformKind::ConstAdd: p.value = sub_key(p.value, e.key); break;
-    case TransformKind::ConstSub: p.value = add_key(p.value, e.key); break;
-    case TransformKind::ConstXor: p.value = xor_key(p.value, e.key); break;
+    case TransformKind::ConstAdd: sub_key_in(p.value, e.key); break;
+    case TransformKind::ConstSub: add_key_in(p.value, e.key); break;
+    case TransformKind::ConstXor: xor_key_in(p.value, e.key); break;
     default: break;
   }
 }
 
-Status forward_boundary_change(InstPtr& p, const AppliedTransform& e) {
+Status forward_boundary_change(InstPtr& p, const AppliedTransform& e,
+                               InstPool* pool) {
   // Width-correct placeholder; the real value is set by the holder fixpoint
   // (runtime/derive) once the final wire size of the data child is known.
-  Bytes placeholder = e.len_ascii ? ascii_dec_encode(0, e.len_width)
-                                  : Bytes(e.len_width, 0);
-  std::vector<InstPtr> children;
-  children.push_back(ast::terminal(e.created_a, std::move(placeholder)));
-  children.push_back(std::move(p));
-  p = ast::composite(e.created_seq, std::move(children));
+  InstPtr length = ast::make(pool, e.created_a);
+  if (e.len_ascii) {
+    ascii_dec_encode_into(length->value, 0, e.len_width);
+  } else {
+    length->value.assign(e.len_width, 0);
+  }
+  InstPtr seq = ast::make(pool, e.created_seq);
+  seq->children.reserve(2);
+  seq->children.push_back(std::move(length));
+  seq->children.push_back(std::move(p));
+  p = std::move(seq);
   return Status::success();
 }
 
@@ -105,13 +125,16 @@ Status inverse_boundary_change(InstPtr& p, const AppliedTransform& e) {
   return Status::success();
 }
 
-Status forward_pad(Inst& p, const AppliedTransform& e, Rng& rng) {
+Status forward_pad(Inst& p, const AppliedTransform& e, Rng& rng,
+                   InstPool* pool) {
   if (e.pad_index > p.children.size()) {
     return exec_fail(e, "pad index out of range");
   }
+  InstPtr pad = ast::make(pool, e.created_a);
+  rng.fill(pad->value, e.pad_size);
   p.children.insert(
       p.children.begin() + static_cast<std::ptrdiff_t>(e.pad_index),
-      ast::terminal(e.created_a, rng.bytes(e.pad_size)));
+      std::move(pad));
   return Status::success();
 }
 
@@ -127,41 +150,44 @@ Status inverse_pad(Inst& p, const AppliedTransform& e) {
 
 Status forward_group_split(InstPtr& p, const AppliedTransform& e,
                            NodeId cnt_node, NodeId t1_node, NodeId t2_node,
-                           NodeId rest_node) {
+                           NodeId rest_node, InstPool* pool) {
   std::vector<InstPtr> elements = std::move(p->children);
-  std::vector<InstPtr> firsts;
-  std::vector<InstPtr> seconds;
-  firsts.reserve(elements.size());
-  seconds.reserve(elements.size());
+  InstPtr firsts = ast::make(pool, t1_node);
+  InstPtr seconds = ast::make(pool, t2_node);
+  firsts->children.reserve(elements.size());
+  seconds->children.reserve(elements.size());
   for (InstPtr& element : elements) {
     if (element->children.size() < 2) {
       return exec_fail(e, "element with fewer than two children");
     }
-    firsts.push_back(std::move(element->children[0]));
+    firsts->children.push_back(std::move(element->children[0]));
     if (rest_node == kNoNode) {
-      seconds.push_back(std::move(element->children[1]));
+      seconds->children.push_back(std::move(element->children[1]));
     } else {
-      std::vector<InstPtr> rest;
+      InstPtr rest = ast::make(pool, rest_node);
+      rest->children.reserve(element->children.size() - 1);
       for (std::size_t i = 1; i < element->children.size(); ++i) {
-        rest.push_back(std::move(element->children[i]));
+        rest->children.push_back(std::move(element->children[i]));
       }
-      seconds.push_back(ast::composite(rest_node, std::move(rest)));
+      seconds->children.push_back(std::move(rest));
     }
   }
-  const std::size_t m = firsts.size();
-  std::vector<InstPtr> children;
+  const std::size_t m = firsts->children.size();
+  InstPtr seq = ast::make(pool, e.created_seq);
+  seq->children.reserve(cnt_node != kNoNode ? 3 : 2);
   if (cnt_node != kNoNode) {
-    children.push_back(
-        ast::terminal(cnt_node, be_encode(static_cast<std::uint64_t>(m), 2)));
+    InstPtr cnt = ast::make(pool, cnt_node);
+    be_encode_into(cnt->value, static_cast<std::uint64_t>(m), 2);
+    seq->children.push_back(std::move(cnt));
   }
-  children.push_back(ast::composite(t1_node, std::move(firsts)));
-  children.push_back(ast::composite(t2_node, std::move(seconds)));
-  p = ast::composite(e.created_seq, std::move(children));
+  seq->children.push_back(std::move(firsts));
+  seq->children.push_back(std::move(seconds));
+  p = std::move(seq);
   return Status::success();
 }
 
-Status inverse_group_split(InstPtr& p, const AppliedTransform& e,
-                           bool has_cnt, NodeId rest_node) {
+Status inverse_group_split(InstPtr& p, const AppliedTransform& e, bool has_cnt,
+                           NodeId rest_node, InstPool* pool) {
   const std::size_t expected = has_cnt ? 3 : 2;
   if (p->children.size() != expected) {
     return exec_fail(e, "unexpected group-split shape");
@@ -171,23 +197,25 @@ Status inverse_group_split(InstPtr& p, const AppliedTransform& e,
   if (t1.children.size() != t2.children.size()) {
     return exec_fail(e, "tabular halves with different element counts");
   }
-  std::vector<InstPtr> elements;
-  elements.reserve(t1.children.size());
+  InstPtr merged = ast::make(pool, e.target);
+  merged->children.reserve(t1.children.size());
   for (std::size_t k = 0; k < t1.children.size(); ++k) {
-    std::vector<InstPtr> element_children;
-    element_children.push_back(std::move(t1.children[k]));
+    InstPtr element = ast::make(pool, e.element);
+    element->children.reserve(rest_node == kNoNode
+                                  ? 2
+                                  : 1 + t2.children[k]->children.size());
+    element->children.push_back(std::move(t1.children[k]));
     if (rest_node == kNoNode) {
-      element_children.push_back(std::move(t2.children[k]));
+      element->children.push_back(std::move(t2.children[k]));
     } else {
       Inst& rest = *t2.children[k];
       for (auto& sub : rest.children) {
-        element_children.push_back(std::move(sub));
+        element->children.push_back(std::move(sub));
       }
     }
-    elements.push_back(
-        ast::composite(e.element, std::move(element_children)));
+    merged->children.push_back(std::move(element));
   }
-  p = ast::composite(e.target, std::move(elements));
+  p = std::move(merged);
   return Status::success();
 }
 
@@ -217,14 +245,15 @@ Status for_each_match(InstPtr& p, NodeId match, Op&& op) {
 
 }  // namespace
 
-Status forward_entry(InstPtr& root, const AppliedTransform& entry, Rng& rng) {
+Status forward_entry(InstPtr& root, const AppliedTransform& entry, Rng& rng,
+                     InstPool* pool) {
   switch (entry.kind) {
     case TransformKind::SplitAdd:
     case TransformKind::SplitSub:
     case TransformKind::SplitXor:
     case TransformKind::SplitCat:
       return for_each_match(root, entry.target, [&](InstPtr& p) {
-        return forward_split(p, entry, rng);
+        return forward_split(p, entry, rng, pool);
       });
     case TransformKind::ConstAdd:
     case TransformKind::ConstSub:
@@ -235,23 +264,23 @@ Status forward_entry(InstPtr& root, const AppliedTransform& entry, Rng& rng) {
       });
     case TransformKind::BoundaryChange:
       return for_each_match(root, entry.target, [&](InstPtr& p) {
-        return forward_boundary_change(p, entry);
+        return forward_boundary_change(p, entry, pool);
       });
     case TransformKind::PadInsert:
       return for_each_match(root, entry.target, [&](InstPtr& p) {
-        return forward_pad(*p, entry, rng);
+        return forward_pad(*p, entry, rng, pool);
       });
     case TransformKind::ReadFromEnd:
       return Status::success();  // handled at emission/parse time
     case TransformKind::TabSplit:
       return for_each_match(root, entry.target, [&](InstPtr& p) {
         return forward_group_split(p, entry, kNoNode, entry.created_a,
-                                   entry.created_b, entry.created_c);
+                                   entry.created_b, entry.created_c, pool);
       });
     case TransformKind::RepSplit:
       return for_each_match(root, entry.target, [&](InstPtr& p) {
         return forward_group_split(p, entry, entry.created_a, entry.created_b,
-                                   entry.created_c, entry.created_d);
+                                   entry.created_c, entry.created_d, pool);
       });
     case TransformKind::ChildMove:
       return for_each_match(root, entry.target, [&](InstPtr& p) {
@@ -261,14 +290,15 @@ Status forward_entry(InstPtr& root, const AppliedTransform& entry, Rng& rng) {
   return Status::success();
 }
 
-Status inverse_entry(InstPtr& root, const AppliedTransform& entry) {
+Status inverse_entry(InstPtr& root, const AppliedTransform& entry,
+                     InstPool* pool) {
   switch (entry.kind) {
     case TransformKind::SplitAdd:
     case TransformKind::SplitSub:
     case TransformKind::SplitXor:
     case TransformKind::SplitCat:
       return for_each_match(root, entry.created_seq, [&](InstPtr& p) {
-        return inverse_split(p, entry);
+        return inverse_split(p, entry, pool);
       });
     case TransformKind::ConstAdd:
     case TransformKind::ConstSub:
@@ -290,12 +320,12 @@ Status inverse_entry(InstPtr& root, const AppliedTransform& entry) {
     case TransformKind::TabSplit:
       return for_each_match(root, entry.created_seq, [&](InstPtr& p) {
         return inverse_group_split(p, entry, /*has_cnt=*/false,
-                                   entry.created_c);
+                                   entry.created_c, pool);
       });
     case TransformKind::RepSplit:
       return for_each_match(root, entry.created_seq, [&](InstPtr& p) {
         return inverse_group_split(p, entry, /*has_cnt=*/true,
-                                   entry.created_d);
+                                   entry.created_d, pool);
       });
     case TransformKind::ChildMove:
       return for_each_match(root, entry.target, [&](InstPtr& p) {
@@ -305,34 +335,37 @@ Status inverse_entry(InstPtr& root, const AppliedTransform& entry) {
   return Status::success();
 }
 
-Status forward_all(InstPtr& root, const Journal& journal, Rng& rng) {
+Status forward_all(InstPtr& root, const Journal& journal, Rng& rng,
+                   InstPool* pool) {
   for (const AppliedTransform& entry : journal) {
-    if (Status s = forward_entry(root, entry, rng); !s) return s;
+    if (Status s = forward_entry(root, entry, rng, pool); !s) return s;
   }
   return Status::success();
 }
 
-Status inverse_all(InstPtr& root, const Journal& journal) {
+Status inverse_all(InstPtr& root, const Journal& journal, InstPool* pool) {
   for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
-    if (Status s = inverse_entry(root, *it); !s) return s;
+    if (Status s = inverse_entry(root, *it, pool); !s) return s;
   }
   return Status::success();
 }
 
-Expected<InstPtr> invert_clone(const Inst& wire_subtree,
-                               const Journal& journal) {
-  InstPtr copy = ast::clone(wire_subtree);
-  if (Status s = inverse_all(copy, journal); !s) return Unexpected(s.error());
+Expected<InstPtr> invert_clone(const Inst& wire_subtree, const Journal& journal,
+                               InstPool* pool) {
+  InstPtr copy = ast::copy(pool, wire_subtree);
+  if (Status s = inverse_all(copy, journal, pool); !s) {
+    return Unexpected(s.error());
+  }
   return copy;
 }
 
-Expected<InstPtr> rerun_chain(NodeId origin, Bytes logical_value,
+Expected<InstPtr> rerun_chain(NodeId origin, BytesView logical_value,
                               const Journal& journal,
-                              const std::vector<std::size_t>& chain,
-                              Rng& rng) {
-  InstPtr p = ast::terminal(origin, std::move(logical_value));
+                              const std::vector<std::size_t>& chain, Rng& rng,
+                              InstPool* pool) {
+  InstPtr p = ast::terminal(pool, origin, logical_value);
   for (std::size_t idx : chain) {
-    if (Status s = forward_entry(p, journal[idx], rng); !s) {
+    if (Status s = forward_entry(p, journal[idx], rng, pool); !s) {
       return Unexpected(s.error());
     }
   }

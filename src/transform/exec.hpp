@@ -11,35 +11,47 @@
 #pragma once
 
 #include "ast/ast.hpp"
+#include "ast/pool.hpp"
 #include "transform/journal.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 
 namespace protoobf {
 
+/// Every entry point takes an optional InstPool: nodes the execution
+/// creates (split halves, inserted length fields, replacement composites)
+/// are drawn from it, and nodes it destroys return to it, so a session
+/// replays journals with zero heap traffic in steady state. Null keeps the
+/// plain heap behaviour. Results are bit-identical either way.
+
 /// Applies one τi to every matching instance in the tree.
-Status forward_entry(InstPtr& root, const AppliedTransform& entry, Rng& rng);
+Status forward_entry(InstPtr& root, const AppliedTransform& entry, Rng& rng,
+                     InstPool* pool = nullptr);
 
 /// Applies τi⁻¹ to every matching instance in the tree.
-Status inverse_entry(InstPtr& root, const AppliedTransform& entry);
+Status inverse_entry(InstPtr& root, const AppliedTransform& entry,
+                     InstPool* pool = nullptr);
 
 /// Runs the whole journal forward (τ1 ... τn).
-Status forward_all(InstPtr& root, const Journal& journal, Rng& rng);
+Status forward_all(InstPtr& root, const Journal& journal, Rng& rng,
+                   InstPool* pool = nullptr);
 
 /// Runs the whole journal backward (τn⁻¹ ... τ1⁻¹).
-Status inverse_all(InstPtr& root, const Journal& journal);
+Status inverse_all(InstPtr& root, const Journal& journal,
+                   InstPool* pool = nullptr);
 
 /// Deep-copies a wire subtree and inverts every journal entry inside it.
 /// Used to recover the logical value of a reference target while parsing.
-Expected<InstPtr> invert_clone(const Inst& wire_subtree,
-                               const Journal& journal);
+Expected<InstPtr> invert_clone(const Inst& wire_subtree, const Journal& journal,
+                               InstPool* pool = nullptr);
 
 /// Rebuilds the wire subtree of a derived field: starts from the original
-/// terminal with its freshly computed logical value and replays the lineage
-/// entries (`chain`, indices into the journal). Deterministic for a given
-/// rng seed.
-Expected<InstPtr> rerun_chain(NodeId origin, Bytes logical_value,
+/// terminal with its freshly computed logical value (copied into a pooled
+/// node's recycled buffer) and replays the lineage entries (`chain`,
+/// indices into the journal). Deterministic for a given rng seed.
+Expected<InstPtr> rerun_chain(NodeId origin, BytesView logical_value,
                               const Journal& journal,
-                              const std::vector<std::size_t>& chain, Rng& rng);
+                              const std::vector<std::size_t>& chain, Rng& rng,
+                              InstPool* pool = nullptr);
 
 }  // namespace protoobf

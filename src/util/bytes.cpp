@@ -123,22 +123,33 @@ std::optional<std::size_t> find(BytesView data, BytesView needle,
 
 namespace {
 template <typename Op>
-Bytes zip_bytes(BytesView a, BytesView b, Op op) {
+void zip_bytes_into(Bytes& dst, BytesView a, BytesView b, Op op) {
   assert(a.size() == b.size());
-  Bytes out(a.size());
+  dst.resize(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = static_cast<Byte>(op(a[i], b[i]));
+    dst[i] = static_cast<Byte>(op(a[i], b[i]));
   }
+}
+
+template <typename Op>
+Bytes zip_bytes(BytesView a, BytesView b, Op op) {
+  Bytes out;
+  zip_bytes_into(out, a, b, op);
   return out;
 }
 
 template <typename Op>
-Bytes zip_key(BytesView a, BytesView key, Op op) {
+void zip_key_in(Bytes& data, BytesView key, Op op) {
   assert(!key.empty());
-  Bytes out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = static_cast<Byte>(op(a[i], key[i % key.size()]));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<Byte>(op(data[i], key[i % key.size()]));
   }
+}
+
+template <typename Op>
+Bytes zip_key(BytesView a, BytesView key, Op op) {
+  Bytes out(a.begin(), a.end());
+  zip_key_in(out, key, op);
   return out;
 }
 }  // namespace
@@ -155,6 +166,18 @@ Bytes xor_bytes(BytesView a, BytesView b) {
   return zip_bytes(a, b, [](unsigned x, unsigned y) { return x ^ y; });
 }
 
+void add_mod256_into(Bytes& dst, BytesView a, BytesView b) {
+  zip_bytes_into(dst, a, b, [](unsigned x, unsigned y) { return x + y; });
+}
+
+void sub_mod256_into(Bytes& dst, BytesView a, BytesView b) {
+  zip_bytes_into(dst, a, b, [](unsigned x, unsigned y) { return x - y; });
+}
+
+void xor_bytes_into(Bytes& dst, BytesView a, BytesView b) {
+  zip_bytes_into(dst, a, b, [](unsigned x, unsigned y) { return x ^ y; });
+}
+
 Bytes add_key(BytesView a, BytesView key) {
   return zip_key(a, key, [](unsigned x, unsigned y) { return x + y; });
 }
@@ -167,13 +190,30 @@ Bytes xor_key(BytesView a, BytesView key) {
   return zip_key(a, key, [](unsigned x, unsigned y) { return x ^ y; });
 }
 
+void add_key_in(Bytes& data, BytesView key) {
+  zip_key_in(data, key, [](unsigned x, unsigned y) { return x + y; });
+}
+
+void sub_key_in(Bytes& data, BytesView key) {
+  zip_key_in(data, key, [](unsigned x, unsigned y) { return x - y; });
+}
+
+void xor_key_in(Bytes& data, BytesView key) {
+  zip_key_in(data, key, [](unsigned x, unsigned y) { return x ^ y; });
+}
+
 Bytes be_encode(std::uint64_t value, std::size_t width) {
-  assert(width <= 8);
-  Bytes out(width);
-  for (std::size_t i = 0; i < width; ++i) {
-    out[width - 1 - i] = static_cast<Byte>(value >> (8 * i));
-  }
+  Bytes out;
+  be_encode_into(out, value, width);
   return out;
+}
+
+void be_encode_into(Bytes& dst, std::uint64_t value, std::size_t width) {
+  assert(width <= 8);
+  dst.resize(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    dst[width - 1 - i] = static_cast<Byte>(value >> (8 * i));
+  }
 }
 
 std::uint64_t be_decode(BytesView data) {
@@ -184,9 +224,24 @@ std::uint64_t be_decode(BytesView data) {
 }
 
 Bytes ascii_dec_encode(std::uint64_t value, std::size_t min_width) {
-  std::string digits = std::to_string(value);
-  while (digits.size() < min_width) digits.insert(digits.begin(), '0');
-  return to_bytes(digits);
+  Bytes out;
+  ascii_dec_encode_into(out, value, min_width);
+  return out;
+}
+
+void ascii_dec_encode_into(Bytes& dst, std::uint64_t value,
+                           std::size_t min_width) {
+  char digits[20];  // 2^64 has 20 decimal digits
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  const std::size_t width = n < min_width ? min_width : n;
+  dst.assign(width, Byte{'0'});
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[width - 1 - i] = static_cast<Byte>(digits[i]);
+  }
 }
 
 std::optional<std::uint64_t> ascii_dec_decode(BytesView data) {

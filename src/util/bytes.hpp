@@ -80,20 +80,39 @@ Bytes sub_mod256(BytesView a, BytesView b);
 /// Byte-wise a[i] ^ b[i]. Requires equal sizes.
 Bytes xor_bytes(BytesView a, BytesView b);
 
+/// In-place variants replacing `dst`'s contents while reusing its capacity
+/// — the hot-path form used by the pooled transform executor, where `dst`
+/// is a recycled terminal payload buffer. `dst` must not alias a or b.
+void add_mod256_into(Bytes& dst, BytesView a, BytesView b);
+void sub_mod256_into(Bytes& dst, BytesView a, BytesView b);
+void xor_bytes_into(Bytes& dst, BytesView a, BytesView b);
+
 /// Byte-wise (a[i] + key[i % key.size()]) mod 256; key must be non-empty.
 Bytes add_key(BytesView a, BytesView key);
 Bytes sub_key(BytesView a, BytesView key);
 Bytes xor_key(BytesView a, BytesView key);
 
+/// In-place key combination on `data` itself (no allocation at all).
+void add_key_in(Bytes& data, BytesView key);
+void sub_key_in(Bytes& data, BytesView key);
+void xor_key_in(Bytes& data, BytesView key);
+
 /// Big-endian encoding of `value` into exactly `width` bytes (width <= 8).
 /// Values wider than the field wrap (mod 2^(8*width)).
 Bytes be_encode(std::uint64_t value, std::size_t width);
+
+/// Capacity-reusing variant of be_encode.
+void be_encode_into(Bytes& dst, std::uint64_t value, std::size_t width);
 
 /// Big-endian decode of up to 8 bytes.
 std::uint64_t be_decode(BytesView data);
 
 /// ASCII decimal encoding, optionally zero-padded to `min_width` digits.
 Bytes ascii_dec_encode(std::uint64_t value, std::size_t min_width = 0);
+
+/// Capacity-reusing variant of ascii_dec_encode.
+void ascii_dec_encode_into(Bytes& dst, std::uint64_t value,
+                           std::size_t min_width = 0);
 
 /// Parses ASCII decimal digits; nullopt if empty, non-digit, or > uint64 max.
 std::optional<std::uint64_t> ascii_dec_decode(BytesView data);

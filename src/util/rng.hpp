@@ -43,9 +43,16 @@ class Rng {
   Byte byte() { return static_cast<Byte>(next_u64() & 0xff); }
 
   Bytes bytes(std::size_t n) {
-    Bytes out(n);
-    for (auto& b : out) b = byte();
+    Bytes out;
+    fill(out, n);
     return out;
+  }
+
+  /// bytes() into an existing buffer, reusing its capacity. Draws the same
+  /// stream as bytes(), so pooled and plain paths stay bit-identical.
+  void fill(Bytes& out, std::size_t n) {
+    out.resize(n);
+    for (auto& b : out) b = byte();
   }
 
   bool chance(double p) {
