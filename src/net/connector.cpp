@@ -1,0 +1,92 @@
+#include "net/connector.hpp"
+
+#include <poll.h>
+#include <sys/epoll.h>
+
+#include <cstring>
+
+namespace protoobf::net {
+
+Expected<std::unique_ptr<Connection>> Connector::dial(
+    EventLoop& loop, const Endpoint& ep,
+    std::shared_ptr<const ObfuscatedProtocol> protocol,
+    std::unique_ptr<Framer> framer, Connection::Config config,
+    std::chrono::milliseconds timeout) {
+  auto fd = connect_tcp(ep);
+  if (!fd) return Unexpected(fd.error());
+
+  pollfd pfd{fd->get(), POLLOUT, 0};
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  int ready;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    ready = ::poll(&pfd, 1,
+                   left.count() > 0 ? static_cast<int>(left.count()) : 0);
+    if (ready >= 0) break;
+    // A stray signal (SIGCHLD, a profiler tick) must not fail the dial;
+    // retry with whatever deadline remains.
+    if (errno != EINTR) {
+      return Unexpected("poll: " + std::string(std::strerror(errno)));
+    }
+  }
+  if (ready == 0) {
+    return Unexpected("connect " + ep.host + ":" + std::to_string(ep.port) +
+                      " timed out");
+  }
+  if (const int err = take_socket_error(fd->get()); err != 0) {
+    return Unexpected("connect " + ep.host + ":" + std::to_string(ep.port) +
+                      ": " + std::strerror(err));
+  }
+  return std::make_unique<Connection>(loop, std::move(*fd),
+                                      std::move(protocol), std::move(framer),
+                                      config);
+}
+
+void Connector::connect(const Endpoint& ep,
+                        std::shared_ptr<const ObfuscatedProtocol> protocol,
+                        std::unique_ptr<Framer> framer,
+                        Connection::Config config, ConnectHandler handler) {
+  auto fd = connect_tcp(ep);
+  if (!fd) {
+    handler(Unexpected(fd.error()));
+    return;
+  }
+
+  // Everything the completion needs, shared so the watch callback stays
+  // copyable (std::function) while owning move-only pieces.
+  struct Pending {
+    Fd fd;
+    Endpoint ep;
+    std::shared_ptr<const ObfuscatedProtocol> protocol;
+    std::unique_ptr<Framer> framer;
+    Connection::Config config;
+    ConnectHandler handler;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->fd = std::move(*fd);
+  pending->ep = ep;
+  pending->protocol = std::move(protocol);
+  pending->framer = std::move(framer);
+  pending->config = config;
+  pending->handler = std::move(handler);
+
+  const int raw = pending->fd.get();
+  EventLoop& loop = loop_;
+  const Status watched = loop.watch(
+      raw, EPOLLOUT, [&loop, raw, pending](std::uint32_t) {
+        loop.unwatch(raw);
+        if (const int err = take_socket_error(raw); err != 0) {
+          pending->handler(Unexpected(
+              "connect " + pending->ep.host + ":" +
+              std::to_string(pending->ep.port) + ": " + std::strerror(err)));
+          return;
+        }
+        pending->handler(std::make_unique<Connection>(
+            loop, std::move(pending->fd), std::move(pending->protocol),
+            std::move(pending->framer), pending->config));
+      });
+  if (!watched) pending->handler(Unexpected(watched.error()));
+}
+
+}  // namespace protoobf::net

@@ -1,0 +1,52 @@
+// Client side of the socket transport.
+//
+// Two ways to reach a server:
+//
+//   * Connector::dial() — synchronous: completes the TCP handshake (with a
+//     deadline), wraps the socket in a Connection bound to `loop`, and
+//     returns it unopened. Install handlers, then open(). The natural
+//     shape for CLIs, benches and tests that set up before the loop runs.
+//
+//   * Connector::connect() — asynchronous: starts a nonblocking connect
+//     and watches it on the loop; the handler receives the unopened
+//     Connection (or the error) on the loop thread once the handshake
+//     resolves. The natural shape for dialing out of a running server.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+
+namespace protoobf::net {
+
+class Connector {
+ public:
+  using ConnectHandler =
+      std::function<void(Expected<std::unique_ptr<Connection>>)>;
+
+  explicit Connector(EventLoop& loop) : loop_(loop) {}
+
+  /// Blocking connect with a deadline. Retries nothing by itself — a
+  /// refused connection fails immediately (callers that race a starting
+  /// server loop over dial() themselves).
+  static Expected<std::unique_ptr<Connection>> dial(
+      EventLoop& loop, const Endpoint& ep,
+      std::shared_ptr<const ObfuscatedProtocol> protocol,
+      std::unique_ptr<Framer> framer, Connection::Config config,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Nonblocking connect resolved on the loop thread. Must be called from
+  /// the loop thread (or before the loop runs).
+  void connect(const Endpoint& ep,
+               std::shared_ptr<const ObfuscatedProtocol> protocol,
+               std::unique_ptr<Framer> framer, Connection::Config config,
+               ConnectHandler handler);
+
+ private:
+  EventLoop& loop_;
+};
+
+}  // namespace protoobf::net

@@ -1,0 +1,242 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace protoobf::net {
+
+namespace {
+
+constexpr int kMaxEvents = 64;
+
+Unexpected errno_error(const std::string& what) {
+  return Unexpected(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  wakeup_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  timerfd_.reset(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC));
+  // The two plumbing fds are registered with generation 0, which watch()
+  // never hands out — dispatch recognizes them by fd before consulting the
+  // watch table.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = pack(wakeup_.get(), 0);
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wakeup_.get(), &ev);
+  ev.data.u64 = pack(timerfd_.get(), 0);
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, timerfd_.get(), &ev);
+}
+
+EventLoop::~EventLoop() = default;
+
+Status EventLoop::watch(int fd, std::uint32_t events, FdCallback cb,
+                        bool edge) {
+  if (watches_.count(fd) > 0) {
+    return Unexpected("fd " + std::to_string(fd) + " is already watched");
+  }
+  Watch w;
+  w.gen = next_gen_++;
+  if (next_gen_ == 0) next_gen_ = 1;  // keep 0 reserved for plumbing fds
+  w.events = events;
+  w.edge = edge;
+  w.cb = std::move(cb);
+
+  epoll_event ev{};
+  ev.events = events | (edge ? static_cast<std::uint32_t>(EPOLLET) : 0u);
+  ev.data.u64 = pack(fd, w.gen);
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return errno_error("epoll_ctl(ADD)");
+  }
+  watches_.emplace(fd, std::move(w));
+  return Status::success();
+}
+
+Status EventLoop::rearm(int fd, std::uint32_t events) {
+  auto it = watches_.find(fd);
+  if (it == watches_.end()) {
+    return Unexpected("fd " + std::to_string(fd) + " is not watched");
+  }
+  epoll_event ev{};
+  ev.events =
+      events | (it->second.edge ? static_cast<std::uint32_t>(EPOLLET) : 0u);
+  ev.data.u64 = pack(fd, it->second.gen);
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return errno_error("epoll_ctl(MOD)");
+  }
+  it->second.events = events;
+  return Status::success();
+}
+
+void EventLoop::unwatch(int fd) {
+  if (watches_.erase(fd) > 0) {
+    // The caller may already have closed the fd (kernel auto-removes it
+    // from the epoll set then), so a DEL failure is not actionable.
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+EventLoop::TimerId EventLoop::add_timer(std::chrono::milliseconds delay,
+                                        Task cb,
+                                        std::chrono::milliseconds interval) {
+  Timer t;
+  t.deadline = std::chrono::steady_clock::now() + delay;
+  t.id = next_timer_++;
+  t.interval = interval;
+  t.cb = std::move(cb);
+  const TimerId id = t.id;
+  timers_.push_back(std::move(t));
+  std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+  arm_timerfd();
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  if (id == firing_timer_) firing_cancelled_ = true;
+  for (Timer& t : timers_) {
+    if (t.id == id) {
+      // Lazy: the entry stays heaped until its deadline pops it; firing
+      // skips it then. Rearming for a cancel is not worth the heap fixup.
+      t.cancelled = true;
+      return;
+    }
+  }
+}
+
+void EventLoop::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; short writes
+  // cannot happen on an 8-byte eventfd write.
+  (void)!::write(wakeup_.get(), &one, sizeof one);
+}
+
+void EventLoop::run() {
+  running_.store(true, std::memory_order_relaxed);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    run_once(-1);
+  }
+  // A post() racing stop() may land after the final round's drain; run
+  // those stragglers instead of silently dropping them (teardown tasks —
+  // server shutdown, deferred closes — travel exactly this way).
+  drain_tasks();
+  running_.store(false, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);  // allow a later re-run
+}
+
+int EventLoop::run_once(int timeout_ms) {
+  epoll_event events[kMaxEvents];
+  int n = ::epoll_wait(epoll_.get(), events, kMaxEvents, timeout_ms);
+  if (n < 0) {
+    // EINTR is routine; anything else (a dead epoll fd from construction
+    // under fd exhaustion, EBADF) would make run() hot-spin at 100% CPU —
+    // stop the loop instead.
+    if (errno != EINTR) stop_.store(true, std::memory_order_relaxed);
+    n = 0;
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = static_cast<int>(events[i].data.u64 >> 32);
+    const std::uint32_t gen =
+        static_cast<std::uint32_t>(events[i].data.u64 & 0xffffffffu);
+    if (fd == wakeup_.get() && gen == 0) {
+      drain_wakeup();
+      continue;
+    }
+    if (fd == timerfd_.get() && gen == 0) {
+      fire_timers();
+      continue;
+    }
+    const auto it = watches_.find(fd);
+    if (it == watches_.end() || it->second.gen != gen) {
+      continue;  // unwatched (or replaced) earlier in this very batch
+    }
+    // The callback may unwatch this fd or mutate the table — dispatch
+    // through a copy so iterator invalidation cannot bite.
+    const FdCallback cb = it->second.cb;
+    cb(events[i].events);
+    ++dispatched;
+  }
+  drain_tasks();
+  return dispatched;
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  post([] {});  // kick the wait
+}
+
+void EventLoop::arm_timerfd() {
+  itimerspec spec{};
+  if (!timers_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    auto delta = timers_.front().deadline - now;
+    if (delta < std::chrono::nanoseconds(1)) {
+      delta = std::chrono::nanoseconds(1);  // overdue: fire immediately
+    }
+    const auto secs =
+        std::chrono::duration_cast<std::chrono::seconds>(delta);
+    spec.it_value.tv_sec = secs.count();
+    spec.it_value.tv_nsec = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                delta - secs)
+                                .count();
+  }
+  // An all-zero spec disarms; no pending timers means no timer wakeups.
+  ::timerfd_settime(timerfd_.get(), 0, &spec, nullptr);
+}
+
+void EventLoop::fire_timers() {
+  std::uint64_t expirations = 0;
+  (void)!::read(timerfd_.get(), &expirations, sizeof expirations);
+
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() &&
+         (timers_.front().cancelled || timers_.front().deadline <= now)) {
+    std::pop_heap(timers_.begin(), timers_.end(), std::greater<>());
+    Timer t = std::move(timers_.back());
+    timers_.pop_back();
+    if (t.cancelled) continue;
+
+    firing_timer_ = t.id;
+    firing_cancelled_ = false;
+    t.cb();
+    firing_timer_ = 0;
+
+    if (t.interval > std::chrono::milliseconds::zero() && !firing_cancelled_) {
+      t.deadline = now + t.interval;
+      timers_.push_back(std::move(t));
+      std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+    }
+  }
+  arm_timerfd();
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint64_t count = 0;
+  while (::read(wakeup_.get(), &count, sizeof count) > 0) {
+  }
+}
+
+void EventLoop::drain_tasks() {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    running_tasks_.swap(tasks_);
+  }
+  // Tasks posted by a running task land in tasks_ and run next round (the
+  // post() wakeup guarantees there is one).
+  for (Task& task : running_tasks_) task();
+  running_tasks_.clear();
+}
+
+}  // namespace protoobf::net

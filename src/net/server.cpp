@@ -1,0 +1,211 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+
+namespace protoobf::net {
+
+FramerFactory length_prefix_framer_factory(LengthPrefixFramer::Config config) {
+  return [config]() -> Expected<std::unique_ptr<Framer>> {
+    return std::unique_ptr<Framer>(new LengthPrefixFramer(config));
+  };
+}
+
+FramerFactory obfuscated_framer_factory(
+    std::shared_ptr<const ObfuscatedProtocol> framing,
+    ObfuscatedFramer::Config config) {
+  return [framing = std::move(framing),
+          config]() -> Expected<std::unique_ptr<Framer>> {
+    auto framer = ObfuscatedFramer::create(framing, config);
+    if (!framer) return Unexpected(framer.error());
+    return std::unique_ptr<Framer>(std::move(*framer));
+  };
+}
+
+Server::Server(std::shared_ptr<const ObfuscatedProtocol> protocol,
+               FramerFactory framer_factory, Config config)
+    : protocol_(std::move(protocol)),
+      framer_factory_(std::move(framer_factory)),
+      config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (started_) return Unexpected("server already started");
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards.push_back(std::make_unique<Shard>());
+  }
+
+  // Bind. In reuse_port mode every shard listens; the first bind resolves
+  // an ephemeral port and the others join it.
+  Endpoint ep = config_.endpoint;
+  const std::size_t listeners = config_.reuse_port ? shards.size() : 1;
+  for (std::size_t i = 0; i < listeners; ++i) {
+    auto fd = listen_tcp(ep, config_.backlog,
+                         /*reuse_port=*/config_.reuse_port);
+    if (!fd) return Unexpected(fd.error());
+    if (i == 0) {
+      auto bound = local_port(fd->get());
+      if (!bound) return Unexpected(bound.error());
+      port_ = *bound;
+      ep.port = port_;  // sibling listeners must join this exact port
+    }
+    shards[i]->listen = std::move(*fd);
+  }
+
+  // Register the accept watches before any thread runs, then start the
+  // shard threads. `shards_` is immutable from here until stop().
+  shards_ = std::move(shards);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    if (shard.listen.valid()) {
+      if (Status s =
+              shard.loop.watch(shard.listen.get(), EPOLLIN,
+                               [this, &shard](std::uint32_t) {
+                                 handle_accept(shard);
+                               });
+          !s) {
+        shards_.clear();
+        return s;
+      }
+    }
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    shard.thread = std::thread([&shard] { shard.loop.run(); });
+  }
+  started_ = true;
+  return Status::success();
+}
+
+void Server::stop() {
+  if (!started_) {
+    shards_.clear();
+    return;
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    shard.loop.post([this, &shard] {
+      if (shard.listen.valid()) {
+        shard.loop.unwatch(shard.listen.get());
+        shard.listen.reset();
+      }
+      // abort() detaches each connection through its close path (handlers
+      // fire with err == nullptr) and parks it in the graveyard.
+      std::vector<Connection*> live;
+      live.reserve(shard.conns.size());
+      for (auto& [fd, conn] : shard.conns) live.push_back(conn.get());
+      for (Connection* conn : live) conn->abort();
+    });
+    shard.loop.stop();
+  }
+  for (auto& shard_ptr : shards_) {
+    if (shard_ptr->thread.joinable()) shard_ptr->thread.join();
+  }
+  // Loop threads are gone: remaining connections (if a shard never ran its
+  // teardown task) and graveyards die with the shards.
+  shards_.clear();
+  started_ = false;
+}
+
+Server::Stats Server::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    total.accepted += shard->accepted.load(std::memory_order_relaxed);
+    total.rejected += shard->rejected.load(std::memory_order_relaxed);
+    total.closed += shard->closed.load(std::memory_order_relaxed);
+  }
+  // Clamped: the counters are read one by one while shard threads run, so
+  // a close can land between the accepted and closed snapshots — without
+  // the clamp the unsigned subtraction would wrap to ~1.8e19.
+  const std::uint64_t gone = total.rejected + total.closed;
+  total.active = total.accepted >= gone ? total.accepted - gone : 0;
+  return total;
+}
+
+void Server::handle_accept(Shard& shard) {
+  for (;;) {
+    auto fd = accept_tcp(shard.listen.get());
+    if (!fd) {
+      // Hard accept failure (EMFILE/ENFILE under fd pressure): the
+      // pending connection stays in the backlog, so a level-triggered
+      // listen watch would refire instantly and spin the shard at 100%
+      // CPU. Park the watch and retry shortly — by then fds may have
+      // freed up (or the teardown closed the listener).
+      (void)shard.loop.rearm(shard.listen.get(), 0);
+      shard.loop.add_timer(std::chrono::milliseconds(100),
+                           [this, &shard] {
+                             if (!shard.listen.valid()) return;
+                             (void)shard.loop.rearm(shard.listen.get(),
+                                                    EPOLLIN);
+                             handle_accept(shard);
+                           });
+      return;
+    }
+    if (!fd->valid()) return;   // backlog drained
+    if (config_.reuse_port || shards_.size() == 1) {
+      adopt(shard, std::move(*fd));
+      continue;
+    }
+    // Round-robin handoff. The socket travels inside a shared_ptr (an Fd
+    // is move-only but std::function wants copyable captures) so that a
+    // task discarded by loop teardown still closes it on destruction
+    // instead of leaking the fd and hanging the peer.
+    Shard& target = *shards_[next_shard_];
+    next_shard_ = (next_shard_ + 1) % shards_.size();
+    auto carried = std::make_shared<Fd>(std::move(*fd));
+    target.loop.post(
+        [this, &target, carried] { adopt(target, std::move(*carried)); });
+  }
+}
+
+void Server::adopt(Shard& shard, Fd fd) {
+  shard.accepted.fetch_add(1, std::memory_order_relaxed);
+  auto framer = framer_factory_();
+  if (!framer) {
+    shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    return;  // fd closes on scope exit — the peer sees a reset
+  }
+  auto conn = std::make_unique<Connection>(shard.loop, std::move(fd),
+                                           protocol_, std::move(*framer),
+                                           config_.connection);
+  Connection& ref = *conn;
+  // The close path resets the connection's fd before the owner hook runs,
+  // so the table key is captured here while it is still valid.
+  ref.set_owner_hook([this, &shard, key = ref.fd()](Connection& c) {
+    retire(shard, key, c);
+  });
+  if (accept_cb_) accept_cb_(ref);
+  if (ref.closed()) {
+    // The handler rejected the peer (abort()/close()): retire() already
+    // accounted it as closed, and open() on a dead fd must not run (it
+    // would double-count the connection as rejected too).
+    return;
+  }
+  if (Status s = ref.open(); !s) {
+    shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    return;  // conn (and its fd) dies here; open() registered nothing
+  }
+  shard.conns.emplace(ref.fd(), std::move(conn));
+}
+
+void Server::retire(Shard& shard, int key, Connection& conn) {
+  // Runs inside the connection's close path: move it out of the table now
+  // (so its old fd number can be reused by the very next accept) but
+  // destroy it only after the stack unwinds. The pointer check guards
+  // against the key having been recycled onto a younger connection.
+  if (auto it = shard.conns.find(key);
+      it != shard.conns.end() && it->second.get() == &conn) {
+    shard.graveyard.push_back(std::move(it->second));
+    shard.conns.erase(it);
+  }
+  shard.closed.fetch_add(1, std::memory_order_relaxed);
+  if (shard.graveyard.size() == 1) {
+    shard.loop.post([&shard] { shard.graveyard.clear(); });
+  }
+}
+
+}  // namespace protoobf::net

@@ -1,0 +1,118 @@
+// Obfuscated TCP server: N event-loop shards owning N sets of Channels.
+//
+// The Server is the end of the road the repo has been building toward: the
+// compiled protocol is shared (one ProtocolCache entry), but every accepted
+// connection gets its own Session (arenas, node pool) and its own Framer
+// from a pluggable factory — per-connection decode state, as the streaming
+// layer requires. Two sharding modes:
+//
+//   * reuse_port (default) — every shard binds its own SO_REUSEPORT listen
+//     socket on the same endpoint and the kernel spreads accepts across
+//     them; no cross-thread handoff at all;
+//   * round-robin — shard 0 owns the only listen socket and hands accepted
+//     fds to shards via EventLoop::post; useful where SO_REUSEPORT is
+//     unavailable or connection balance must be exact.
+//
+// Handlers run on shard threads. The per-connection callbacks installed in
+// on_accept stay on that connection's shard for its whole life, so handler
+// code needs no locking as long as it keeps to per-connection state.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+
+namespace protoobf::net {
+
+/// Builds one framer per connection. Factories for the two stock framers
+/// are below; a custom one can close over whatever state it needs (it runs
+/// on shard threads, one call per accepted connection).
+using FramerFactory = std::function<Expected<std::unique_ptr<Framer>>()>;
+
+FramerFactory length_prefix_framer_factory(
+    LengthPrefixFramer::Config config = {});
+FramerFactory obfuscated_framer_factory(
+    std::shared_ptr<const ObfuscatedProtocol> framing,
+    ObfuscatedFramer::Config config = {});
+
+class Server {
+ public:
+  struct Config {
+    Endpoint endpoint;          // port 0 = ephemeral, read back via port()
+    std::size_t shards = 1;     // event-loop threads
+    bool reuse_port = true;     // per-shard listeners vs round-robin handoff
+    int backlog = 128;
+    Connection::Config connection;
+  };
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;  // framer factory / registration failures
+    std::uint64_t closed = 0;
+    std::uint64_t active = 0;
+  };
+
+  /// Runs on the owning shard's thread right after a connection is
+  /// created and before it starts reading — install on_message/on_close/
+  /// on_writable here.
+  using AcceptHandler = std::function<void(Connection&)>;
+
+  Server(std::shared_ptr<const ObfuscatedProtocol> protocol,
+         FramerFactory framer_factory, Config config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void on_accept(AcceptHandler handler) { accept_cb_ = std::move(handler); }
+
+  /// Binds, listens, and starts the shard threads. Fails without side
+  /// effects (no threads) when binding fails.
+  Status start();
+
+  /// Stops accepting, aborts the remaining connections, stops the loops
+  /// and joins the shard threads. Idempotent.
+  void stop();
+
+  /// The bound port (meaningful after start(); resolves endpoint.port 0).
+  std::uint16_t port() const { return port_; }
+
+  Stats stats() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    EventLoop loop;
+    std::thread thread;
+    Fd listen;
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    // Close handlers run inside Connection frames; dead connections rest
+    // here until a posted sweep destroys them off that stack.
+    std::vector<std::unique_ptr<Connection>> graveyard;
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> closed{0};
+  };
+
+  void handle_accept(Shard& shard);
+  void adopt(Shard& shard, Fd fd);
+  void retire(Shard& shard, int key, Connection& conn);
+
+  std::shared_ptr<const ObfuscatedProtocol> protocol_;
+  FramerFactory framer_factory_;
+  Config config_;
+  AcceptHandler accept_cb_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t next_shard_ = 0;  // round-robin cursor (shard-0 thread only)
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace protoobf::net

@@ -38,20 +38,13 @@ Status encode_holder_into(Bytes& out, const Graph& graph, NodeId holder,
   return Status::success();
 }
 
-struct RefPair {
-  Inst* holder;    // instance carrying the derived value (holder subtree top)
-  Inst* measured;  // instance whose size (Length) or element count (Counter)
-                   // defines the value
-  bool is_counter;
-};
-
 /// Collects (holder, measured) pairs in parse order against `graph` into
 /// `pairs` (cleared first, capacity reused across fixpoint iterations).
 Status collect_pairs(const Graph& graph, Inst& root,
-                     std::vector<RefPair>& pairs, ScopeChain* scopes) {
+                     std::vector<DeriveRef>& pairs, ScopeChain* scopes) {
   pairs.clear();
-  // One right-sized allocation instead of a doubling climb on every call
-  // (the vector itself is function-local in the fixpoint drivers).
+  // One right-sized allocation instead of a doubling climb on the first
+  // call (arena-held scratch keeps the capacity across messages).
   if (pairs.capacity() == 0) pairs.reserve(16);
   return walk_scoped(
       graph, root,
@@ -132,7 +125,7 @@ std::vector<NodeId> canonical_holder_ids(const Graph& g1) {
 
 Status canonicalize(const Graph& g1, Inst& root,
                     const std::vector<NodeId>* holder_ids,
-                    ScopeChain* scopes) {
+                    ScopeChain* scopes, DeriveScratch* scratch) {
   if (Status s = fill_consts(g1, root); !s) return s;
 
   std::vector<NodeId> local_holders;
@@ -141,20 +134,23 @@ Status canonicalize(const Graph& g1, Inst& root,
     holder_ids = &local_holders;
   }
 
+  DeriveScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  Bytes& encoded = scratch->encoded;
+  std::vector<Inst*>& matches = scratch->matches;
+  std::vector<DeriveRef>& pairs = scratch->pairs;
+
   // Width-correct placeholders so intermediate measurements succeed.
-  Bytes encoded;
-  std::vector<Inst*> matches;
   for (NodeId holder : *holder_ids) {
     if (Status s = encode_holder_into(encoded, g1, holder, 0); !s) return s;
     ast::find_all_schema(root, holder, matches);
     for (Inst* inst : matches) inst->value = encoded;
   }
 
-  std::vector<RefPair> pairs;
   for (int iter = 0; iter < kMaxFixpointIterations; ++iter) {
     if (Status s = collect_pairs(g1, root, pairs, scopes); !s) return s;
     bool changed = false;
-    for (const RefPair& pair : pairs) {
+    for (const DeriveRef& pair : pairs) {
       std::uint64_t value = 0;
       if (pair.is_counter) {
         value = pair.measured->children.size();
@@ -181,14 +177,16 @@ Status canonicalize(const Graph& g1, Inst& root,
 Status fix_holders(const Graph& wire, const Journal& journal,
                    const HolderTable& table, Inst& root,
                    std::uint64_t msg_seed, InstPool* pool,
-                   ScopeChain* scopes) {
-  std::vector<RefPair> pairs;
-  Bytes encoded;
+                   ScopeChain* scopes, DeriveScratch* scratch) {
+  DeriveScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  Bytes& encoded = scratch->encoded;
+  std::vector<DeriveRef>& pairs = scratch->pairs;
   for (int iter = 0; iter < kMaxFixpointIterations; ++iter) {
     if (Status s = collect_pairs(wire, root, pairs, scopes); !s) return s;
     bool changed = false;
     for (std::size_t k = 0; k < pairs.size(); ++k) {
-      const RefPair& pair = pairs[k];
+      const DeriveRef& pair = pairs[k];
       std::uint64_t value = 0;
       if (pair.is_counter) {
         value = pair.measured->children.size();

@@ -30,6 +30,27 @@
 
 namespace protoobf {
 
+/// One (holder, measured) pair of a derive fixpoint: the instance carrying
+/// a derived value and the instance whose emitted size (Length) or element
+/// count (Counter) defines it.
+struct DeriveRef {
+  Inst* holder;
+  Inst* measured;
+  bool is_counter;
+};
+
+/// Reusable scratch for the derive fixpoints. These vectors used to be
+/// function-local in canonicalize()/fix_holders() — the last O(1)-but-real
+/// allocations on the session hot path (ROADMAP "residual per-message
+/// allocations"). An arena-held bundle keeps their capacity across
+/// messages, so the steady state re-derives without touching the heap.
+/// Not thread-safe: one bundle per thread of control, like the arena.
+struct DeriveScratch {
+  std::vector<DeriveRef> pairs;  // fixpoint work list
+  std::vector<Inst*> matches;    // canonicalize() placeholder targets
+  Bytes encoded;                 // holder-encoding buffer
+};
+
 /// Fills empty constant fields; errors if a non-empty value contradicts the
 /// specification's constant.
 Status fill_consts(const Graph& graph, Inst& root);
@@ -50,10 +71,12 @@ std::vector<NodeId> canonical_holder_ids(const Graph& g1);
 /// Size measurements run through the counting emitter, so no intermediate
 /// buffer is ever materialized. `holder_ids`, when given, must equal
 /// canonical_holder_ids(g1) (it is recomputed when null); `scopes` is a
-/// reusable scope table for the fixpoint walks.
+/// reusable scope table for the fixpoint walks and `scratch` a reusable
+/// bundle for their work vectors (locals are used when null).
 Status canonicalize(const Graph& g1, Inst& root,
                     const std::vector<NodeId>* holder_ids = nullptr,
-                    ScopeChain* scopes = nullptr);
+                    ScopeChain* scopes = nullptr,
+                    DeriveScratch* scratch = nullptr);
 
 /// Wire derivation on the transformed tree: recomputes every holder from
 /// the final wire sizes/counts and replays its transformation lineage.
@@ -63,6 +86,7 @@ Status canonicalize(const Graph& g1, Inst& root,
 Status fix_holders(const Graph& wire, const Journal& journal,
                    const HolderTable& table, Inst& root,
                    std::uint64_t msg_seed, InstPool* pool = nullptr,
-                   ScopeChain* scopes = nullptr);
+                   ScopeChain* scopes = nullptr,
+                   DeriveScratch* scratch = nullptr);
 
 }  // namespace protoobf

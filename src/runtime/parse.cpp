@@ -415,4 +415,44 @@ Status stream_safe(const Graph& wire) {
   return check_stream_safe(wire, wire.root(), /*open=*/true);
 }
 
+namespace {
+
+std::size_t min_node_size(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  // Mandatory content: optionals may be absent, repetitions/tabulars may be
+  // empty, so only Sequence children (and a Terminal's own region) count.
+  std::size_t content = 0;
+  switch (n.type) {
+    case NodeType::Terminal:
+      if (n.has_const) content = n.const_value.size();
+      else if (n.boundary == BoundaryKind::Fixed) content = n.fixed_size;
+      break;
+    case NodeType::Sequence:
+      for (const NodeId child : n.children) {
+        content += min_node_size(g, child);
+      }
+      break;
+    case NodeType::Optional:
+    case NodeType::Repetition:
+    case NodeType::Tabular:
+      break;
+  }
+  // The region itself may add bytes beyond the content: a fixed region is
+  // its declared size no matter how little sits inside, a scanned region
+  // ends with its delimiter, a stop-marker repetition with its marker.
+  if (n.boundary == BoundaryKind::Fixed && n.fixed_size > content) {
+    content = n.fixed_size;
+  }
+  if (n.boundary == BoundaryKind::Delimited) {
+    content += n.delimiter.size();
+  }
+  return content;  // mirroring permutes the region; it never resizes it
+}
+
+}  // namespace
+
+std::size_t min_wire_size(const Graph& wire) {
+  return min_node_size(wire, wire.root());
+}
+
 }  // namespace protoobf

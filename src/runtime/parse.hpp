@@ -63,4 +63,12 @@ Expected<InstPtr> parse_wire_prefix(const Graph& wire, const Journal& journal,
 /// failing on the first decode.
 Status stream_safe(const Graph& wire);
 
+/// Static lower bound on the wire size of any message of `wire`: fixed
+/// regions and delimiters/stop markers count in full, optionals and
+/// repetitions count as absent/empty, length/count-bounded regions as zero.
+/// Stream framers use it as the minimum-bytes floor before the first decode
+/// attempt — for a length-driven frame format this makes the initial
+/// need-more hint exact (the header size) instead of the 1-byte floor.
+std::size_t min_wire_size(const Graph& wire);
+
 }  // namespace protoobf

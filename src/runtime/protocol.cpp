@@ -55,7 +55,8 @@ Status ObfuscatedProtocol::serialize_into(const Inst& message,
                                           std::uint64_t msg_seed, Bytes& out,
                                           std::vector<FieldSpan>* spans,
                                           InstPool* nodes,
-                                          ScopeChain* scopes) const {
+                                          ScopeChain* scopes,
+                                          DeriveScratch* derive) const {
   if (Status s = ast::check(original_, message); !s) return s;
   // The caller's tree is read-only; the transformation passes mutate a
   // workspace copy drawn from the node pool. With a session pool attached
@@ -63,7 +64,7 @@ Status ObfuscatedProtocol::serialize_into(const Inst& message,
   // the clone that used to dominate the serialize path is gone.
   InstPtr tree = ast::copy(nodes, message);
   if (Status s = protoobf::canonicalize(original_, *tree, &canon_holders_,
-                                        scopes);
+                                        scopes, derive);
       !s) {
     return s;
   }
@@ -72,7 +73,7 @@ Status ObfuscatedProtocol::serialize_into(const Inst& message,
   Rng rng(msg_seed);
   if (Status s = forward_all(tree, journal_, rng, nodes); !s) return s;
   if (Status s = fix_holders(wire_, journal_, holders_, *tree, msg_seed,
-                             nodes, scopes);
+                             nodes, scopes, derive);
       !s) {
     return s;
   }
@@ -82,27 +83,30 @@ Status ObfuscatedProtocol::serialize_into(const Inst& message,
 Expected<InstPtr> ObfuscatedProtocol::parse(BytesView wire,
                                             BufferPool* scratch,
                                             ScopeChain* scopes,
-                                            InstPool* nodes) const {
+                                            InstPool* nodes,
+                                            DeriveScratch* derive) const {
   auto tree =
       parse_wire(wire_, journal_, holders_, wire, scratch, scopes, nodes);
-  return finish_parse(std::move(tree), nodes, scopes);
+  return finish_parse(std::move(tree), nodes, scopes, derive);
 }
 
 Expected<InstPtr> ObfuscatedProtocol::parse_prefix(BytesView buffer,
                                                    std::size_t* consumed,
                                                    BufferPool* scratch,
                                                    ScopeChain* scopes,
-                                                   InstPool* nodes) const {
+                                                   InstPool* nodes,
+                                                   DeriveScratch* derive) const {
   auto tree = parse_wire_prefix(wire_, journal_, holders_, buffer, consumed,
                                 scratch, scopes, nodes);
-  return finish_parse(std::move(tree), nodes, scopes);
+  return finish_parse(std::move(tree), nodes, scopes, derive);
 }
 
 /// Shared tail of parse()/parse_prefix(): inverse transformations plus the
 /// canonical-form integrity checks.
 Expected<InstPtr> ObfuscatedProtocol::finish_parse(Expected<InstPtr> tree,
                                                    InstPool* nodes,
-                                                   ScopeChain* scopes) const {
+                                                   ScopeChain* scopes,
+                                                   DeriveScratch* derive) const {
   if (!tree) return tree;
   if (Status s = inverse_all(*tree, journal_, nodes); !s) {
     return Unexpected(s.error());
@@ -114,7 +118,7 @@ Expected<InstPtr> ObfuscatedProtocol::finish_parse(Expected<InstPtr> tree,
     return Unexpected("parsed message rejected: " + s.error().message);
   }
   if (Status s = protoobf::canonicalize(original_, **tree, &canon_holders_,
-                                        scopes);
+                                        scopes, derive);
       !s) {
     return Unexpected(s.error());
   }

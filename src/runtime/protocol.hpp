@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "runtime/derive.hpp"
 #include "runtime/emit.hpp"
 #include "runtime/scope.hpp"
 #include "transform/engine.hpp"
@@ -55,20 +56,23 @@ class ObfuscatedProtocol {
   /// — so a steady-state session serializes with O(1) small allocations
   /// per message (fixpoint-local scratch) instead of O(nodes). Size
   /// measurement runs through the counting emitter, so no scratch buffer
-  /// is needed anymore.
+  /// is needed anymore; `derive`, when given, backs the derive-fixpoint
+  /// work vectors the same way.
   Status serialize_into(const Inst& message, std::uint64_t msg_seed,
                         Bytes& out, std::vector<FieldSpan>* spans = nullptr,
                         InstPool* nodes = nullptr,
-                        ScopeChain* scopes = nullptr) const;
+                        ScopeChain* scopes = nullptr,
+                        DeriveScratch* derive = nullptr) const;
 
   /// Parses a wire message back into a canonical logical tree. `scratch`,
   /// when given, provides reusable buffers for mirrored-region copies;
   /// `scopes` a reusable reference-scope table; `nodes` a tree-node pool
   /// backing every instance of the result (which then must not outlive the
-  /// pool).
+  /// pool); `derive` reusable derive-fixpoint scratch.
   Expected<InstPtr> parse(BytesView wire, BufferPool* scratch = nullptr,
                           ScopeChain* scopes = nullptr,
-                          InstPool* nodes = nullptr) const;
+                          InstPool* nodes = nullptr,
+                          DeriveScratch* derive = nullptr) const;
 
   /// Streaming variant of parse(): reads exactly one message from the front
   /// of `buffer`, tolerating trailing bytes (the next message), and reports
@@ -79,7 +83,8 @@ class ObfuscatedProtocol {
   Expected<InstPtr> parse_prefix(BytesView buffer, std::size_t* consumed,
                                  BufferPool* scratch = nullptr,
                                  ScopeChain* scopes = nullptr,
-                                 InstPool* nodes = nullptr) const;
+                                 InstPool* nodes = nullptr,
+                                 DeriveScratch* derive = nullptr) const;
 
   /// Fills constants and derived fields of a user-built logical tree so it
   /// compares equal with parse() results.
@@ -89,7 +94,8 @@ class ObfuscatedProtocol {
   ObfuscatedProtocol(Graph original, ObfuscationResult result);
 
   Expected<InstPtr> finish_parse(Expected<InstPtr> tree, InstPool* nodes,
-                                 ScopeChain* scopes) const;
+                                 ScopeChain* scopes,
+                                 DeriveScratch* derive) const;
 
   Graph original_;
   Graph wire_;

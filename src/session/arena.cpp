@@ -7,6 +7,7 @@ void SessionArena::shrink() {
   frame_ = Bytes();
   scratch_.shrink();
   scopes_ = ScopeChain();
+  derive_ = DeriveScratch();
   nodes_.shrink();
 }
 

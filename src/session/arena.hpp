@@ -18,6 +18,7 @@
 #include <atomic>
 
 #include "ast/pool.hpp"
+#include "runtime/derive.hpp"
 #include "runtime/scope.hpp"
 #include "util/bytes.hpp"
 
@@ -72,6 +73,11 @@ class SessionArena {
   /// Reusable reference-scope table for parse() (reset per message).
   ScopeChain& scopes() { return scopes_; }
 
+  /// Reusable derive-fixpoint scratch (pairs/matches/encoded work vectors
+  /// of canonicalize()/fix_holders()), the last per-message allocations of
+  /// the hot path before it was arena-held.
+  DeriveScratch& derive() { return derive_; }
+
   /// AST node pool backing parse trees and serialize workspaces. Trees
   /// drawn from it must not outlive the arena.
   InstPool& nodes() { return nodes_; }
@@ -89,6 +95,7 @@ class SessionArena {
   Bytes frame_;
   BufferPool scratch_;
   ScopeChain scopes_;
+  DeriveScratch derive_;
   InstPool nodes_;
 };
 

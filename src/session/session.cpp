@@ -14,7 +14,8 @@ Expected<BytesView> Session::serialize(const Inst& message,
   wire_hint_.reserve(arena_.wire());
   if (Status s = protocol_->serialize_into(message, msg_seed, arena_.wire(),
                                            spans, &arena_.nodes(),
-                                           &arena_.scopes());
+                                           &arena_.scopes(),
+                                           &arena_.derive());
       !s) {
     return Unexpected(s.error());
   }
@@ -24,7 +25,7 @@ Expected<BytesView> Session::serialize(const Inst& message,
 
 Expected<InstPtr> Session::parse(BytesView wire) {
   return protocol_->parse(wire, &arena_.scratch(), &arena_.scopes(),
-                          &arena_.nodes());
+                          &arena_.nodes(), &arena_.derive());
 }
 
 Expected<Bytes> Session::serialize_one(SessionArena& arena,
@@ -35,7 +36,8 @@ Expected<Bytes> Session::serialize_one(SessionArena& arena,
   wire_hint_.reserve(arena.wire());
   if (Status s = protocol_->serialize_into(*item.message, item.msg_seed,
                                            arena.wire(), /*spans=*/nullptr,
-                                           &arena.nodes(), &arena.scopes());
+                                           &arena.nodes(), &arena.scopes(),
+                                           &arena.derive());
       !s) {
     return Unexpected(s.error());
   }
@@ -82,7 +84,8 @@ std::vector<Expected<InstPtr>> Session::parse_batch(
     for (const BytesView wire : wires) {
       results.emplace_back(protocol_->parse(wire, &shards_[0].scratch(),
                                             &shards_[0].scopes(),
-                                            &shards_[0].nodes()));
+                                            &shards_[0].nodes(),
+                                            &shards_[0].derive()));
     }
     return results;
   }
@@ -96,7 +99,8 @@ std::vector<Expected<InstPtr>> Session::parse_batch(
         for (std::size_t i = begin; i < end; ++i) {
           results[i] = protocol_->parse(wires[i], &shards_[shard].scratch(),
                                         &shards_[shard].scopes(),
-                                        &shards_[shard].nodes());
+                                        &shards_[shard].nodes(),
+                                        &shards_[shard].derive());
         }
       });
   return results;

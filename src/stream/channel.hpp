@@ -61,6 +61,11 @@ class Channel {
   /// Minimum bytes on_bytes() must deliver before receive() can progress.
   std::size_t need_bytes() const { return reader_.need_bytes(); }
 
+  /// Static per-frame floor (Framer::min_need): the exact frame-header
+  /// size for length-driven framers, 1 for delimiter-bounded ones.
+  /// Transports size their first read of a frame from it.
+  std::size_t min_need() const { return reader_.min_need(); }
+
   bool failed() const { return reader_.failed(); }
   const Error& error() const { return reader_.error(); }
 

@@ -1,5 +1,6 @@
 #include "stream/framer.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "ast/ast.hpp"
@@ -139,26 +140,33 @@ Expected<std::unique_ptr<ObfuscatedFramer>> ObfuscatedFramer::create(
                       original.node(payload_node).name +
                       "' is not a terminal");
   }
+  // The floor all decode attempts wait for: no frame of this protocol can
+  // occupy fewer wire bytes than the mandatory regions of its wire graph.
+  const std::size_t min_need =
+      std::max<std::size_t>(1, min_wire_size(framing->wire_graph()));
   return std::unique_ptr<ObfuscatedFramer>(
       new ObfuscatedFramer(std::move(framing), std::move(config),
-                           std::move(skeleton), slot, payload_node));
+                           std::move(skeleton), slot, payload_node,
+                           min_need));
 }
 
 ObfuscatedFramer::ObfuscatedFramer(
     std::shared_ptr<const ObfuscatedProtocol> framing, Config config,
-    InstPtr skeleton, Inst* payload_slot, NodeId payload_node)
+    InstPtr skeleton, Inst* payload_slot, NodeId payload_node,
+    std::size_t min_need)
     : framing_(std::move(framing)),
       config_(std::move(config)),
       rng_(config_.frame_seed),
       skeleton_(std::move(skeleton)),
       payload_slot_(payload_slot),
-      payload_node_(payload_node) {}
+      payload_node_(payload_node),
+      min_need_(min_need) {}
 
 Status ObfuscatedFramer::encode(BytesView payload, Bytes& out) {
   payload_slot_->value.assign(payload.begin(), payload.end());
   if (Status s = framing_->serialize_into(*skeleton_, rng_.next_u64(), out,
                                           /*spans=*/nullptr, &nodes_,
-                                          &scopes_);
+                                          &scopes_, &derive_);
       !s) {
     return s;
   }
@@ -170,10 +178,14 @@ Status ObfuscatedFramer::encode(BytesView payload, Bytes& out) {
 }
 
 FrameDecode ObfuscatedFramer::decode(BytesView buffer) {
-  if (buffer.empty()) return FrameDecode::need_more(1);
+  // Below the static floor no prefix parse can succeed; report the exact
+  // shortfall instead of attempting (and instead of the old 1-byte hint).
+  if (buffer.size() < min_need_) {
+    return FrameDecode::need_more(min_need_ - buffer.size());
+  }
   std::size_t consumed = 0;
-  auto tree =
-      framing_->parse_prefix(buffer, &consumed, &scratch_, &scopes_, &nodes_);
+  auto tree = framing_->parse_prefix(buffer, &consumed, &scratch_, &scopes_,
+                                     &nodes_, &derive_);
   if (!tree) {
     const Error& e = tree.error();
     if (e.truncated()) {

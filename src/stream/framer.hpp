@@ -84,6 +84,13 @@ class Framer {
   /// Whether decode() payloads point into the caller's buffer (zero-copy)
   /// or into framer scratch (valid only until the next decode()).
   virtual bool payload_aliases_buffer() const = 0;
+
+  /// Static floor on the bytes any frame occupies: decode() can never
+  /// recover a frame from fewer, so readers skip decode attempts (and
+  /// framers skip prefix parses) until this many bytes arrived. 1 — the
+  /// conservative "anything might be a frame" answer — is always safe;
+  /// length-driven framers report their exact header size instead.
+  virtual std::size_t min_need() const { return 1; }
 };
 
 /// Transparent `width`-byte payload-length prefix, big- or little-endian.
@@ -106,6 +113,7 @@ class LengthPrefixFramer final : public Framer {
   Status encode(BytesView payload, Bytes& out) override;
   FrameDecode decode(BytesView buffer) override;
   bool payload_aliases_buffer() const override { return true; }
+  std::size_t min_need() const override { return config_.width; }
 
   const Config& config() const { return config_; }
 
@@ -146,12 +154,18 @@ class ObfuscatedFramer final : public Framer {
   FrameDecode decode(BytesView buffer) override;
   bool payload_aliases_buffer() const override { return false; }
 
+  /// Static minimum wire size of the frame protocol (min_wire_size of its
+  /// wire graph, floored at 1): for a length-driven frame spec this is the
+  /// exact header size, so readers deliver that many bytes before the
+  /// first prefix-parse attempt instead of re-parsing per byte.
+  std::size_t min_need() const override { return min_need_; }
+
   const ObfuscatedProtocol& framing() const { return *framing_; }
 
  private:
   ObfuscatedFramer(std::shared_ptr<const ObfuscatedProtocol> framing,
                    Config config, InstPtr skeleton, Inst* payload_slot,
-                   NodeId payload_node);
+                   NodeId payload_node, std::size_t min_need);
 
   std::shared_ptr<const ObfuscatedProtocol> framing_;
   Config config_;
@@ -159,8 +173,10 @@ class ObfuscatedFramer final : public Framer {
   InstPtr skeleton_;       // reusable logical frame; payload mutated per encode
   Inst* payload_slot_;     // the payload terminal inside skeleton_
   NodeId payload_node_;    // its schema in the original frame graph
+  std::size_t min_need_;   // static floor on any frame's wire size
   BufferPool scratch_;     // mirrored-region buffers
   ScopeChain scopes_;      // reusable reference-scope table
+  DeriveScratch derive_;   // derive-fixpoint work vectors
   InstPool nodes_;         // recycles frame trees across encodes/decodes
   Bytes payload_copy_;     // backs decode() payload views
 };

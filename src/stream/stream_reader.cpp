@@ -27,7 +27,7 @@ std::optional<BytesView> StreamReader::next_frame() {
         return std::nullopt;
       }
       head_ += d.consumed;
-      target_ = 1;
+      target_ = min_target();
       return d.payload;
     case FrameDecode::Kind::NeedMore: {
       // Saturate: a framer with its size guard disabled may legitimately
@@ -49,13 +49,15 @@ std::optional<BytesView> StreamReader::next_frame() {
 void StreamReader::resync() {
   error_.reset();
   if (buffered() > 0) ++head_;
-  target_ = 1;
+  // Back to the per-frame floor: after skipping a garbage byte the front
+  // is a fresh frame candidate, same as after a recovered frame.
+  target_ = min_target();
 }
 
 void StreamReader::reset() {
   buffer_.clear();
   head_ = 0;
-  target_ = 1;
+  target_ = min_target();
   error_.reset();
 }
 

@@ -33,7 +33,13 @@ namespace protoobf {
 class StreamReader {
  public:
   /// `framer` is borrowed, not owned; it must outlive the reader.
-  explicit StreamReader(Framer& framer) : framer_(framer) {}
+  explicit StreamReader(Framer& framer)
+      : framer_(framer), target_(min_target()) {}
+
+  /// The framer's static per-frame floor: the reader never attempts a
+  /// decode with fewer buffered bytes, so a length-driven framer sees one
+  /// decode per frame even under byte-at-a-time delivery.
+  std::size_t min_need() const { return min_target(); }
 
   /// Appends a received chunk. May compact or grow the buffer, so payload
   /// views handed out earlier are invalidated here (and only here).
@@ -71,10 +77,17 @@ class StreamReader {
  private:
   BytesView window() const { return BytesView(buffer_).subspan(head_); }
 
+  /// Decode-attempt floor between frames (a zero-size frame could not
+  /// advance the stream, so the floor is at least one byte).
+  std::size_t min_target() const {
+    const std::size_t n = framer_.min_need();
+    return n > 0 ? n : 1;
+  }
+
   Framer& framer_;
   Bytes buffer_;
-  std::size_t head_ = 0;    // consumed prefix of buffer_
-  std::size_t target_ = 1;  // buffered() needed before the next decode try
+  std::size_t head_ = 0;  // consumed prefix of buffer_
+  std::size_t target_;    // buffered() needed before the next decode try
   std::optional<Error> error_;
 };
 

@@ -315,6 +315,104 @@ TEST(ObfuscatedFramer, EnforcesMaxFrameSizeBeforeStalling) {
   EXPECT_EQ(Bytes(d.payload.begin(), d.payload.end()), small);
 }
 
+// --- min-need floor ---------------------------------------------------------
+
+/// Pass-through decorator counting decode() attempts, to pin how often the
+/// reader actually consults the framer under fine-grained delivery.
+class CountingFramer final : public Framer {
+ public:
+  explicit CountingFramer(Framer& inner) : inner_(inner) {}
+  Status encode(BytesView payload, Bytes& out) override {
+    return inner_.encode(payload, out);
+  }
+  FrameDecode decode(BytesView buffer) override {
+    ++decodes;
+    return inner_.decode(buffer);
+  }
+  bool payload_aliases_buffer() const override {
+    return inner_.payload_aliases_buffer();
+  }
+  std::size_t min_need() const override { return inner_.min_need(); }
+
+  Framer& inner_;
+  int decodes = 0;
+};
+
+TEST(MinNeed, LengthPrefixReaderDecodesTwicePerFrameUnderByteDelivery) {
+  LengthPrefixFramer framer;
+  EXPECT_EQ(framer.min_need(), 4u);
+  CountingFramer counting(framer);
+  StreamReader reader(counting);
+  EXPECT_EQ(reader.min_need(), 4u);
+
+  const Bytes payload = to_bytes("one decode at the prefix, one at the end");
+  Bytes framed;
+  ASSERT_TRUE(framer.encode(payload, framed).ok());
+
+  std::size_t frames = 0;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    reader.feed(BytesView(framed).subspan(i, 1));
+    while (reader.next_frame()) ++frames;
+  }
+  EXPECT_EQ(frames, 1u);
+  // Exactly one attempt once the prefix is complete (yielding the exact
+  // body need) and one once the body is: the min-need floor plus exact
+  // hints mean byte-at-a-time delivery never triggers per-byte decodes.
+  EXPECT_EQ(counting.decodes, 2);
+}
+
+TEST(MinNeed, ObfuscatedFramerFloorsAtTheFrameHeaderSize) {
+  auto framing = stream_safe_framing(20, 2);
+  ASSERT_NE(framing, nullptr);
+  auto framer = ObfuscatedFramer::create(framing).value();
+
+  // The static floor is the mandatory wire size of the frame protocol —
+  // a length-driven frame spec always has a multi-byte header.
+  const std::size_t floor = min_wire_size(framing->wire_graph());
+  EXPECT_EQ(framer->min_need(), std::max<std::size_t>(1, floor));
+  EXPECT_GT(framer->min_need(), 1u);
+
+  // Below the floor the framer answers the exact shortfall without a
+  // prefix-parse attempt.
+  const FrameDecode empty = framer->decode(BytesView());
+  ASSERT_EQ(empty.kind, FrameDecode::Kind::NeedMore);
+  EXPECT_EQ(empty.need, framer->min_need());
+
+  CountingFramer counting(*framer);
+  StreamReader reader(counting);
+
+  const Bytes payload = to_bytes("the header is length-driven");
+  Bytes framed;
+  ASSERT_TRUE(framer->encode(payload, framed).ok());
+
+  std::size_t frames = 0;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    reader.feed(BytesView(framed).subspan(i, 1));
+    while (auto f = reader.next_frame()) {
+      EXPECT_EQ(Bytes(f->begin(), f->end()), payload);
+      ++frames;
+    }
+    ASSERT_FALSE(reader.failed()) << reader.error().message;
+  }
+  EXPECT_EQ(frames, 1u);
+  // One decode attempt per sequentially discovered region of the frame
+  // header, not one per delivered byte: far below the frame size.
+  EXPECT_LE(counting.decodes, 8);
+  EXPECT_LT(static_cast<std::size_t>(counting.decodes), framed.size() / 2);
+}
+
+TEST(MinNeed, ChannelExposesTheFramerFloor) {
+  auto framing = stream_safe_framing(20, 2);
+  ASSERT_NE(framing, nullptr);
+  auto framer = ObfuscatedFramer::create(framing).value();
+  ProtocolCache cache;
+  auto inner = cache.get_or_compile(kFrameSpec, config_of(1, 0));
+  ASSERT_TRUE(inner.ok());
+  Session session(*inner);
+  Channel channel(session, *framer);
+  EXPECT_EQ(channel.min_need(), framer->min_need());
+}
+
 // --- Channel property test --------------------------------------------------
 
 struct ChannelCase {

@@ -18,18 +18,37 @@
 //         protoobf stream p.spec --emit 20 | protoobf stream p.spec
 //       --frame-width W picks the length-prefix width; --obf-frame S:K
 //       obfuscates the framing layer itself (both ends must agree).
+//   protoobf serve <spec-file> [--seed N --per-node K] [--port P]
+//       Obfuscated echo server (src/net): accepts TCP connections, parses
+//       every framed message and serializes it right back. --shards N runs
+//       N event-loop threads (SO_REUSEPORT); --round-robin switches to a
+//       single acceptor handing connections across shards; --idle-ms
+//       closes silent connections. Prints "listening on HOST:PORT" once
+//       ready. Stop with SIGINT/SIGTERM.
+//   protoobf connect <spec-file> --port P --emit COUNT [--expect COUNT]
+//       Client peer for serve: dials, sends COUNT framed random messages,
+//       counts the echoes. --retry-ms keeps dialing a not-yet-listening
+//       server. Both ends must agree on spec, --seed/--per-node and the
+//       framing flags (--frame-width / --obf-frame).
 //
 // Spec files use the ProtoSpec language (see README.md).
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "codegen/generator.hpp"
 #include "core/protoobf.hpp"
+#include "net/connector.hpp"
+#include "net/server.hpp"
 #include "stream/channel.hpp"
 
 namespace {
@@ -37,12 +56,17 @@ namespace {
 using namespace protoobf;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: protoobf <validate|graph|obfuscate|codegen|stream> "
-               "<spec-file> [--seed N] [--per-node K] [-o FILE]\n"
-               "       stream extras: [--emit COUNT] [--expect COUNT] "
-               "[--msg-seed N] [--frame-width W] "
-               "[--obf-frame SEED:PER_NODE] [--dump]\n");
+  std::fprintf(
+      stderr,
+      "usage: protoobf <validate|graph|obfuscate|codegen|stream|serve|"
+      "connect> <spec-file> [--seed N] [--per-node K] [-o FILE]\n"
+      "       stream extras: [--emit COUNT] [--expect COUNT] "
+      "[--msg-seed N] [--frame-width W] "
+      "[--obf-frame SEED:PER_NODE] [--dump]\n"
+      "       serve extras: [--host H] [--port P] [--shards N] "
+      "[--round-robin] [--idle-ms N]\n"
+      "       connect extras: [--host H] [--port P] [--emit COUNT] "
+      "[--expect COUNT] [--msg-seed N] [--retry-ms N]\n");
   return 2;
 }
 
@@ -61,6 +85,13 @@ struct Options {
   std::uint64_t obf_frame_seed = 13;
   int obf_frame_per_node = 2;
   bool dump = false;
+  // serve / connect
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // serve: 0 = ephemeral; connect: required
+  std::size_t shards = 1;
+  bool round_robin = false;
+  std::size_t idle_ms = 0;
+  std::size_t retry_ms = 2000;
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -95,6 +126,23 @@ bool parse_args(int argc, char** argv, Options& opts) {
       }
     } else if (arg == "--dump") {
       opts.dump = true;
+    } else if (arg == "--host" && i + 1 < argc) {
+      opts.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      const unsigned long value = std::strtoul(argv[++i], nullptr, 0);
+      if (value > 65535) {
+        std::fprintf(stderr, "--port out of range: %lu\n", value);
+        return false;
+      }
+      opts.port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      opts.shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--round-robin") {
+      opts.round_robin = true;
+    } else if (arg == "--idle-ms" && i + 1 < argc) {
+      opts.idle_ms = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--retry-ms" && i + 1 < argc) {
+      opts.retry_ms = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -211,6 +259,35 @@ frame: seq end {
 }
 )";
 
+/// Compiled obfuscated framing layer: the shared frame protocol plus the
+/// framer the validation pass already built (ready for single-channel use;
+/// factory-based callers mint fresh ones per connection from `protocol`).
+struct CompiledFraming {
+  std::shared_ptr<const ObfuscatedProtocol> protocol;
+  std::unique_ptr<ObfuscatedFramer> framer;
+};
+
+/// Compiles the CLI frame spec at the agreed (seed, per_node) and
+/// validates it as a framing layer (stream-safety, payload detection) —
+/// shared by the stream filter and serve/connect, so the two paths cannot
+/// drift. A rejected compilation names the fix: try another seed.
+Expected<CompiledFraming> compile_frame_protocol(const Options& opts) {
+  auto frame_graph = Framework::load_spec(kCliFrameSpec).value();
+  ObfuscationConfig fcfg;
+  fcfg.seed = opts.obf_frame_seed;
+  fcfg.per_node = opts.obf_frame_per_node;
+  auto framing = Framework::generate(frame_graph, fcfg);
+  if (!framing.ok()) return Unexpected(framing.error());
+  auto shared =
+      std::make_shared<const ObfuscatedProtocol>(std::move(*framing));
+  auto framer = ObfuscatedFramer::create(shared);
+  if (!framer.ok()) {
+    return Unexpected(Error{framer.error().message +
+                            " (try another --obf-frame seed)"});
+  }
+  return CompiledFraming{std::move(shared), std::move(*framer)};
+}
+
 /// Best-effort random logical message for --emit: letters/digits in user
 /// terminals, derived fields left for the serializer, optional presence
 /// chosen consistently with its condition (conditions reference fields that
@@ -315,24 +392,12 @@ int cmd_stream(const Options& opts) {
   LengthPrefixFramer plain_framer(lp);
   std::unique_ptr<ObfuscatedFramer> obf_framer;
   if (opts.obf_frame) {
-    auto frame_graph = Framework::load_spec(kCliFrameSpec).value();
-    ObfuscationConfig fcfg;
-    fcfg.seed = opts.obf_frame_seed;
-    fcfg.per_node = opts.obf_frame_per_node;
-    auto framing = Framework::generate(frame_graph, fcfg);
+    auto framing = compile_frame_protocol(opts);
     if (!framing.ok()) {
       std::fprintf(stderr, "error: %s\n", framing.error().message.c_str());
       return 1;
     }
-    auto framer = ObfuscatedFramer::create(
-        std::make_shared<const ObfuscatedProtocol>(std::move(*framing)));
-    if (!framer.ok()) {
-      std::fprintf(stderr,
-                   "error: %s (try another --obf-frame seed)\n",
-                   framer.error().message.c_str());
-      return 1;
-    }
-    obf_framer = std::move(*framer);
+    obf_framer = std::move(framing->framer);
   }
   Framer& framer =
       obf_framer != nullptr ? static_cast<Framer&>(*obf_framer) : plain_framer;
@@ -415,6 +480,224 @@ int cmd_stream(const Options& opts) {
   return 0;
 }
 
+// --- serve / connect --------------------------------------------------------
+
+/// Compiles the message protocol both net commands run over.
+Expected<std::shared_ptr<const ObfuscatedProtocol>> compile_protocol(
+    const Options& opts) {
+  auto graph = load(opts.spec_path);
+  if (!graph.ok()) return Unexpected(graph.error());
+  ObfuscationConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.per_node = opts.per_node;
+  auto compiled = Framework::generate(*graph, cfg);
+  if (!compiled.ok()) return Unexpected(compiled.error());
+  return std::make_shared<const ObfuscatedProtocol>(std::move(*compiled));
+}
+
+/// The framing layer serve/connect share with the stream filter: a
+/// transparent length prefix, or the obfuscated CLI frame spec when both
+/// ends agreed on --obf-frame SEED:PER_NODE.
+Expected<net::FramerFactory> framer_factory_of(const Options& opts) {
+  if (!opts.obf_frame) {
+    LengthPrefixFramer::Config lp;
+    lp.width = opts.frame_width;
+    return net::length_prefix_framer_factory(lp);
+  }
+  auto framing = compile_frame_protocol(opts);
+  if (!framing.ok()) return Unexpected(framing.error());
+  return net::obfuscated_framer_factory(std::move(framing->protocol));
+}
+
+std::atomic<bool> g_stop_serving{false};
+
+void stop_signal(int) { g_stop_serving.store(true); }
+
+int cmd_serve(const Options& opts) {
+  auto protocol = compile_protocol(opts);
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
+    return 1;
+  }
+  auto factory = framer_factory_of(opts);
+  if (!factory.ok()) {
+    std::fprintf(stderr, "error: %s\n", factory.error().message.c_str());
+    return 1;
+  }
+
+  net::Server::Config cfg;
+  cfg.endpoint = {opts.host, opts.port};
+  cfg.shards = opts.shards > 0 ? opts.shards : 1;
+  cfg.reuse_port = !opts.round_robin;
+  cfg.connection.idle_timeout = std::chrono::milliseconds(opts.idle_ms);
+
+  net::Server server(*protocol, *factory, cfg);
+  server.on_accept([](net::Connection& conn) {
+    conn.on_message([](net::Connection& c, Expected<InstPtr> msg) {
+      if (!msg.ok()) {
+        std::fprintf(stderr, "fd %d: message rejected: %s\n", c.fd(),
+                     msg.error().message.c_str());
+        return;
+      }
+      // Echo with a per-connection deterministic seed so a peer (or a
+      // test) can reproduce the exact bytes with a session replica.
+      if (Status s = c.send(**msg, c.stats().messages_in); !s) {
+        std::fprintf(stderr, "fd %d: echo failed: %s\n", c.fd(),
+                     s.error().message.c_str());
+        return;
+      }
+      // Backpressure: a peer that keeps sending but never drains its
+      // echoes would grow the write queue without bound. Stop reading and
+      // flush what is queued — close() caps the queue at the watermark.
+      if (!c.writable()) {
+        std::fprintf(stderr,
+                     "fd %d: peer not draining (%zu bytes queued), "
+                     "closing\n",
+                     c.fd(), c.queued());
+        c.close();
+      }
+    });
+    conn.on_close([](net::Connection& c, const Error* err) {
+      std::fprintf(stderr,
+                   "connection closed: %llu in / %llu out msgs%s%s\n",
+                   static_cast<unsigned long long>(c.stats().messages_in),
+                   static_cast<unsigned long long>(c.stats().messages_out),
+                   err != nullptr ? ", error: " : "",
+                   err != nullptr ? err->message.c_str() : "");
+    });
+  });
+  if (Status s = server.start(); !s) {
+    std::fprintf(stderr, "error: %s\n", s.error().message.c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u (%zu shard%s, %s, %s framing)\n",
+              opts.host.c_str(), server.port(), server.shard_count(),
+              server.shard_count() == 1 ? "" : "s",
+              opts.round_robin ? "round-robin" : "SO_REUSEPORT",
+              opts.obf_frame ? "obfuscated" : "length-prefix");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, stop_signal);
+  std::signal(SIGTERM, stop_signal);
+  while (!g_stop_serving.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const net::Server::Stats stats = server.stats();
+  server.stop();
+  std::fprintf(stderr, "served %llu connections (%llu rejected)\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.rejected));
+  return 0;
+}
+
+int cmd_connect(const Options& opts) {
+  if (opts.port == 0) {
+    std::fprintf(stderr, "error: connect requires --port\n");
+    return 2;
+  }
+  const std::size_t emit = opts.emit > 0 ? opts.emit : 16;
+  auto protocol = compile_protocol(opts);
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
+    return 1;
+  }
+  // The G1 view the random messages are built against — taken from the
+  // compiled protocol so it cannot diverge from what serialization uses.
+  const Graph& graph = (*protocol)->original();
+  auto factory = framer_factory_of(opts);
+  if (!factory.ok()) {
+    std::fprintf(stderr, "error: %s\n", factory.error().message.c_str());
+    return 1;
+  }
+
+  // Dial with retries: the smoke tests race this against a server that is
+  // still binding its port.
+  net::EventLoop loop;
+  const net::Endpoint ep{opts.host, opts.port};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts.retry_ms);
+  std::unique_ptr<net::Connection> conn;
+  for (;;) {
+    auto framer = (*factory)();
+    if (!framer.ok()) {
+      std::fprintf(stderr, "error: %s\n", framer.error().message.c_str());
+      return 1;
+    }
+    auto dialed =
+        net::Connector::dial(loop, ep, *protocol, std::move(*framer), {});
+    if (dialed.ok()) {
+      conn = std::move(*dialed);
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "error: %s\n", dialed.error().message.c_str());
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::size_t echoed = 0;
+  std::size_t parse_errors = 0;
+  bool closed = false;
+  std::string close_error;
+  conn->on_message([&](net::Connection&, Expected<InstPtr> msg) {
+    if (!msg.ok()) {
+      ++parse_errors;
+      std::fprintf(stderr, "echo %zu parse error: %s\n", echoed,
+                   msg.error().message.c_str());
+      return;
+    }
+    if (opts.dump) std::fputs(ast::dump(graph, **msg).c_str(), stdout);
+    ++echoed;
+  });
+  conn->on_close([&](net::Connection&, const Error* err) {
+    closed = true;
+    if (err != nullptr) close_error = err->message;
+  });
+  if (Status s = conn->open(); !s) {
+    std::fprintf(stderr, "error: %s\n", s.error().message.c_str());
+    return 1;
+  }
+
+  // Emit the batch up front (the loop is not running yet, so sends are
+  // race-free; overflow queues drain through EPOLLOUT below).
+  const auto derived = derived_nodes(graph);
+  Rng rng(opts.msg_seed);
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < emit; ++i) {
+    std::unordered_map<NodeId, const Inst*> built;
+    InstPtr msg = random_instance(graph, graph.root(), rng, derived, built);
+    if (Status s = conn->send(*msg, opts.msg_seed + i); !s) {
+      std::fprintf(stderr, "message %zu rejected: %s\n", i,
+                   s.error().message.c_str());
+      continue;
+    }
+    ++sent;
+  }
+
+  const auto echo_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (echoed + parse_errors < sent && !closed &&
+         std::chrono::steady_clock::now() < echo_deadline) {
+    loop.run_once(50);
+  }
+  if (!closed) conn->close();
+  for (int i = 0; i < 4 && !closed; ++i) loop.run_once(10);
+
+  std::printf("echoed %zu/%zu messages\n", echoed, sent);
+  if (!close_error.empty()) {
+    std::fprintf(stderr, "connection error: %s\n", close_error.c_str());
+    return 1;
+  }
+  if (parse_errors > 0) return 1;
+  if (opts.expect > 0 && echoed != opts.expect) {
+    std::fprintf(stderr, "expected %zu echoes, got %zu\n", opts.expect,
+                 echoed);
+    return 1;
+  }
+  return echoed == sent && sent > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -425,5 +708,7 @@ int main(int argc, char** argv) {
   if (opts.command == "obfuscate") return cmd_obfuscate(opts);
   if (opts.command == "codegen") return cmd_codegen(opts);
   if (opts.command == "stream") return cmd_stream(opts);
+  if (opts.command == "serve") return cmd_serve(opts);
+  if (opts.command == "connect") return cmd_connect(opts);
   return usage();
 }
