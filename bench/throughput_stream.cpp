@@ -13,10 +13,18 @@
 //   parse/channel@N      feed the concatenated framed stream in N-byte
 //                        chunks, Channel::drain_batch() per chunk
 //
-// The CI smoke step guards "channel/session" (whole-stream delivery): the
-// framed path must stay within a constant factor of the raw batch path.
+// Plus the adversarial scenario ISSUE 5 closes: a *delimiter-bounded*
+// frame spec (no length field anywhere) delivered one byte at a time.
+// The resumable prefix parse must keep decode work amortized O(1) per
+// delivered byte, i.e. bytes-rescanned-per-frame stays O(frame size) —
+// the restart-from-zero baseline rescans O(frame²). Both modes run with
+// identical accounting and land in BENCH_stream.json.
 //
-// Usage: bench_throughput_stream [messages] [repeats] [per_node]
+// The CI smoke step guards "channel/session" (whole-stream delivery) and
+// "delim-trickle rescan-ratio" (rescanned bytes per frame over frame
+// size: bounded constant with resume, ~frame/2 without).
+//
+// Usage: bench_throughput_stream [messages] [repeats] [per_node] [json]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -42,15 +50,99 @@ std::uint64_t msg_seed_of(std::size_t i) {
 
 }  // namespace
 
+/// Delimiter-bounded frame spec trickle: `frames` framed payloads of
+/// `payload_size` ASCII bytes, delivered one byte at a time through a
+/// StreamReader. Reports the framing-layer cost counters.
+struct TrickleResult {
+  double decodes_per_frame = 0;
+  double rescanned_per_frame = 0;  // scan work beyond one pass of the wire
+  double frame_size = 0;
+  double seconds = 0;
+};
+
+TrickleResult run_delim_trickle(bool resumable, std::size_t frames,
+                                std::size_t payload_size) {
+  constexpr std::string_view kDelimFrameSpec = R"(
+protocol DelimFrame
+frame: seq end {
+  fbody: terminal delimited("\r\n") ascii
+}
+)";
+  ProtocolCache cache;
+  ObfuscationConfig identity;
+  identity.seed = 1;
+  identity.per_node = 0;
+  auto framing = cache.get_or_compile(kDelimFrameSpec, identity);
+  if (!framing) {
+    std::fprintf(stderr, "delim frame compile failed: %s\n",
+                 framing.error().message.c_str());
+    std::exit(1);
+  }
+  ObfuscatedFramer::Config cfg;
+  cfg.payload_path = "fbody";
+  cfg.resumable_decode = resumable;
+  auto framer = ObfuscatedFramer::create(*framing, cfg);
+  if (!framer) {
+    std::fprintf(stderr, "framer create failed: %s\n",
+                 framer.error().message.c_str());
+    std::exit(1);
+  }
+
+  Bytes stream;
+  const Bytes payload(payload_size, static_cast<Byte>('x'));
+  Bytes framed;
+  for (std::size_t i = 0; i < frames; ++i) {
+    if (Status s = (*framer)->encode(payload, framed); !s) {
+      std::fprintf(stderr, "frame encode failed: %s\n",
+                   s.error().message.c_str());
+      std::exit(1);
+    }
+    append(stream, framed);
+  }
+
+  StreamReader reader(**framer);
+  std::size_t got = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    reader.feed(BytesView(stream).subspan(i, 1));
+    while (reader.next_frame()) ++got;
+    if (reader.failed()) {
+      std::fprintf(stderr, "delim trickle failed: %s\n",
+                   reader.error().message.c_str());
+      std::exit(1);
+    }
+  }
+  TrickleResult r;
+  r.seconds = seconds_since(start);
+  if (got != frames) {
+    std::fprintf(stderr, "delim trickle lost frames: %zu/%zu\n", got, frames);
+    std::exit(1);
+  }
+  const ParseResume::Stats& stats = (*framer)->resume_stats();
+  r.decodes_per_frame =
+      static_cast<double>(stats.attempts) / static_cast<double>(frames);
+  // One pass over the wire is the unavoidable floor; everything above it
+  // is re-examination of bytes a previous attempt already saw.
+  const double rescanned =
+      stats.scanned_bytes > stream.size()
+          ? static_cast<double>(stats.scanned_bytes - stream.size())
+          : 0.0;
+  r.rescanned_per_frame = rescanned / static_cast<double>(frames);
+  r.frame_size =
+      static_cast<double>(stream.size()) / static_cast<double>(frames);
+  return r;
+}
+
 int main(int argc, char** argv) {
   const std::size_t messages =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 256;
   const int repeats = argc > 2 ? std::atoi(argv[2]) : 6;
   const int per_node = argc > 3 ? std::atoi(argv[3]) : 2;
+  const char* json_path = argc > 4 ? argv[4] : "BENCH_stream.json";
   if (messages == 0 || repeats <= 0 || per_node < 0) {
     std::fprintf(stderr,
                  "usage: bench_throughput_stream [messages>0] [repeats>0] "
-                 "[per_node>=0]\n");
+                 "[per_node>=0] [json_path]\n");
     return 2;
   }
 
@@ -208,6 +300,66 @@ int main(int argc, char** argv) {
               ser_channel.msgs_per_sec / ser_session.msgs_per_sec);
   std::printf("  parse     channel/session: %.3fx\n",
               parse_channel[2].msgs_per_sec / parse_session.msgs_per_sec);
+
+  // Delimiter-bounded frame spec under 1-byte delivery: the adversarial
+  // trickle. Sized small — the restart baseline is quadratic by design.
+  const std::size_t trickle_frames = std::min<std::size_t>(messages, 32);
+  const TrickleResult resume_run =
+      run_delim_trickle(/*resumable=*/true, trickle_frames, 192);
+  const TrickleResult restart_run =
+      run_delim_trickle(/*resumable=*/false, trickle_frames, 192);
+  // Rescanned bytes per frame normalized by the frame size: O(1)-per-byte
+  // decode work keeps this a small constant; restart-from-zero makes it
+  // grow with the frame itself (~frame/2). CI guards the resume ratio.
+  const double resume_ratio =
+      resume_run.rescanned_per_frame / resume_run.frame_size;
+  const double restart_ratio =
+      restart_run.rescanned_per_frame / restart_run.frame_size;
+  std::printf("  delim-trickle (frame %.0f B, 1-byte delivery, %zu frames)\n",
+              resume_run.frame_size, trickle_frames);
+  std::printf("    decodes/frame:   %8.1f (resume)  %8.1f (restart)\n",
+              resume_run.decodes_per_frame, restart_run.decodes_per_frame);
+  std::printf("    rescanned/frame: %8.0f B         %8.0f B\n",
+              resume_run.rescanned_per_frame, restart_run.rescanned_per_frame);
+  std::printf("  delim rescan-ratio resume:  %.3fx of frame\n", resume_ratio);
+  std::printf("  delim rescan-ratio restart: %.3fx of frame\n", restart_ratio);
   std::printf("  (checksum %zu)\n", checksum);
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"throughput_stream\",\n"
+                 "  \"workload\": \"%s\",\n"
+                 "  \"per_node\": %d,\n"
+                 "  \"messages\": %zu,\n"
+                 "  \"repeats\": %d,\n"
+                 "  \"serialize_session_msgs_per_sec\": %.0f,\n"
+                 "  \"serialize_channel_msgs_per_sec\": %.0f,\n"
+                 "  \"parse_session_msgs_per_sec\": %.0f,\n"
+                 "  \"parse_channel_msgs_per_sec\": %.0f,\n"
+                 "  \"delim_trickle_frame_bytes\": %.0f,\n"
+                 "  \"delim_trickle_frames\": %zu,\n"
+                 "  \"delim_decodes_per_frame_resume\": %.1f,\n"
+                 "  \"delim_decodes_per_frame_restart\": %.1f,\n"
+                 "  \"delim_rescanned_per_frame_resume\": %.0f,\n"
+                 "  \"delim_rescanned_per_frame_restart\": %.0f,\n"
+                 "  \"delim_rescan_ratio_resume\": %.3f,\n"
+                 "  \"delim_rescan_ratio_restart\": %.3f\n"
+                 "}\n",
+                 workload.name.c_str(), per_node, messages, repeats,
+                 ser_session.msgs_per_sec, ser_channel.msgs_per_sec,
+                 parse_session.msgs_per_sec,
+                 parse_channel[2].msgs_per_sec, resume_run.frame_size,
+                 trickle_frames, resume_run.decodes_per_frame,
+                 restart_run.decodes_per_frame,
+                 resume_run.rescanned_per_frame,
+                 restart_run.rescanned_per_frame, resume_ratio,
+                 restart_ratio);
+    std::fclose(f);
+    std::printf("  wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
   return 0;
 }

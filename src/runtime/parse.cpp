@@ -1,5 +1,6 @@
 #include "runtime/parse.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "runtime/scope.hpp"
@@ -26,19 +27,52 @@ class WireParser {
  public:
   WireParser(const Graph& wire, const Journal& journal,
              const HolderTable& table, BufferPool* scratch,
-             ScopeChain* scopes, InstPool* nodes, bool prefix = false)
+             ScopeChain* scopes, InstPool* nodes, bool prefix = false,
+             ParseResume* resume = nullptr)
       : wire_(wire),
         journal_(journal),
         table_(table),
         scratch_(scratch),
         nodes_(nodes),
         prefix_(prefix),
-        scopes_(scopes != nullptr ? *scopes : local_scopes_) {}
+        resume_(resume),
+        counting_(resume != nullptr),
+        checkpointing_(resume != nullptr && resume->enabled() && prefix),
+        scopes_(resume != nullptr && resume->enabled() && prefix
+                    ? resume->scope_chain()
+                    : (scopes != nullptr ? *scopes : local_scopes_)) {}
 
   Expected<InstPtr> parse(BytesView data, std::size_t* consumed = nullptr) {
-    scopes_.reset();
+    resuming_ = false;
+    depth_ = 0;
+    if (counting_) ++resume_->mutable_stats().attempts;
+    if (checkpointing_) {
+      if (resume_->active() && data.size() < resume_->suspended_size()) {
+        // The buffer front shrank below the suspended attempt's window:
+        // the checkpoint describes bytes that no longer exist. Start over.
+        resume_->invalidate();
+      }
+      if (resume_->active()) {
+        resuming_ = true;
+        ++resume_->mutable_stats().resumed;
+      } else {
+        resume_->discard();
+        scopes_.reset();
+      }
+    } else {
+      scopes_.reset();
+    }
     Reader reader{data, 0, data.size(), /*soft=*/true};
     auto root = parse_node(wire_.root(), reader);
+    if (checkpointing_) {
+      if (root.ok()) {
+        resume_->discard();  // checkpoint consumed by the completed parse
+      } else if (root.error().truncated()) {
+        resume_->suspend(data.size());
+      } else {
+        resume_->invalidate();  // a malformed front can never continue
+      }
+    }
     if (!root) return root;
     if (prefix_) {
       if (consumed != nullptr) *consumed = reader.pos;
@@ -102,11 +136,68 @@ class WireParser {
     return found;
   }
 
-  Expected<InstPtr> parse_node(NodeId id, Reader& r) {
-    return parse_node_impl(id, r, /*ignore_mirror=*/false);
+  /// Truncated unwind through a checkpointed node: park the partially
+  /// built instance in its frame (committed children included) so the
+  /// retry continues from it. Other errors pass through untouched — a
+  /// malformed parse drops the whole checkpoint at the top level.
+  Expected<InstPtr> stash(InstPtr inst, ResumeFrame* frame,
+                          Expected<InstPtr>& err) {
+    if (frame != nullptr && err.error().truncated()) {
+      frame->partial = std::move(inst);
+    }
+    return std::move(err);
   }
 
-  Expected<InstPtr> parse_node_impl(NodeId id, Reader& r, bool ignore_mirror) {
+  Unexpected stash_short(InstPtr inst, ResumeFrame* frame, Unexpected err) {
+    if (frame != nullptr && err.error.truncated()) {
+      frame->partial = std::move(inst);
+    }
+    return err;
+  }
+
+  Expected<InstPtr> parse_node(NodeId id, Reader& r) {
+    if (!checkpointing_ || !r.soft) {
+      // Hard regions are carved out of bytes already in the buffer, so
+      // they complete or fail for good within one attempt — only the
+      // stream-open (soft) spine ever needs a checkpoint.
+      return parse_node_impl(id, r, /*ignore_mirror=*/false, nullptr);
+    }
+    auto& spine = resume_->spine();
+    const std::size_t slot = depth_;
+    ++depth_;
+    if (resuming_ && slot < spine.size()) {
+      // Resume descent: this call must re-enter the very node the
+      // checkpoint recorded at this depth — the walk is deterministic
+      // over the committed bytes, so a mismatch means the resume contract
+      // was broken. Fail hard; the top level drops the checkpoint.
+      ResumeFrame& frame = spine[slot];
+      if (frame.node != id) {
+        --depth_;
+        return fail(r, "resume checkpoint does not match the parse path");
+      }
+      if (slot + 1 == spine.size()) resuming_ = false;  // leaf: go live here
+      r.pos = frame.partial != nullptr ? frame.pos : frame.start;
+      auto result = parse_node_impl(id, r, /*ignore_mirror=*/false, &frame);
+      --depth_;
+      if (result.ok()) spine.pop_back();  // children of a completed node
+                                          // already popped theirs
+      return result;
+    }
+    // A node freshly entering the open spine. The deque keeps frame
+    // references stable while deeper calls push their own.
+    spine.emplace_back();
+    ResumeFrame& frame = spine.back();
+    frame.node = id;
+    frame.start = r.pos;
+    frame.pos = r.pos;
+    auto result = parse_node_impl(id, r, /*ignore_mirror=*/false, &frame);
+    --depth_;
+    if (result.ok()) spine.pop_back();
+    return result;
+  }
+
+  Expected<InstPtr> parse_node_impl(NodeId id, Reader& r, bool ignore_mirror,
+                                    ResumeFrame* frame) {
     const Node& n = wire_.node(id);
 
     // Region determination ---------------------------------------------------
@@ -117,7 +208,17 @@ class WireParser {
       // Re-entry on the reversed copy of a mirrored region: the buffer *is*
       // the region, whatever the declared boundary says.
       region_end = r.end;
-      return parse_with_region(n, id, r, region_end, stop_marker_rep);
+      return parse_with_region(n, id, r, region_end, stop_marker_rep,
+                               nullptr);
+    }
+    if (frame != nullptr && frame->partial != nullptr) {
+      // Restored mid-children composite. Only region-less nodes (open-End
+      // sequences, Delegated/Counter composites, stop-marker repetitions)
+      // can suspend with a partial — everything with an intrinsic region
+      // completes or fails hard once the region is carved — so re-entry
+      // skips region determination and rejoins the child walk.
+      return parse_with_region(n, id, r, std::nullopt, stop_marker_rep,
+                               frame);
     }
     switch (n.boundary) {
       case BoundaryKind::Fixed:
@@ -167,8 +268,30 @@ class WireParser {
         break;
       case BoundaryKind::Delimited: {
         if (!stop_marker_rep) {
-          const auto found = find(r.data.first(r.end), n.delimiter, r.pos);
+          // Resume mid-scan: bytes a previous attempt already rejected are
+          // never re-read — the degenerate O(frame²) delimiter search under
+          // trickled delivery becomes O(frame) total.
+          std::size_t from = r.pos;
+          if (frame != nullptr && frame->scanning) {
+            from = std::max(from, frame->scan_from);
+          }
+          const auto found = find(r.data.first(r.end), n.delimiter, from);
+          if (counting_) {
+            const std::size_t upto =
+                found ? *found + n.delimiter.size() : r.end;
+            resume_->mutable_stats().scanned_bytes +=
+                upto > from ? upto - from : 0;
+          }
           if (!found) {
+            if (frame != nullptr) {
+              // Starts up to end-delim are ruled out for good; a later
+              // occurrence can only begin inside the last delim-1 bytes
+              // (a partial match may straddle the append point).
+              const std::size_t delim = n.delimiter.size();
+              frame->scanning = true;
+              frame->scan_from = std::max(
+                  r.pos, r.end >= delim - 1 ? r.end - (delim - 1) : r.pos);
+            }
             return fail_short(r, "delimiter of '" + n.name + "' not found",
                               1);
           }
@@ -192,7 +315,8 @@ class WireParser {
       assign_reversed(temp, r.data.subspan(r.pos, *region_end - r.pos));
       // The reversed copy is a complete region: its end is hard.
       Reader mirror_reader{temp, 0, temp.size(), /*soft=*/false};
-      auto inst = parse_node_impl(id, mirror_reader, /*ignore_mirror=*/true);
+      auto inst = parse_node_impl(id, mirror_reader, /*ignore_mirror=*/true,
+                                  nullptr);
       const bool consumed = mirror_reader.pos == mirror_reader.end;
       if (scratch_ != nullptr) scratch_->release(std::move(temp));
       if (!inst) return inst;
@@ -205,18 +329,23 @@ class WireParser {
       return inst;
     }
 
-    return parse_with_region(n, id, r, region_end, stop_marker_rep);
+    return parse_with_region(n, id, r, region_end, stop_marker_rep, frame);
   }
 
   Expected<InstPtr> parse_with_region(const Node& n, NodeId id, Reader& r,
                                       std::optional<std::size_t> region_end,
-                                      bool stop_marker_rep) {
+                                      bool stop_marker_rep,
+                                      ResumeFrame* frame) {
     // Regions carved out of the input by an intrinsic boundary (fixed size,
     // length holder, delimiter scan) are hard: running short inside them is
     // a malformation. Only an `end` region inherits the reader's softness —
     // it reaches to wherever the input currently stops.
     const bool sub_soft = r.soft && n.boundary == BoundaryKind::End;
+    // A restored composite rejoins its own child walk: the committed
+    // children stay parsed, the loop continues at the saved cursor.
+    const bool restored = frame != nullptr && frame->partial != nullptr;
     InstPtr inst;
+    if (restored) inst = std::move(frame->partial);
     switch (n.type) {
       case NodeType::Terminal: {
         inst = ast::terminal(nodes_, id,
@@ -225,7 +354,7 @@ class WireParser {
         break;
       }
       case NodeType::Sequence: {
-        inst = ast::make(nodes_, id);
+        if (!restored) inst = ast::make(nodes_, id);
         if (region_end) {
           Reader sub{r.data, r.pos, *region_end, sub_soft};
           for (NodeId child : n.children) {
@@ -238,17 +367,24 @@ class WireParser {
           }
           r.pos = *region_end;
         } else {
-          for (NodeId child : n.children) {
-            auto parsed = parse_node(child, r);
-            if (!parsed) return parsed;
+          for (std::size_t ci = restored ? frame->next_child : 0;
+               ci < n.children.size(); ++ci) {
+            if (frame != nullptr) {
+              frame->next_child = ci;
+              frame->pos = r.pos;
+            }
+            auto parsed = parse_node(n.children[ci], r);
+            if (!parsed) return stash(std::move(inst), frame, parsed);
             inst->children.push_back(std::move(*parsed));
           }
         }
         break;
       }
       case NodeType::Optional: {
+        // A restored frame implies the condition already evaluated true and
+        // the child was in flight; absent optionals complete in one attempt.
         bool present = true;
-        if (n.condition.kind != Condition::Kind::Always) {
+        if (!restored && n.condition.kind != Condition::Kind::Always) {
           auto ref = lookup(n.condition.ref, r);
           if (!ref) return Unexpected(ref.error());
           auto logical = logical_tree(**ref, r);
@@ -256,9 +392,10 @@ class WireParser {
           present = n.condition.evaluate((*logical)->value);
         }
         if (present) {
-          inst = ast::make(nodes_, id);
+          if (!restored) inst = ast::make(nodes_, id);
+          if (frame != nullptr) frame->pos = r.pos;
           auto child = parse_node(n.children[0], r);
-          if (!child) return child;
+          if (!child) return stash(std::move(inst), frame, child);
           inst->children.push_back(std::move(*child));
         } else {
           inst = ast::absent(nodes_, id);
@@ -266,19 +403,43 @@ class WireParser {
         break;
       }
       case NodeType::Repetition: {
-        inst = ast::make(nodes_, id);
+        if (!restored) inst = ast::make(nodes_, id);
         if (stop_marker_rep) {
           while (true) {
-            if (starts_with(r.window(), n.delimiter)) {
+            if (frame != nullptr) {
+              frame->next_child = inst->children.size();
+              frame->pos = r.pos;
+            }
+            const BytesView w = r.window();
+            if (counting_) {
+              resume_->mutable_stats().scanned_bytes +=
+                  std::min(w.size(), n.delimiter.size());
+            }
+            if (starts_with(w, n.delimiter)) {
               r.pos += n.delimiter.size();
               break;
             }
+            if (r.soft && w.size() < n.delimiter.size() &&
+                std::equal(w.begin(), w.end(), n.delimiter.begin())) {
+              // Undecided against the stream end: the input stops inside
+              // what may be the stop marker. Parsing an element here could
+              // commit bytes a completed marker would claim, so wait for
+              // the decision — the need hint is exact. (Against a hard
+              // region end the marker can never complete, so the element
+              // parse proceeds as before.)
+              return stash_short(
+                  std::move(inst), frame,
+                  fail_short(r, "unterminated repetition '" + n.name + "'",
+                             n.delimiter.size() - w.size()));
+            }
             if (r.pos >= r.end) {
-              return fail_short(r, "unterminated repetition '" + n.name + "'",
-                                n.delimiter.size());
+              return stash_short(
+                  std::move(inst), frame,
+                  fail_short(r, "unterminated repetition '" + n.name + "'",
+                             n.delimiter.size()));
             }
             auto element = parse_element(n.children[0], r, true);
-            if (!element) return element;
+            if (!element) return stash(std::move(inst), frame, element);
             inst->children.push_back(std::move(*element));
           }
         } else {
@@ -293,16 +454,31 @@ class WireParser {
         break;
       }
       case NodeType::Tabular: {
-        auto holder = lookup(n.ref, r);
-        if (!holder) return Unexpected(holder.error());
-        auto count = scalar(n.ref, **holder, r);
-        if (!count) return Unexpected(count.error());
-        inst = ast::make(nodes_, id);
-        for (std::uint64_t k = 0; k < *count; ++k) {
+        std::uint64_t count = 0;
+        if (frame != nullptr && frame->counted) {
+          count = frame->total;
+        } else {
+          auto holder = lookup(n.ref, r);
+          if (!holder) return Unexpected(holder.error());
+          auto scalar_count = scalar(n.ref, **holder, r);
+          if (!scalar_count) return Unexpected(scalar_count.error());
+          count = *scalar_count;
+          if (frame != nullptr) {
+            frame->total = count;
+            frame->counted = true;
+          }
+        }
+        if (!restored) inst = ast::make(nodes_, id);
+        for (std::uint64_t k = restored ? inst->children.size() : 0;
+             k < count; ++k) {
+          if (frame != nullptr) {
+            frame->next_child = static_cast<std::size_t>(k);
+            frame->pos = r.pos;
+          }
           // Tabular elements may be legitimately empty: the count, not
           // progress, terminates the loop.
           auto element = parse_element(n.children[0], r, false);
-          if (!element) return element;
+          if (!element) return stash(std::move(inst), frame, element);
           inst->children.push_back(std::move(*element));
         }
         break;
@@ -324,10 +500,20 @@ class WireParser {
   Expected<InstPtr> parse_element(NodeId element, Reader& r,
                                   bool require_progress) {
     const std::size_t before = r.pos;
-    scopes_.push();
+    // Rejoining an element left in flight by a suspension: its scope frame
+    // (with every committed sub-instance) survived the unwind, so only a
+    // genuinely fresh element opens a new one.
+    const bool rejoin = resuming_;
+    if (!rejoin) scopes_.push();
     auto parsed = parse_node(element, r);
+    if (!parsed) {
+      // A suspension keeps the element scope alive for the retry; any
+      // other failure unwinds it as before (a malformed parse resets the
+      // whole chain with the checkpoint at the top level anyway).
+      if (!(checkpointing_ && parsed.error().truncated())) scopes_.pop();
+      return parsed;
+    }
     scopes_.pop();
-    if (!parsed) return parsed;
     if (require_progress && r.pos == before) {
       return fail(r, "repetition element consumed no input");
     }
@@ -340,6 +526,11 @@ class WireParser {
   BufferPool* scratch_;
   InstPool* nodes_;
   bool prefix_ = false;
+  ParseResume* resume_ = nullptr;
+  bool counting_ = false;       // stats accounting requested
+  bool checkpointing_ = false;  // suspend/resume live for this parse
+  bool resuming_ = false;       // descending into a saved spine
+  std::size_t depth_ = 0;       // current open-spine depth
   ScopeChain local_scopes_;
   ScopeChain& scopes_;
 };
@@ -356,9 +547,10 @@ Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
 Expected<InstPtr> parse_wire_prefix(const Graph& wire, const Journal& journal,
                                     const HolderTable& table, BytesView data,
                                     std::size_t* consumed, BufferPool* scratch,
-                                    ScopeChain* scopes, InstPool* nodes) {
+                                    ScopeChain* scopes, InstPool* nodes,
+                                    ParseResume* resume) {
   return WireParser(wire, journal, table, scratch, scopes, nodes,
-                    /*prefix=*/true)
+                    /*prefix=*/true, resume)
       .parse(data, consumed);
 }
 

@@ -12,6 +12,7 @@
 #include "ast/ast.hpp"
 #include "ast/pool.hpp"
 #include "graph/graph.hpp"
+#include "runtime/resume.hpp"
 #include "runtime/scope.hpp"
 #include "transform/lineage.hpp"
 #include "util/bytes.hpp"
@@ -44,6 +45,17 @@ Expected<InstPtr> parse_wire(const Graph& wire, const Journal& journal,
 /// ErrorKind::Truncated plus a minimum-additional-bytes hint instead of a
 /// plain failure — the signal framers turn into "need more bytes".
 ///
+/// `resume`, when given, makes truncation retries incremental: a Truncated
+/// outcome suspends the partial parse (pooled partial tree, child cursors,
+/// delimiter-scan progress, reference scopes) into `resume`, and the next
+/// call with the same buffer front — same bytes, possibly more appended —
+/// continues from the truncation point instead of byte 0. This is what
+/// keeps delimiter-bounded wire formats at amortized O(1) parse work per
+/// delivered byte under trickled delivery. The caller owns invalidation:
+/// see ParseResume's header for the validity contract. `resume` also
+/// implies `nodes`-style lifetime coupling: suspended partial trees draw
+/// from `nodes`, so the pool must outlive the resume state.
+///
 /// Requires a stream-safe wire graph (see stream_safe()): a boundary that
 /// extends "to the end of the input" cannot delimit itself in a stream, and
 /// is reported as malformed here.
@@ -52,7 +64,8 @@ Expected<InstPtr> parse_wire_prefix(const Graph& wire, const Journal& journal,
                                     std::size_t* consumed,
                                     BufferPool* scratch = nullptr,
                                     ScopeChain* scopes = nullptr,
-                                    InstPool* nodes = nullptr);
+                                    InstPool* nodes = nullptr,
+                                    ParseResume* resume = nullptr);
 
 /// Checks that the wire graph delimits its own messages, i.e. that no node
 /// parsed in a stream-open position depends on where the input ends: a

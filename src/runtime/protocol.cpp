@@ -95,9 +95,10 @@ Expected<InstPtr> ObfuscatedProtocol::parse_prefix(BytesView buffer,
                                                    BufferPool* scratch,
                                                    ScopeChain* scopes,
                                                    InstPool* nodes,
-                                                   DeriveScratch* derive) const {
+                                                   DeriveScratch* derive,
+                                                   ParseResume* resume) const {
   auto tree = parse_wire_prefix(wire_, journal_, holders_, buffer, consumed,
-                                scratch, scopes, nodes);
+                                scratch, scopes, nodes, resume);
   return finish_parse(std::move(tree), nodes, scopes, derive);
 }
 

@@ -18,6 +18,7 @@
 #include "graph/graph.hpp"
 #include "runtime/derive.hpp"
 #include "runtime/emit.hpp"
+#include "runtime/resume.hpp"
 #include "runtime/scope.hpp"
 #include "transform/engine.hpp"
 #include "transform/lineage.hpp"
@@ -80,11 +81,18 @@ class ObfuscatedProtocol {
   /// message does fails with ErrorKind::Truncated and a minimum
   /// additional-byte hint — the signal framers translate into "need more
   /// bytes" instead of a parse failure. Requires stream_safe(wire_graph()).
+  ///
+  /// `resume`, when given, suspends a Truncated parse so the next call on
+  /// the same buffer front (same bytes, more appended) continues from the
+  /// truncation point instead of byte 0 — see parse_wire_prefix and
+  /// ParseResume for the validity contract. Suspended partial trees draw
+  /// from `nodes`, which must outlive `resume`.
   Expected<InstPtr> parse_prefix(BytesView buffer, std::size_t* consumed,
                                  BufferPool* scratch = nullptr,
                                  ScopeChain* scopes = nullptr,
                                  InstPool* nodes = nullptr,
-                                 DeriveScratch* derive = nullptr) const;
+                                 DeriveScratch* derive = nullptr,
+                                 ParseResume* resume = nullptr) const;
 
   /// Fills constants and derived fields of a user-built logical tree so it
   /// compares equal with parse() results.

@@ -19,7 +19,11 @@ void Channel::on_bytes(BytesView chunk) { reader_.feed(chunk); }
 std::optional<Expected<InstPtr>> Channel::receive() {
   auto payload = reader_.next_frame();
   if (!payload.has_value()) return std::nullopt;
-  return session_.parse(*payload);
+  auto message = session_.parse(*payload);
+  // The frame is consumed: the parse copied what it needed into the pooled
+  // tree, so the reader may compact/reallocate its buffer again.
+  reader_.release_payloads();
+  return message;
 }
 
 std::vector<Expected<InstPtr>> Channel::drain_batch() {
@@ -40,8 +44,13 @@ std::vector<Expected<InstPtr>> Channel::drain_batch() {
       frames.push_back(BytesView(copy));
     }
   }
-  if (frames.empty()) return {};
-  return session_.parse_batch(frames);
+  if (frames.empty()) {
+    reader_.release_payloads();
+    return {};
+  }
+  auto parsed = session_.parse_batch(frames);
+  reader_.release_payloads();
+  return parsed;
 }
 
 }  // namespace protoobf

@@ -70,11 +70,14 @@ class Channel {
   const Error& error() const { return reader_.error(); }
 
   /// Skips one byte of garbage at the failure position (see
-  /// StreamReader::resync()).
+  /// StreamReader::resync()). Also drops the framer's suspended decode
+  /// state — a checkpoint of the old front cannot survive the skip.
   void resync() { reader_.resync(); }
 
   Session& session() { return session_; }
   StreamReader& reader() { return reader_; }
+  Framer& framer() { return framer_; }
+  const Framer& framer() const { return framer_; }
 
  private:
   Session& session_;

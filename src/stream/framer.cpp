@@ -160,7 +160,9 @@ ObfuscatedFramer::ObfuscatedFramer(
       skeleton_(std::move(skeleton)),
       payload_slot_(payload_slot),
       payload_node_(payload_node),
-      min_need_(min_need) {}
+      min_need_(min_need) {
+  resume_.set_enabled(config_.resumable_decode);
+}
 
 Status ObfuscatedFramer::encode(BytesView payload, Bytes& out) {
   payload_slot_->value.assign(payload.begin(), payload.end());
@@ -183,9 +185,14 @@ FrameDecode ObfuscatedFramer::decode(BytesView buffer) {
   if (buffer.size() < min_need_) {
     return FrameDecode::need_more(min_need_ - buffer.size());
   }
+  // The prefix parse runs resumably: a Truncated attempt suspends into
+  // resume_ (partial pooled tree, delimiter-scan cursors, scopes) and the
+  // next decode() on the grown front continues from the truncation point.
+  // parse_prefix still uses scopes_/derive_ for the post-parse passes only,
+  // so an encode() interleaved with a suspended decode never collides.
   std::size_t consumed = 0;
   auto tree = framing_->parse_prefix(buffer, &consumed, &scratch_, &scopes_,
-                                     &nodes_, &derive_);
+                                     &nodes_, &derive_, &resume_);
   if (!tree) {
     const Error& e = tree.error();
     if (e.truncated()) {
@@ -195,6 +202,10 @@ FrameDecode ObfuscatedFramer::decode(BytesView buffer) {
       if (config_.max_frame_size > 0 &&
           (buffer.size() >= config_.max_frame_size ||
            e.need > config_.max_frame_size - buffer.size())) {
+        // The parse itself ended Truncated (and suspended), but the cap
+        // turns it into a hard failure: drop the checkpoint so it cannot
+        // be resumed against whatever front follows a caller's recovery.
+        resume_.invalidate();
         return FrameDecode::fail(
             Error{"frame grows past max_frame_size " +
                       std::to_string(config_.max_frame_size),

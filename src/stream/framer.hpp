@@ -16,12 +16,14 @@
 // part of a tunnel, per ScrambleSuit — is as opaque as the payload.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "ast/pool.hpp"
 #include "runtime/protocol.hpp"
+#include "runtime/resume.hpp"
 #include "runtime/scope.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
@@ -51,6 +53,10 @@ struct FrameDecode {
     return d;
   }
   static FrameDecode need_more(std::size_t n) {
+    // A zero need is always a framer bug — the reader would re-attempt the
+    // decode on the very same bytes and spin. Loudly in debug builds; the
+    // release clamp below keeps old behaviour as a backstop.
+    assert(n > 0 && "framer computed need_more(0)");
     FrameDecode d;
     d.kind = Kind::NeedMore;
     d.need = n > 0 ? n : 1;
@@ -91,6 +97,13 @@ class Framer {
   /// conservative "anything might be a frame" answer — is always safe;
   /// length-driven framers report their exact header size instead.
   virtual std::size_t min_need() const { return 1; }
+
+  /// The reader's notification that the buffer front moved for a reason
+  /// other than "this frame was decoded" or "bytes were appended" —
+  /// resync() byte skips and reset(). Framers holding incremental decode
+  /// state across NeedMore retries (ObfuscatedFramer's resumable prefix
+  /// parse) must drop it here; stateless framers ignore it.
+  virtual void invalidate_decode_state() {}
 };
 
 /// Transparent `width`-byte payload-length prefix, big- or little-endian.
@@ -135,8 +148,17 @@ class ObfuscatedFramer final : public Framer {
     std::string payload_path;
     // Seeds the per-frame randomness of encode() (split halves, pads).
     std::uint64_t frame_seed = 1;
-    // Whole-frame (header + payload + trailer) size cap; 0 disables.
+    // Whole-frame (header + payload + trailer) size cap; 0 disables. Also
+    // enforced on the *accumulated* buffer while a frame keeps reporting
+    // NeedMore, so a hostile trickle that never completes a frame cannot
+    // grow the reassembly buffer without bound.
     std::size_t max_frame_size = LengthPrefixFramer::kDefaultMaxFrame;
+    // Keep a suspended prefix parse across NeedMore retries and continue
+    // it when more bytes arrive (amortized O(1) decode work per delivered
+    // byte, the fix for delimiter-bounded frame specs degrading to a full
+    // re-parse per byte). Off = restart from byte 0 every retry, the
+    // pre-resume behaviour — kept as a bench/debug baseline.
+    bool resumable_decode = true;
   };
 
   /// Fails when the frame protocol's wire format is not stream-safe (see
@@ -160,6 +182,23 @@ class ObfuscatedFramer final : public Framer {
   /// first prefix-parse attempt instead of re-parsing per byte.
   std::size_t min_need() const override { return min_need_; }
 
+  /// Drops the suspended prefix parse (if any). StreamReader calls this on
+  /// resync()/reset(); anyone decoding by hand must call it whenever the
+  /// next decode() will not see the previous buffer front with bytes
+  /// appended. (A shrunken buffer is additionally caught by the parser
+  /// itself, so monotone test loops need no manual calls.)
+  void invalidate_decode_state() override { resume_.invalidate(); }
+
+  /// Incremental-decode accounting: attempts vs resumed attempts, bytes
+  /// examined by delimiter/stop-marker scans, checkpoints dropped. The
+  /// bench's decodes-per-frame / bytes-rescanned-per-frame counters and
+  /// the O(frame) CI guard read these.
+  const ParseResume::Stats& resume_stats() const { return resume_.stats(); }
+  void reset_resume_stats() { resume_.reset_stats(); }
+
+  /// Whether a partially decoded frame is currently suspended.
+  bool decode_suspended() const { return resume_.active(); }
+
   const ObfuscatedProtocol& framing() const { return *framing_; }
 
  private:
@@ -178,6 +217,9 @@ class ObfuscatedFramer final : public Framer {
   ScopeChain scopes_;      // reusable reference-scope table
   DeriveScratch derive_;   // derive-fixpoint work vectors
   InstPool nodes_;         // recycles frame trees across encodes/decodes
+  ParseResume resume_;     // suspended prefix parse between NeedMore retries
+                           // (declared after nodes_: partial trees must drop
+                           // back into the pool before the pool goes away)
   Bytes payload_copy_;     // backs decode() payload views
 };
 

@@ -1,15 +1,31 @@
 #include "stream/stream_reader.hpp"
 
+#include <algorithm>
+
 namespace protoobf {
 
 void StreamReader::feed(BytesView chunk) {
+  const bool pinned = outstanding_ > 0;
   // Compact when the consumed prefix outweighs the live remainder: each
   // retained byte is then moved at most once per doubling of the consumed
-  // region, keeping reassembly amortized O(1) per byte.
-  if (head_ > 0 && head_ >= buffered()) {
+  // region, keeping reassembly amortized O(1) per byte. Deferred while
+  // payload views are outstanding — they alias the consumed prefix, and
+  // erase() would move the bytes out from under them.
+  if (!pinned && head_ > 0 && head_ >= buffered()) {
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
     head_ = 0;
+  }
+  if (pinned && buffer_.capacity() - buffer_.size() < chunk.size()) {
+    // Growth would reallocate and free the storage the outstanding views
+    // still point into. Copy into a fresh allocation and retire the old
+    // one instead of freeing it; release_payloads() drops the retirees.
+    Bytes grown;
+    grown.reserve(std::max(buffer_.size() + chunk.size(),
+                           2 * buffer_.capacity()));
+    grown.assign(buffer_.begin(), buffer_.end());
+    retired_.push_back(std::move(buffer_));
+    buffer_ = std::move(grown);
   }
   append(buffer_, chunk);
 }
@@ -28,6 +44,9 @@ std::optional<BytesView> StreamReader::next_frame() {
       }
       head_ += d.consumed;
       target_ = min_target();
+      // Only buffer-aliasing payloads pin the buffer; scratch-backed ones
+      // live in the framer and follow its own next-decode rule.
+      if (framer_.payload_aliases_buffer()) ++outstanding_;
       return d.payload;
     case FrameDecode::Kind::NeedMore: {
       // Saturate: a framer with its size guard disabled may legitimately
@@ -46,12 +65,20 @@ std::optional<BytesView> StreamReader::next_frame() {
   return std::nullopt;
 }
 
+void StreamReader::release_payloads() {
+  outstanding_ = 0;
+  retired_.clear();
+}
+
 void StreamReader::resync() {
   error_.reset();
   if (buffered() > 0) ++head_;
   // Back to the per-frame floor: after skipping a garbage byte the front
-  // is a fresh frame candidate, same as after a recovered frame.
+  // is a fresh frame candidate, same as after a recovered frame. Whatever
+  // decode state the framer suspended described the old front.
   target_ = min_target();
+  release_payloads();
+  framer_.invalidate_decode_state();
 }
 
 void StreamReader::reset() {
@@ -59,6 +86,8 @@ void StreamReader::reset() {
   head_ = 0;
   target_ = min_target();
   error_.reset();
+  release_payloads();
+  framer_.invalidate_decode_state();
 }
 
 }  // namespace protoobf

@@ -11,18 +11,27 @@
 // count, and the reader skips re-decoding until that many bytes arrived.
 // For length-driven frame formats the hints are exact, so one-byte
 // delivery costs one decode attempt per *frame*; a delimiter-bounded frame
-// format can only ever hint "one more byte" and degrades to a decode
-// attempt per byte (a resumable prefix-parse is the ROADMAP answer).
+// format still hints "one more byte", but the framer's resumable prefix
+// parse continues each attempt from the previous truncation point, so the
+// per-byte attempts cost amortized O(1) each instead of a full re-parse.
+// The reader tells the framer when its suspended state became worthless —
+// resync() and reset() call Framer::invalidate_decode_state(); compaction
+// and growth do not (the unconsumed bytes never change, only their storage
+// address, and framer checkpoints are window-relative).
 //
 // Buffer lifetime rules (also in README "Streaming over TCP"):
-//   * payload views from a buffer-aliasing framer stay valid until the next
-//     feed()/reset() — next_frame() itself never moves the buffer;
+//   * payload views from a buffer-aliasing framer stay valid until
+//     release_payloads() (which Channel calls once the frames are parsed),
+//     resync(), or reset() — surviving feed(): while any handed-out
+//     payload is unreleased the reader defers compaction and, when growth
+//     must reallocate, retires the old allocation instead of freeing it;
 //   * payload views from a scratch-backed framer (ObfuscatedFramer) are
 //     valid only until the next next_frame() call.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "stream/framer.hpp"
 #include "util/bytes.hpp"
@@ -41,14 +50,22 @@ class StreamReader {
   /// decode per frame even under byte-at-a-time delivery.
   std::size_t min_need() const { return min_target(); }
 
-  /// Appends a received chunk. May compact or grow the buffer, so payload
-  /// views handed out earlier are invalidated here (and only here).
+  /// Appends a received chunk. While payloads handed out by next_frame()
+  /// are unreleased (buffer-aliasing framers only) the buffer never
+  /// compacts and retired allocations stay alive, so those views survive;
+  /// with nothing outstanding this may compact or grow the buffer freely.
   void feed(BytesView chunk);
 
   /// Pops the next complete frame payload. nullopt when the buffer holds
   /// no complete frame: either more bytes are needed (need_bytes()) or the
   /// stream is corrupt at the buffer front (failed(); see resync()).
   std::optional<BytesView> next_frame();
+
+  /// Declares every payload view handed out so far consumed: compaction
+  /// is allowed again and retired buffer allocations are dropped. Called
+  /// by Channel after it parsed the frames; holding a payload view past
+  /// this call is a use-after-free bug again.
+  void release_payloads();
 
   /// Minimum bytes feed() must deliver before next_frame() can progress.
   std::size_t need_bytes() const {
@@ -63,13 +80,23 @@ class StreamReader {
 
   /// Skips one byte at the failure position and clears the error — calling
   /// this in a loop scans forward through garbage until the framer locks
-  /// onto the next parseable frame.
+  /// onto the next parseable frame. Invalidates outstanding payload views
+  /// and the framer's suspended decode state (the front moved).
   void resync();
 
   /// Bytes currently buffered but not yet consumed by a frame.
   std::size_t buffered() const { return buffer_.size() - head_; }
 
-  /// Drops all buffered bytes and clears any error.
+  /// Total bytes the reassembly buffer currently holds, consumed prefix
+  /// included (tests pin that deferred compaction still happens and that a
+  /// hostile never-completing frame cannot grow this without bound).
+  std::size_t reassembly_size() const { return buffer_.size(); }
+
+  /// Payload views handed out and not yet released (aliasing framers).
+  std::size_t outstanding_payloads() const { return outstanding_; }
+
+  /// Drops all buffered bytes and clears any error. Invalidates payload
+  /// views and the framer's suspended decode state.
   void reset();
 
   const Framer& framer() const { return framer_; }
@@ -88,6 +115,8 @@ class StreamReader {
   Bytes buffer_;
   std::size_t head_ = 0;  // consumed prefix of buffer_
   std::size_t target_;    // buffered() needed before the next decode try
+  std::size_t outstanding_ = 0;  // unreleased aliasing payload views
+  std::vector<Bytes> retired_;   // old allocations pinned by those views
   std::optional<Error> error_;
 };
 

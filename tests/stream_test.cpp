@@ -27,6 +27,16 @@ frame: seq end {
 }
 )";
 
+// Delimiter-bounded frame format: no length field at all, so the decode
+// cost under trickled delivery is carried entirely by the resumable prefix
+// parse (ISSUE 5) — these tests pin its accounting.
+constexpr std::string_view kDelimFrameSpec = R"(
+protocol DelimFrame
+frame: seq end {
+  fbody: terminal delimited("\r\n") ascii
+}
+)";
+
 ObfuscationConfig config_of(std::uint64_t seed, int per_node) {
   ObfuscationConfig cfg;
   cfg.seed = seed;
@@ -333,6 +343,9 @@ class CountingFramer final : public Framer {
     return inner_.payload_aliases_buffer();
   }
   std::size_t min_need() const override { return inner_.min_need(); }
+  void invalidate_decode_state() override {
+    inner_.invalidate_decode_state();
+  }
 
   Framer& inner_;
   int decodes = 0;
@@ -399,6 +412,252 @@ TEST(MinNeed, ObfuscatedFramerFloorsAtTheFrameHeaderSize) {
   // header, not one per delivered byte: far below the frame size.
   EXPECT_LE(counting.decodes, 8);
   EXPECT_LT(static_cast<std::size_t>(counting.decodes), framed.size() / 2);
+}
+
+// --- resumable decode (delimiter-bounded frame specs) -----------------------
+
+std::unique_ptr<ObfuscatedFramer> delim_framer(
+    std::shared_ptr<const ObfuscatedProtocol> framing,
+    bool resumable = true) {
+  ObfuscatedFramer::Config cfg;
+  cfg.payload_path = "fbody";
+  cfg.resumable_decode = resumable;
+  auto framer = ObfuscatedFramer::create(std::move(framing), cfg);
+  EXPECT_TRUE(framer.ok()) << framer.error().message;
+  return std::move(*framer);
+}
+
+TEST(ResumableDecode, DelimiterFramerTrickleIsLinearNotQuadratic) {
+  auto framing = compile(kDelimFrameSpec, 1, 0);
+  auto framer = delim_framer(framing);
+  CountingFramer counting(*framer);
+  StreamReader reader(counting);
+
+  const Bytes payload = to_bytes(std::string(600, 'x'));
+  Bytes framed;
+  ASSERT_TRUE(framer->encode(payload, framed).ok());
+
+  std::size_t frames = 0;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    reader.feed(BytesView(framed).subspan(i, 1));
+    while (auto f = reader.next_frame()) {
+      EXPECT_EQ(Bytes(f->begin(), f->end()), payload);
+      ++frames;
+    }
+    ASSERT_FALSE(reader.failed()) << reader.error().message;
+  }
+  ASSERT_EQ(frames, 1u);
+
+  const ParseResume::Stats& stats = framer->resume_stats();
+  // A delimiter spec can only hint "one more byte", so there is roughly
+  // one decode attempt per delivered byte — the point is that each one is
+  // amortized O(1): nearly every attempt resumes a suspended parse…
+  EXPECT_GE(stats.resumed + 8, stats.attempts);
+  EXPECT_GT(stats.resumed, framed.size() / 2);
+  // …and the delimiter scan never re-reads rejected bytes: total scanned
+  // work stays O(frame), where restart-from-zero is O(frame²) (pinned
+  // against the disabled-resume baseline below).
+  EXPECT_LE(stats.scanned_bytes, 4 * framed.size());
+
+  auto baseline = delim_framer(framing, /*resumable=*/false);
+  StreamReader base_reader(*baseline);
+  frames = 0;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    base_reader.feed(BytesView(framed).subspan(i, 1));
+    while (auto f = base_reader.next_frame()) {
+      EXPECT_EQ(Bytes(f->begin(), f->end()), payload);
+      ++frames;
+    }
+  }
+  ASSERT_EQ(frames, 1u);
+  EXPECT_GT(baseline->resume_stats().scanned_bytes, 16 * framed.size())
+      << "restart-from-zero baseline unexpectedly cheap";
+  EXPECT_EQ(baseline->resume_stats().resumed, 0u);
+}
+
+TEST(ResumableDecode, MultiFrameTrickleStaysByteIdenticalAndConsumesState) {
+  auto framing = compile(kDelimFrameSpec, 1, 0);
+  auto framer = delim_framer(framing);
+  StreamReader reader(*framer);
+
+  std::vector<Bytes> payloads;
+  Bytes stream;
+  for (int i = 0; i < 5; ++i) {
+    payloads.push_back(
+        to_bytes("frame " + std::to_string(i) + " " +
+                 std::string(17 * (i + 1), static_cast<char>('a' + i))));
+    Bytes framed;
+    ASSERT_TRUE(framer->encode(payloads.back(), framed).ok());
+    append(stream, framed);
+  }
+
+  Rng rng(77);
+  std::vector<Bytes> got;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(rng.between(1, 5), stream.size() - offset);
+    reader.feed(BytesView(stream).subspan(offset, n));
+    offset += n;
+    while (auto f = reader.next_frame()) {
+      got.emplace_back(f->begin(), f->end());
+    }
+    ASSERT_FALSE(reader.failed()) << reader.error().message;
+  }
+  ASSERT_EQ(got.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(got[i], payloads[i]) << "frame " << i;
+  }
+  // Every checkpoint was consumed by its completed frame.
+  EXPECT_FALSE(framer->decode_suspended());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ResumableDecode, EncodeInterleavesWithASuspendedDecode) {
+  // One framer instance serves both directions of a connection: an
+  // encode() while a decode sits suspended must not disturb the
+  // checkpoint (they share the node pool but not the resume state).
+  auto framing = compile(kDelimFrameSpec, 1, 0);
+  auto framer = delim_framer(framing);
+  StreamReader reader(*framer);
+
+  const Bytes payload = to_bytes("suspended mid-frame, encode interleaved");
+  Bytes framed;
+  ASSERT_TRUE(framer->encode(payload, framed).ok());
+
+  reader.feed(BytesView(framed).first(framed.size() / 2));
+  EXPECT_FALSE(reader.next_frame().has_value());
+  EXPECT_TRUE(framer->decode_suspended());
+
+  Bytes other;
+  ASSERT_TRUE(framer->encode(to_bytes("outbound while suspended"), other)
+                  .ok());
+  EXPECT_TRUE(framer->decode_suspended());
+
+  reader.feed(BytesView(framed).subspan(framed.size() / 2));
+  auto f = reader.next_frame();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(Bytes(f->begin(), f->end()), payload);
+  EXPECT_FALSE(framer->decode_suspended());
+}
+
+TEST(ResumableDecode, ResyncAndResetInvalidateTheSuspendedParse) {
+  auto framing = compile(kDelimFrameSpec, 1, 0);
+  auto framer = delim_framer(framing);
+  StreamReader reader(*framer);
+
+  const Bytes payload = to_bytes("checkpoint to be dropped");
+  Bytes framed;
+  ASSERT_TRUE(framer->encode(payload, framed).ok());
+
+  // Suspend, then resync: the front moved one byte, so the checkpoint
+  // describes bytes that are no longer there.
+  reader.feed(BytesView(framed).first(framed.size() - 1));
+  EXPECT_FALSE(reader.next_frame().has_value());
+  ASSERT_TRUE(framer->decode_suspended());
+  reader.resync();
+  EXPECT_FALSE(framer->decode_suspended());
+
+  // Same for reset(); afterwards a clean replay still decodes.
+  reader.reset();
+  reader.feed(framed);
+  reader.feed(BytesView(framed).first(framed.size() / 2));
+  auto f = reader.next_frame();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(Bytes(f->begin(), f->end()), payload);
+  EXPECT_FALSE(reader.next_frame().has_value());  // half a second frame…
+  ASSERT_TRUE(framer->decode_suspended());        // …suspends mid-flight
+  reader.reset();
+  EXPECT_FALSE(framer->decode_suspended());
+  reader.feed(framed);
+  f = reader.next_frame();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(Bytes(f->begin(), f->end()), payload);
+}
+
+TEST(ResumableDecode, HostileStreamWithoutDelimiterHitsMaxFrameSize) {
+  // ISSUE 5 satellite: a stream that keeps a frame Truncated forever must
+  // not grow the reassembly buffer without bound — the accumulated-buffer
+  // guard converts the stall into Malformed at the cap.
+  auto framing = compile(kDelimFrameSpec, 1, 0);
+  ObfuscatedFramer::Config cfg;
+  cfg.payload_path = "fbody";
+  cfg.max_frame_size = 256;
+  auto framer = ObfuscatedFramer::create(framing, cfg).value();
+  StreamReader reader(*framer);
+
+  const Bytes drip(16, 0x41);  // 'A' forever: the "\r\n" never arrives
+  for (int i = 0; i < 64 && !reader.failed(); ++i) {
+    reader.feed(drip);
+    reader.next_frame();
+  }
+  ASSERT_TRUE(reader.failed()) << "unbounded reassembly growth";
+  EXPECT_NE(reader.error().message.find("max_frame_size"), std::string::npos)
+      << reader.error().message;
+  // The buffer stopped growing at the cap (plus one undelivered chunk).
+  EXPECT_LE(reader.reassembly_size(), cfg.max_frame_size + 2 * drip.size());
+  // A Malformed outcome — the cap guard included — drops the checkpoint:
+  // nothing stale may survive into whatever front follows recovery.
+  EXPECT_FALSE(framer->decode_suspended());
+}
+
+TEST(StreamReader, PayloadViewsSurviveFeedUntilReleased) {
+  // ISSUE 5 satellite: with a buffer-aliasing framer, feed() used to
+  // compact (erase) or reallocate buffer_ while a caller still held the
+  // payload view from next_frame() — a use-after-free under ASan. Views
+  // now pin the buffer until release_payloads().
+  LengthPrefixFramer framer;
+  StreamReader reader(framer);
+  ASSERT_TRUE(framer.payload_aliases_buffer());
+
+  const Bytes first = to_bytes("first frame payload");
+  Bytes framed;
+  ASSERT_TRUE(framer.encode(first, framed).ok());
+  reader.feed(framed);
+  auto held = reader.next_frame();
+  ASSERT_TRUE(held.has_value());
+  EXPECT_EQ(reader.outstanding_payloads(), 1u);
+
+  // Compaction trigger: the whole buffer is consumed (head_ == size), so
+  // the next feed would have erased the prefix the view aliases…
+  const Bytes big(8192, 0x42);
+  Bytes framed2;
+  ASSERT_TRUE(framer.encode(big, framed2).ok());
+  reader.feed(BytesView(framed2).first(3));
+  // …and growth trigger: appending far beyond capacity would have
+  // reallocated and freed the storage outright.
+  reader.feed(BytesView(framed2).subspan(3));
+
+  // The held view still reads the first payload, byte for byte.
+  EXPECT_EQ(Bytes(held->begin(), held->end()), first);
+
+  reader.release_payloads();
+  EXPECT_EQ(reader.outstanding_payloads(), 0u);
+  auto second = reader.next_frame();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(Bytes(second->begin(), second->end()), big);
+  reader.release_payloads();
+}
+
+TEST(StreamReader, CompactionResumesAfterReleaseKeepingMemoryBounded) {
+  LengthPrefixFramer framer;
+  StreamReader reader(framer);
+  const Bytes payload = to_bytes("steady state frame");
+  Bytes framed;
+  ASSERT_TRUE(framer.encode(payload, framed).ok());
+
+  std::size_t high_water = 0;
+  for (int i = 0; i < 256; ++i) {
+    reader.feed(framed);
+    auto f = reader.next_frame();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(Bytes(f->begin(), f->end()), payload);
+    reader.release_payloads();
+    high_water = std::max(high_water, reader.reassembly_size());
+  }
+  // Released frames let compaction reclaim the consumed prefix: the
+  // buffer never accumulates more than a few frames.
+  EXPECT_LE(high_water, 4 * framed.size());
 }
 
 TEST(MinNeed, ChannelExposesTheFramerFloor) {
