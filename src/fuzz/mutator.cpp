@@ -1,0 +1,279 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "fuzz/random_message.hpp"
+
+namespace protoobf::fuzz {
+namespace {
+
+// Strategy table. Order is load-bearing only for the names; selection is
+// uniform over the entries.
+enum Strategy : std::size_t {
+  kBitFlipEdge,
+  kByteFlip,
+  kLengthSkew,
+  kDelimCorrupt,
+  kDelimPrefix,
+  kTruncate,
+  kSplice,
+  kGarbageAppend,
+  kValid,
+  kStrategyCount,
+};
+
+const char* kStrategyNames[kStrategyCount] = {
+    "bit-flip-edge",  "byte-flip",      "length-skew",
+    "delim-corrupt",  "delim-prefix",   "truncate",
+    "splice",         "garbage-append", "valid",
+};
+
+std::vector<std::size_t> edges_of(const SeedFrame& seed) {
+  std::vector<std::size_t> edges;
+  edges.push_back(0);
+  for (const FieldSpan& span : seed.spans) {
+    edges.push_back(span.offset);
+    edges.push_back(span.offset + span.length);
+  }
+  edges.push_back(seed.wire.size());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  // A span can in principle report past-the-end offsets under exotic
+  // transformation stacks; keep the anchors inside the wire.
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [&](std::size_t e) { return e > seed.wire.size(); }),
+              edges.end());
+  return edges;
+}
+
+}  // namespace
+
+Expected<WireMutator> WireMutator::create(const ObfuscatedProtocol& protocol,
+                                          std::uint64_t rng_seed,
+                                          Config config) {
+  WireMutator m(protocol, rng_seed, config);
+  if (m.seeds_.empty()) {
+    return Unexpected(
+        "wire mutator: no serializable random message found for '" +
+        protocol.original().protocol_name() + "'");
+  }
+  return m;
+}
+
+WireMutator::WireMutator(const ObfuscatedProtocol& protocol,
+                         std::uint64_t rng_seed, Config config)
+    : protocol_(&protocol), config_(config), rng_(rng_seed) {
+  const Graph& g1 = protocol.original();
+  const Graph& wire_graph = protocol.wire_graph();
+
+  // Mutation bases: random valid messages with their region accounting.
+  for (std::size_t i = 0; i < config_.seed_frames; ++i) {
+    for (std::size_t attempt = 0; attempt < config_.draw_tries; ++attempt) {
+      InstPtr msg = config_.generator ? config_.generator(g1, rng_)
+                                      : random_message(g1, rng_);
+      SeedFrame seed;
+      auto wire = protocol.serialize(*msg, config_.msg_seed0 + i, &seed.spans);
+      if (!wire.ok()) continue;  // draw violated a constraint; redraw
+      seed.wire = std::move(*wire);
+      seed.edges = edges_of(seed);
+      for (std::size_t s = 0; s < seed.spans.size(); ++s) {
+        const NodeId schema = seed.spans[s].schema;
+        if (wire_graph.is_length_target(schema) ||
+            wire_graph.is_counter_target(schema)) {
+          seed.holder_spans.push_back(s);
+        }
+      }
+      seeds_.push_back(std::move(seed));
+      break;
+    }
+  }
+
+  // Delimiter/stop-marker byte strings of the wire format, longest first so
+  // prefix-collision mutants prefer the multi-byte markers (the ambiguous
+  // ones).
+  for (const NodeId id : wire_graph.dfs_order()) {
+    const Bytes& d = wire_graph.node(id).delimiter;
+    if (d.empty()) continue;
+    if (std::find(delimiters_.begin(), delimiters_.end(), d) ==
+        delimiters_.end()) {
+      delimiters_.push_back(d);
+    }
+  }
+  std::sort(delimiters_.begin(), delimiters_.end(),
+            [](const Bytes& a, const Bytes& b) { return a.size() > b.size(); });
+}
+
+Mutant WireMutator::next() {
+  // Strategies can be inapplicable to a given base (no holders to skew, no
+  // delimiter occurrence to corrupt); redraw a few times, then fall back to
+  // the always-applicable byte flip.
+  for (int tries = 0; tries < 8; ++tries) {
+    const std::size_t strategy = rng_.below(kStrategyCount);
+    const SeedFrame& seed = seeds_[rng_.below(seeds_.size())];
+    Mutant out;
+    if (apply(strategy, seed, out)) return out;
+  }
+  const SeedFrame& seed = seeds_[rng_.below(seeds_.size())];
+  Mutant out;
+  apply(kByteFlip, seed, out);
+  return out;
+}
+
+bool WireMutator::apply(std::size_t strategy, const SeedFrame& seed,
+                        Mutant& out) {
+  const Bytes& wire = seed.wire;
+  out.strategy = kStrategyNames[strategy];
+  switch (strategy) {
+    case kBitFlipEdge: {
+      // Flip one bit in the byte at (or just before) a region edge: the
+      // first byte of a field, or the last byte of the one before it.
+      if (wire.empty()) return false;
+      std::size_t pos = seed.edges[rng_.below(seed.edges.size())];
+      if (pos >= wire.size() || (pos > 0 && rng_.chance(0.5))) --pos;
+      out.wire = wire;
+      out.wire[pos] ^= static_cast<Byte>(1u << rng_.below(8));
+      return true;
+    }
+    case kByteFlip: {
+      if (wire.empty()) return false;
+      out.wire = wire;
+      out.wire[rng_.below(out.wire.size())] ^=
+          static_cast<Byte>(rng_.between(1, 255));
+      return true;
+    }
+    case kLengthSkew: {
+      // Corrupt a length/counter holder's wire bytes — the canonical
+      // structure attack. Even transformed holders sit somewhere on the
+      // wire; skewing those bytes skews the recovered logical value.
+      if (seed.holder_spans.empty()) return false;
+      const FieldSpan& span =
+          seed.spans[seed.holder_spans[rng_.below(seed.holder_spans.size())]];
+      if (span.length == 0 || span.offset + span.length > wire.size()) {
+        return false;
+      }
+      out.wire = wire;
+      switch (rng_.below(4)) {
+        case 0:  // +1 on the low-order byte
+          out.wire[span.offset + span.length - 1] =
+              static_cast<Byte>(out.wire[span.offset + span.length - 1] + 1);
+          break;
+        case 1:  // -1 on the low-order byte
+          out.wire[span.offset + span.length - 1] =
+              static_cast<Byte>(out.wire[span.offset + span.length - 1] - 1);
+          break;
+        case 2:  // saturate high: a length pointing far past the buffer
+          for (std::size_t i = 0; i < span.length; ++i) {
+            out.wire[span.offset + i] = 0xff;
+          }
+          break;
+        default:  // zero: empty regions where content was expected
+          for (std::size_t i = 0; i < span.length; ++i) {
+            out.wire[span.offset + i] = 0x00;
+          }
+          break;
+      }
+      return true;
+    }
+    case kDelimCorrupt: {
+      // Corrupt one byte of an actual delimiter/stop-marker occurrence so
+      // the scan that expects it runs into the following field instead.
+      if (delimiters_.empty() || wire.empty()) return false;
+      const Bytes& d = delimiters_[rng_.below(delimiters_.size())];
+      if (d.empty() || d.size() > wire.size()) return false;
+      std::vector<std::size_t> hits;
+      for (std::size_t i = 0; i + d.size() <= wire.size(); ++i) {
+        if (std::equal(d.begin(), d.end(), wire.begin() + i)) hits.push_back(i);
+      }
+      if (hits.empty()) return false;
+      const std::size_t at = hits[rng_.below(hits.size())];
+      out.wire = wire;
+      out.wire[at + rng_.below(d.size())] ^=
+          static_cast<Byte>(rng_.between(1, 255));
+      return true;
+    }
+    case kDelimPrefix: {
+      // Prefix collision: plant bytes that *start* like a delimiter (the
+      // proper prefix of a multi-byte marker, the marker itself for 1-byte
+      // ones) inside a field region, so incremental matchers see a partial
+      // match against the soft end — the undecided-stop-marker path.
+      if (delimiters_.empty() || wire.empty()) return false;
+      const Bytes& d = delimiters_[rng_.below(delimiters_.size())];
+      if (d.empty()) return false;
+      const std::size_t take =
+          d.size() > 1 ? 1 + rng_.below(d.size() - 1) : d.size();
+      const std::size_t at = rng_.below(wire.size() + 1);
+      out.wire.clear();
+      out.wire.reserve(wire.size() + take);
+      out.wire.insert(out.wire.end(), wire.begin(),
+                      wire.begin() + static_cast<std::ptrdiff_t>(at));
+      out.wire.insert(out.wire.end(), d.begin(),
+                      d.begin() + static_cast<std::ptrdiff_t>(take));
+      out.wire.insert(out.wire.end(),
+                      wire.begin() + static_cast<std::ptrdiff_t>(at),
+                      wire.end());
+      return true;
+    }
+    case kTruncate: {
+      if (wire.empty()) return false;
+      // Half the cuts land exactly on region edges (the interesting
+      // places), half anywhere inside the wire.
+      std::size_t cut;
+      if (rng_.chance(0.5) && seed.edges.size() > 1) {
+        cut = seed.edges[rng_.below(seed.edges.size() - 1)];
+      } else {
+        cut = rng_.below(wire.size());
+      }
+      out.wire.assign(wire.begin(),
+                      wire.begin() + static_cast<std::ptrdiff_t>(cut));
+      return true;
+    }
+    case kSplice: {
+      // Front of one valid frame + tail of another, both cut on edges:
+      // structurally plausible on each side of the joint, inconsistent
+      // across it (holders of frame A delimiting content of frame B).
+      const SeedFrame& other = seeds_[rng_.below(seeds_.size())];
+      if (seed.edges.size() < 2 || other.edges.size() < 2) return false;
+      const std::size_t cut_a =
+          seed.edges[1 + rng_.below(seed.edges.size() - 1)];
+      const std::size_t cut_b =
+          other.edges[rng_.below(other.edges.size() - 1)];
+      out.wire.assign(wire.begin(),
+                      wire.begin() + static_cast<std::ptrdiff_t>(cut_a));
+      out.wire.insert(out.wire.end(),
+                      other.wire.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                      other.wire.end());
+      return true;
+    }
+    case kGarbageAppend: {
+      // Trailing garbage after a complete frame: a prefix parse must stop
+      // at the message end and leave the garbage unconsumed.
+      out.wire = wire;
+      const std::size_t extra = rng_.between(1, 16);
+      for (std::size_t i = 0; i < extra; ++i) out.wire.push_back(rng_.byte());
+      return true;
+    }
+    case kValid: {
+      out.wire = wire;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::vector<Mutant> WireMutator::truncation_sweep(std::size_t which) const {
+  std::vector<Mutant> cuts;
+  const SeedFrame& seed = seeds_[which];
+  for (const std::size_t edge : seed.edges) {
+    if (edge >= seed.wire.size()) continue;
+    Mutant m;
+    m.strategy = "truncate-sweep";
+    m.wire.assign(seed.wire.begin(),
+                  seed.wire.begin() + static_cast<std::ptrdiff_t>(edge));
+    cuts.push_back(std::move(m));
+  }
+  return cuts;
+}
+
+}  // namespace protoobf::fuzz

@@ -1,0 +1,101 @@
+// Structure-aware wire mutation (the grammar-aware half of the fuzz loop).
+//
+// Random byte corruption of an obfuscated wire image almost always dies in
+// the first reference inversion — it exercises one error path over and
+// over. Per the protocol-fuzzing survey (PAPERS.md), the mutations that
+// find parser bugs are the ones aimed *at the structure*: a skewed length
+// holder, a corrupted delimiter, a stop marker that suddenly collides with
+// element data, a frame cut exactly on a region edge, two valid frames
+// spliced mid-field.
+//
+// A WireMutator recovers that structure without parsing anything by hand:
+// it draws random valid messages (fuzz/random_message.hpp), serializes
+// them through the protocol under test, and keeps the ground-truth region
+// accounting the emitter produces — the FieldSpan wire map, the same
+// region ends parse_wire_prefix tracks as soft/hard boundaries on the way
+// back in. Field starts/ends become mutation anchors; the uncovered gaps
+// between terminal spans are exactly the delimiter/stop-marker/pad bytes;
+// the wire graph names the delimiter byte strings worth colliding with.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/emit.hpp"
+#include "runtime/protocol.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf::fuzz {
+
+/// A valid wire image kept as a mutation base, with its recovered
+/// structure: the ground-truth terminal spans and the sorted, unique set
+/// of region edges (0, every span start/end, the wire size).
+struct SeedFrame {
+  Bytes wire;
+  std::vector<FieldSpan> spans;
+  std::vector<std::size_t> edges;
+  std::vector<std::size_t> holder_spans;  // span indices of length/counter
+                                          // holders (length-skew targets)
+};
+
+/// One fuzz input: the mutated bytes plus the strategy that produced them
+/// (static string, for failure reports and corpus notes).
+struct Mutant {
+  Bytes wire;
+  const char* strategy = "";
+};
+
+class WireMutator {
+ public:
+  struct Config {
+    std::size_t seed_frames = 8;   // valid frames kept as mutation bases
+    std::size_t draw_tries = 64;   // random-message draws per kept frame
+    std::uint64_t msg_seed0 = 0x5eed;  // serialization seed of frame 0
+    // Message generator for the seed frames; null uses the generic
+    // fuzz::random_message. Heavily constrained protocols (whose generic
+    // random draws rarely serialize) supply their own.
+    std::function<InstPtr(const Graph&, Rng&)> generator;
+  };
+
+  /// Compiles the mutation bases. Fails when the generator cannot produce
+  /// a single serializable message for the spec (heavily constrained
+  /// protocols; the error names the last serializer rejection).
+  static Expected<WireMutator> create(const ObfuscatedProtocol& protocol,
+                                      std::uint64_t rng_seed, Config config);
+  static Expected<WireMutator> create(const ObfuscatedProtocol& protocol,
+                                      std::uint64_t rng_seed) {
+    return create(protocol, rng_seed, Config());
+  }
+
+  /// One mutant per call; strategies are drawn at random. Occasionally
+  /// returns an unmutated valid frame ("valid" strategy) so the
+  /// must-still-parse oracle stays exercised.
+  Mutant next();
+
+  /// Deterministic truncation sweep: seed frame `which` cut at every
+  /// region edge (message end excluded — that cut is the frame itself).
+  /// Every resulting input must be Truncated or a parsed proper prefix,
+  /// never Malformed: the taxonomy-correctness oracle.
+  std::vector<Mutant> truncation_sweep(std::size_t which) const;
+
+  const std::vector<SeedFrame>& seeds() const { return seeds_; }
+  const std::vector<Bytes>& delimiters() const { return delimiters_; }
+
+ private:
+  WireMutator(const ObfuscatedProtocol& protocol, std::uint64_t rng_seed,
+              Config config);
+
+  bool apply(std::size_t strategy, const SeedFrame& seed, Mutant& out);
+
+  const ObfuscatedProtocol* protocol_;
+  Config config_;
+  Rng rng_;
+  std::vector<SeedFrame> seeds_;
+  std::vector<Bytes> delimiters_;  // delimiter/stop-marker strings of the
+                                   // wire graph, longest first
+};
+
+}  // namespace protoobf::fuzz

@@ -1,0 +1,85 @@
+#include "fuzz/random_message.hpp"
+
+namespace protoobf::fuzz {
+
+std::unordered_set<NodeId> derived_nodes(const Graph& g) {
+  std::unordered_set<NodeId> derived;
+  for (const NodeId id : g.dfs_order()) {
+    const Node& n = g.node(id);
+    if (n.ref != kNoNode) derived.insert(n.ref);
+  }
+  return derived;
+}
+
+InstPtr random_instance(const Graph& g, NodeId id, Rng& rng,
+                        const std::unordered_set<NodeId>& derived,
+                        std::unordered_map<NodeId, const Inst*>& built) {
+  const Node& n = g.node(id);
+  InstPtr inst;
+  switch (n.type) {
+    case NodeType::Terminal: {
+      inst = ast::deferred(id);
+      if (!n.has_const && derived.count(id) == 0) {
+        const std::size_t size =
+            n.boundary == BoundaryKind::Fixed
+                ? n.fixed_size
+                : static_cast<std::size_t>(rng.between(1, 10));
+        Bytes value(size);
+        for (Byte& b : value) {
+          b = n.encoding == Encoding::AsciiDec
+                  ? static_cast<Byte>(rng.between('0', '9'))
+                  : static_cast<Byte>(rng.between('a', 'z'));
+        }
+        inst->value = std::move(value);
+      }
+      break;
+    }
+    case NodeType::Sequence: {
+      inst = std::make_unique<Inst>(id);
+      for (const NodeId child : n.children) {
+        inst->children.push_back(
+            random_instance(g, child, rng, derived, built));
+      }
+      break;
+    }
+    case NodeType::Optional: {
+      bool present = n.condition.kind == Condition::Kind::Always;
+      if (!present) {
+        const auto ref = built.find(n.condition.ref);
+        if (ref != built.end()) {
+          const Node& holder = g.node(n.condition.ref);
+          present = n.condition.evaluate(
+              holder.has_const ? holder.const_value : ref->second->value);
+        }
+      }
+      if (present) {
+        inst = std::make_unique<Inst>(id);
+        inst->children.push_back(
+            random_instance(g, n.children[0], rng, derived, built));
+      } else {
+        inst = ast::absent(id);
+      }
+      break;
+    }
+    case NodeType::Repetition:
+    case NodeType::Tabular: {
+      inst = std::make_unique<Inst>(id);
+      const std::uint64_t count = rng.between(1, 2);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        inst->children.push_back(
+            random_instance(g, n.children[0], rng, derived, built));
+      }
+      break;
+    }
+  }
+  built[id] = inst.get();
+  return inst;
+}
+
+InstPtr random_message(const Graph& g, Rng& rng) {
+  const std::unordered_set<NodeId> derived = derived_nodes(g);
+  std::unordered_map<NodeId, const Inst*> built;
+  return random_instance(g, g.root(), rng, derived, built);
+}
+
+}  // namespace protoobf::fuzz

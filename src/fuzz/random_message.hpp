@@ -1,0 +1,38 @@
+// Random valid logical messages for arbitrary specifications.
+//
+// The structure-aware fuzzer (src/fuzz/mutator.hpp) and the CLI's --emit /
+// fuzz modes all need the same primitive: given any message format graph,
+// draw a logical message the serializer will accept, without per-protocol
+// builder code. The draw is best-effort — specs can constrain values in
+// ways a blind generator cannot see (a delimiter occurring inside a drawn
+// payload, say) — so callers retry rejected draws; letters/digits keep the
+// common delimiter/stop-marker collisions rare.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ast/ast.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf::fuzz {
+
+/// Nodes referenced by some Length/Counter boundary: the serializer derives
+/// their values, so a generator must leave them empty.
+std::unordered_set<NodeId> derived_nodes(const Graph& g);
+
+/// Random instance of the subtree rooted at `id`: letters/digits in user
+/// terminals, derived and const fields left for the serializer, Optional
+/// presence chosen consistently with its condition (conditions reference
+/// fields that parse earlier, so the referenced value is already drawn when
+/// the Optional is reached). `built` maps node ids to the instances drawn
+/// so far; pass a fresh map per message.
+InstPtr random_instance(const Graph& g, NodeId id, Rng& rng,
+                        const std::unordered_set<NodeId>& derived,
+                        std::unordered_map<NodeId, const Inst*>& built);
+
+/// Whole-message convenience wrapper over random_instance().
+InstPtr random_message(const Graph& g, Rng& rng);
+
+}  // namespace protoobf::fuzz

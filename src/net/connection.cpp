@@ -69,6 +69,7 @@ Status Connection::send(const Inst& message, std::uint64_t msg_seed) {
   }
   auto framed = channel_.send(message, msg_seed);
   if (!framed) return Unexpected(framed.error());
+  if (config_.capture != nullptr) config_.capture->record_out(*framed);
 
   // Fast path: nothing queued, so the kernel may take the frame directly.
   std::size_t off = 0;
@@ -164,6 +165,10 @@ void Connection::handle_readable() {
     if (n > 0) {
       stats_.bytes_in += static_cast<std::uint64_t>(n);
       touch();
+      if (config_.capture != nullptr) {
+        config_.capture->record_in(
+            BytesView(read_buf_).first(static_cast<std::size_t>(n)));
+      }
       channel_.on_bytes(BytesView(read_buf_).first(static_cast<std::size_t>(n)));
       pump_receive();
       if (state_ != State::Open) return;

@@ -32,6 +32,7 @@
 #include <functional>
 #include <memory>
 
+#include "net/capture.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
 #include "session/session.hpp"
@@ -53,6 +54,10 @@ class Connection {
     // 0 = wait indefinitely.
     std::chrono::milliseconds drain_timeout{5000};
     int send_buffer = 0;  // SO_SNDBUF override; 0 = kernel default
+    // Optional wire tap (net/capture.hpp): outbound frames and inbound
+    // read() slices are recorded exactly as they hit the socket. Must
+    // outlive the connection; null = no capture.
+    TrafficCapture* capture = nullptr;
   };
 
   struct Stats {

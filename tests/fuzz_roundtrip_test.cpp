@@ -3,9 +3,14 @@
 // + repetition, deep optionals) across a wide seed sweep. This is where
 // interacting transformations (a split length holder inside a mirrored,
 // boundary-changed region...) get hammered.
+//
+// Message randomness is salted with PROTOOBF_FUZZ_SEED (default 0): CI can
+// sweep fresh message populations, and every failure logs the salt needed
+// to replay the exact run.
 #include <gtest/gtest.h>
 
 #include "core/protoobf.hpp"
+#include "fuzz_support.hpp"
 #include "util/rng.hpp"
 
 namespace protoobf {
@@ -84,6 +89,8 @@ Message random_message(const Graph& g, Rng& rng) {
 class FuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzRoundTrip, TortureSpecSurvivesAllLevels) {
+  const std::uint64_t salt = fuzztest::fuzz_seed(0);
+  SCOPED_TRACE(fuzztest::seed_note(salt));
   auto graph = Framework::load_spec(kTortureSpec);
   ASSERT_TRUE(graph.ok()) << graph.error().message;
 
@@ -95,7 +102,7 @@ TEST_P(FuzzRoundTrip, TortureSpecSurvivesAllLevels) {
     ASSERT_TRUE(protocol.ok())
         << "o=" << per_node << ": " << protocol.error().message;
 
-    Rng rng(GetParam() * 1000003 + per_node);
+    Rng rng(GetParam() * 1000003 + per_node + salt);
     for (int i = 0; i < 8; ++i) {
       Message msg = random_message(*graph, rng);
       InstPtr canonical = ast::clone(msg.root());
@@ -130,6 +137,8 @@ INSTANTIATE_TEST_SUITE_P(
 class CorruptionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CorruptionFuzz, SingleByteCorruptionNeverCrashes) {
+  const std::uint64_t salt = fuzztest::fuzz_seed(0);
+  SCOPED_TRACE(fuzztest::seed_note(salt));
   auto graph = Framework::load_spec(kTortureSpec);
   ASSERT_TRUE(graph.ok());
   ObfuscationConfig cfg;
@@ -137,7 +146,7 @@ TEST_P(CorruptionFuzz, SingleByteCorruptionNeverCrashes) {
   cfg.per_node = 2;
   auto protocol = Framework::generate(*graph, cfg).value();
 
-  Rng rng(GetParam() ^ 0x1234);
+  Rng rng((GetParam() ^ 0x1234) + salt);
   Message msg = random_message(*graph, rng);
   auto wire = protocol.serialize(msg.root(), 9);
   ASSERT_TRUE(wire.ok());

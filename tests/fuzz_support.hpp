@@ -1,0 +1,137 @@
+// Shared plumbing for the adversarial test family (fuzz_wire_test,
+// corpus_replay_test, hostile_memory_test, fuzz_roundtrip_test):
+//
+//   * environment knobs — every randomized suite logs the RNG seed it ran
+//     with and honors PROTOOBF_FUZZ_SEED, so a CI failure line is enough
+//     to reproduce the exact campaign locally; iteration counts scale via
+//     PROTOOBF_FUZZ_ITERS / PROTOOBF_FUZZ_REPLAYS;
+//   * the spec registry — the protocols the fuzzer runs against, *named*,
+//     because corpus entries refer to them by name: a checked-in crasher
+//     is (spec name, compile seed, per_node, wire bytes), and the replay
+//     test must rebuild the identical protocol years later.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/protoobf.hpp"
+#include "protocols/modbus.hpp"
+
+namespace protoobf::fuzztest {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 0);
+}
+
+/// The campaign seed: PROTOOBF_FUZZ_SEED when set, else `fallback`.
+inline std::uint64_t fuzz_seed(std::uint64_t fallback) {
+  return env_u64("PROTOOBF_FUZZ_SEED", fallback);
+}
+
+/// Goes into every fuzz assertion message: the one line needed to rerun
+/// the failing campaign.
+inline std::string seed_note(std::uint64_t seed) {
+  return "reproduce with PROTOOBF_FUZZ_SEED=" + std::to_string(seed);
+}
+
+// --- spec registry ----------------------------------------------------------
+
+struct SpecEntry {
+  std::string_view name;
+  std::string_view spec;
+  // Default obfuscation depth for campaign arms built from this entry.
+  // (Corpus entries carry their own per_node and override this.)
+  int per_node = 2;
+};
+
+/// Length-prefixed demo format (stream-safe; the net tests' protocol).
+constexpr std::string_view kNetDemoSpec = R"(
+protocol NetDemo
+msg: seq end {
+  tag: terminal fixed(2)
+  blen: terminal fixed(2)
+  body: terminal length(blen)
+}
+)";
+
+/// Delimiter/stop-marker heavy format (stream-safe): repeated
+/// delimiter-bounded records plus a trailing delimited field — the spec
+/// shape whose incremental parse rides undecided-stop-marker suspensions.
+constexpr std::string_view kDelimSpec = R"(
+protocol DelimChat
+m: seq end {
+  kind: terminal fixed(1)
+  items: repeat delimited("$") {
+    item: seq delimited("$") {
+      ilen: terminal fixed(1)
+      ival: terminal length(ilen)
+    }
+  }
+  note: terminal delimited("\r\n") ascii
+}
+)";
+
+/// Kitchen-sink format from fuzz_roundtrip_test (NOT stream-safe: the
+/// trailing `end` terminal consumes to end-of-input, so prefix parsing is
+/// rejected and the fuzzer runs it in whole-message mode).
+constexpr std::string_view kTortureSpec = R"(
+protocol Torture
+m: seq end {
+  magic: terminal fixed(2) const(0xface)
+  flags: terminal fixed(1)
+  title: terminal delimited("|") ascii
+  records: repeat delimited("$") {
+    record: seq delimited("$") {
+      rtag: terminal fixed(1)
+      rlen: terminal fixed(1)
+      rval: terminal length(rlen)
+    }
+  }
+  n: terminal fixed(1)
+  pairs: tabular(n) {
+    pair: seq {
+      pk: terminal fixed(1)
+      plen: terminal fixed(1)
+      pv: terminal length(plen)
+    }
+  }
+  ext: optional (flags nonzero) {
+    ext_body: seq {
+      elen: terminal delimited(";") ascii
+      edata: terminal length(elen)
+    }
+  }
+  blob_len: terminal fixed(2)
+  blob: terminal length(blob_len)
+  tail: terminal end
+}
+)";
+
+/// Every spec the wire fuzzer and the corpus replay know by name.
+inline std::vector<SpecEntry> spec_registry() {
+  return {
+      {"netdemo", kNetDemoSpec},
+      {"delimchat", kDelimSpec},
+      // The obfuscator replaces delimiter boundaries with length encodings,
+      // so only the identity compilation (per_node 0) leaves real delimiter
+      // bytes on the wire for the delim-corrupt / delim-prefix mutants and
+      // the undecided-stop-marker resume path to chew on.
+      {"delimchat-identity", kDelimSpec, 0},
+      {"torture", kTortureSpec},
+      {"modbus-request", modbus::request_spec()},
+  };
+}
+
+inline const SpecEntry* find_spec(std::string_view name) {
+  static const std::vector<SpecEntry> registry = spec_registry();
+  for (const SpecEntry& entry : registry) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace protoobf::fuzztest

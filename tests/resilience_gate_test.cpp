@@ -1,0 +1,281 @@
+// Online DPI-resilience gate (ISSUE 6 tentpole, part 2).
+//
+// bench/resilience_pre.cpp measures how the automated PRE toolchain
+// degrades with obfuscation level — but as a bench, nothing fails when a
+// regression quietly makes obfuscated traffic recognizable again. This
+// test turns the claim into a gate, and upgrades the evidence from
+// serializer output to *real wire bytes*: a TrafficCapture taps the client
+// Connection of a loopback echo conversation, the captured inbound stream
+// is de-framed the way any on-path observer would have to, and all four
+// pre instruments run over the recovered payloads.
+//
+// The gate, per arm:
+//   plain Modbus (per_node = 0)  — the DPI engine must recognize the
+//     traffic, alignment must see near-identical same-type messages, and
+//     field inference must recover a usable fraction of true boundaries
+//     (the §VII-D "under half an hour" side of the anecdote);
+//   obfuscated Modbus (per_node = 2) — the same instruments over the same
+//     logical messages must come up empty: zero DPI hits, same-type
+//     similarity indistinguishable from noise, boundary F1 collapsed (the
+//     "nothing relevant after two hours" side).
+//
+// Thresholds carry wide margins around measured values (see the comment at
+// each constant) so the gate trips on regressions, not on noise.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/protoobf.hpp"
+#include "net/capture.hpp"
+#include "net/connector.hpp"
+#include "net/server.hpp"
+#include "pre/alignment.hpp"
+#include "pre/clustering.hpp"
+#include "pre/dpi.hpp"
+#include "pre/field_inference.hpp"
+#include "protocols/modbus.hpp"
+#include "session/protocol_cache.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf {
+namespace {
+
+using namespace protoobf::net;
+
+constexpr std::size_t kMessages = 32;
+
+bool wait_for(const std::function<bool()>& cond,
+              std::chrono::milliseconds timeout =
+                  std::chrono::milliseconds(10000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+/// What the instruments digest: one captured echo payload per message,
+/// with the ground truth only the framework can know.
+struct CapturedTrace {
+  std::vector<Bytes> wires;
+  std::vector<int> labels;  // true type = Modbus function code
+  std::vector<std::vector<std::size_t>> truth_boundaries;
+};
+
+/// Runs a loopback echo conversation of kMessages random Modbus requests
+/// over `protocol`, tapping the client connection, and returns the
+/// de-framed inbound capture. The echo seed is deterministic (messages_in:
+/// 1, 2, 3, ...), so ground-truth spans come from re-serializing locally
+/// with the same seeds — and byte identity between that and the capture is
+/// asserted, proving the instruments see real socket traffic.
+CapturedTrace capture_echo_trace(
+    std::shared_ptr<const ObfuscatedProtocol> protocol, std::uint64_t rng_seed) {
+  const Graph& g = protocol->original();
+
+  auto server = std::make_unique<Server>(
+      protocol, length_prefix_framer_factory(), Server::Config{});
+  server->on_accept([](Connection& conn) {
+    conn.on_message([](Connection& c, Expected<InstPtr> msg) {
+      if (!msg.ok()) return;
+      (void)c.send(**msg, c.stats().messages_in);
+    });
+  });
+  EXPECT_TRUE(server->start().ok());
+
+  Rng rng(rng_seed);
+  std::vector<Message> sent;
+  for (std::size_t i = 0; i < kMessages; ++i) {
+    sent.push_back(modbus::random_request(g, rng));
+    EXPECT_TRUE(protocol->canonicalize(sent.back().root()).ok());
+  }
+
+  TrafficCapture capture;
+  Connection::Config conn_cfg;
+  conn_cfg.capture = &capture;
+  EventLoop loop;
+  auto conn = Connector::dial(loop, {"127.0.0.1", server->port()}, protocol,
+                              std::make_unique<LengthPrefixFramer>(),
+                              conn_cfg);
+  EXPECT_TRUE(conn.ok()) << conn.error().message;
+
+  std::atomic<std::size_t> echoed{0};
+  (*conn)->on_message([&](Connection&, Expected<InstPtr> msg) {
+    EXPECT_TRUE(msg.ok()) << msg.error().message;
+    echoed.fetch_add(1);
+  });
+  EXPECT_TRUE((*conn)->open().ok());
+
+  std::thread client_thread([&] { loop.run(); });
+  Connection* raw = conn->get();
+  for (std::size_t i = 0; i < kMessages; ++i) {
+    loop.post([raw, &sent, i] {
+      EXPECT_TRUE(raw->send(sent[i].root(), 500 + i).ok());
+    });
+  }
+  EXPECT_TRUE(wait_for([&] { return echoed.load() == kMessages; }))
+      << "echoed " << echoed.load() << "/" << kMessages;
+  loop.post([raw] { raw->close(); });
+  loop.stop();
+  client_thread.join();
+  server->stop();
+
+  // De-frame the inbound capture the way an observer would: a fresh framer
+  // over the concatenated read() slices.
+  LengthPrefixFramer deframer;
+  auto payloads = capture.deframe_in(deframer);
+  EXPECT_TRUE(payloads.ok()) << payloads.error().message;
+
+  CapturedTrace trace;
+  if (!payloads.ok()) return trace;
+  EXPECT_EQ(payloads->size(), kMessages);
+
+  for (std::size_t i = 0; i < payloads->size(); ++i) {
+    // Ground truth: the echo serialized message i with seed i + 1.
+    std::vector<FieldSpan> spans;
+    auto expected = protocol->serialize(sent[i].root(), i + 1, &spans);
+    EXPECT_TRUE(expected.ok()) << expected.error().message;
+    EXPECT_EQ((*payloads)[i], *expected)
+        << "captured echo payload " << i
+        << " differs from the local re-serialization";
+
+    const Inst* fn = ast::find_path(g, sent[i].root(), "adu.tail.fn");
+    trace.labels.push_back(
+        fn != nullptr && !fn->value.empty() ? fn->value[0] : 0);
+    std::vector<std::size_t> bounds;
+    for (const FieldSpan& span : spans) bounds.push_back(span.offset);
+    trace.truth_boundaries.push_back(std::move(bounds));
+    trace.wires.push_back(std::move((*payloads)[i]));
+  }
+  return trace;
+}
+
+/// Instrument summary over one captured trace (the numbers the gate is
+/// expressed in).
+struct Assessment {
+  double dpi_rate = 0;         // fraction classified as a known protocol
+  double type_similarity = 0;  // avg alignment similarity within true types
+  pre::ClusterQuality clusters;
+  double boundary_f1 = 0;      // size-weighted, best clustering threshold
+};
+
+Assessment assess(const CapturedTrace& trace) {
+  Assessment a;
+  if (trace.wires.empty()) return a;
+
+  int dpi_hits = 0;
+  for (const Bytes& wire : trace.wires) {
+    if (pre::classify(wire) != pre::Protocol::Unknown) ++dpi_hits;
+  }
+  a.dpi_rate = static_cast<double>(dpi_hits) /
+               static_cast<double>(trace.wires.size());
+
+  double sim_total = 0;
+  int sim_pairs = 0;
+  for (std::size_t i = 0; i < trace.wires.size(); ++i) {
+    for (std::size_t j = i + 1; j < trace.wires.size() && sim_pairs < 200;
+         ++j) {
+      if (trace.labels[i] != trace.labels[j]) continue;
+      sim_total += pre::similarity(trace.wires[i], trace.wires[j]);
+      ++sim_pairs;
+    }
+  }
+  a.type_similarity = sim_pairs == 0 ? 0.0 : sim_total / sim_pairs;
+
+  // Give the attacker the analyst's advantage: sweep the clustering
+  // threshold and keep the best-balanced result (bench methodology).
+  std::vector<std::vector<std::size_t>> clusters;
+  double best_score = -1.0;
+  for (double threshold : {0.25, 0.35, 0.45, 0.55, 0.65}) {
+    auto candidate = pre::cluster_messages(trace.wires, threshold);
+    const auto quality = pre::score_clustering(candidate, trace.labels);
+    const double balance =
+        static_cast<double>(std::min(quality.clusters, quality.true_types)) /
+        static_cast<double>(std::max<std::size_t>(
+            1, std::max(quality.clusters, quality.true_types)));
+    const double score = quality.purity * balance;
+    if (score > best_score) {
+      best_score = score;
+      clusters = std::move(candidate);
+    }
+  }
+  a.clusters = pre::score_clustering(clusters, trace.labels);
+
+  double f1_sum = 0;
+  std::size_t scored = 0;
+  for (const auto& cluster : clusters) {
+    std::vector<Bytes> members;
+    for (std::size_t idx : cluster) members.push_back(trace.wires[idx]);
+    const pre::InferredFormat format = pre::infer_format(members);
+    const auto score = pre::score_boundaries(
+        format.boundaries, trace.truth_boundaries[cluster.front()], 1);
+    f1_sum += score.f1 * static_cast<double>(cluster.size());
+    scored += cluster.size();
+  }
+  a.boundary_f1 = scored == 0 ? 0.0 : f1_sum / static_cast<double>(scored);
+  return a;
+}
+
+std::shared_ptr<const ObfuscatedProtocol> compile_modbus(int per_node) {
+  ObfuscationConfig cfg;
+  cfg.seed = 90125;
+  cfg.per_node = per_node;
+  ProtocolCache cache;
+  auto entry = cache.get_or_compile(modbus::request_spec(), cfg);
+  EXPECT_TRUE(entry.ok()) << entry.error().message;
+  return entry.ok() ? *entry : nullptr;
+}
+
+TEST(ResilienceGate, PlainModbusOverLoopbackIsFullyAnalyzable) {
+  auto protocol = compile_modbus(/*per_node=*/0);
+  ASSERT_NE(protocol, nullptr);
+  const CapturedTrace trace = capture_echo_trace(protocol, 0xB0B);
+  ASSERT_EQ(trace.wires.size(), kMessages);
+  const Assessment a = assess(trace);
+
+  ::testing::Test::RecordProperty("dpi_rate", std::to_string(a.dpi_rate));
+  std::printf("[plain]      dpi=%.2f sim=%.2f purity=%.2f f1=%.2f\n",
+              a.dpi_rate, a.type_similarity, a.clusters.purity,
+              a.boundary_f1);
+
+  // Identity compilation is the control arm: the instruments must work.
+  // Measured (deterministic trace): dpi 1.00, sim 0.65, purity 1.00,
+  // F1 0.70 — thresholds sit roughly midway to the obfuscated arm's
+  // values so either side drifting toward the other trips the gate.
+  EXPECT_GE(a.dpi_rate, 0.99) << "DPI no longer recognizes plain Modbus";
+  EXPECT_GE(a.type_similarity, 0.55);
+  EXPECT_GE(a.clusters.purity, 0.90);
+  EXPECT_GE(a.boundary_f1, 0.60);
+}
+
+TEST(ResilienceGate, ObfuscatedModbusOverLoopbackDefeatsTheInstruments) {
+  auto protocol = compile_modbus(/*per_node=*/2);
+  ASSERT_NE(protocol, nullptr);
+  const CapturedTrace trace = capture_echo_trace(protocol, 0xB0B);
+  ASSERT_EQ(trace.wires.size(), kMessages);
+  const Assessment a = assess(trace);
+
+  std::printf("[obfuscated] dpi=%.2f sim=%.2f purity=%.2f f1=%.2f\n",
+              a.dpi_rate, a.type_similarity, a.clusters.purity,
+              a.boundary_f1);
+
+  // The gate. Measured at per_node=2 (deterministic trace): dpi 0.00,
+  // sim 0.36, F1 0.43 — against the plain arm's 1.00 / 0.65 / 0.70. DPI
+  // is the hard line (any hit is a leak); the statistical instruments get
+  // a margin above their measured values but below the plain arm's floor.
+  EXPECT_EQ(a.dpi_rate, 0.0)
+      << "DPI signatures match obfuscated wire traffic";
+  EXPECT_LT(a.type_similarity, 0.50)
+      << "same-type obfuscated messages align too well";
+  EXPECT_LT(a.boundary_f1, 0.55)
+      << "field inference recovers obfuscated boundaries";
+}
+
+}  // namespace
+}  // namespace protoobf

@@ -47,8 +47,12 @@
 
 #include "codegen/generator.hpp"
 #include "core/protoobf.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/random_message.hpp"
+#include "fuzz/runner.hpp"
 #include "net/connector.hpp"
 #include "net/server.hpp"
+#include "runtime/parse.hpp"
 #include "stream/channel.hpp"
 
 namespace {
@@ -59,10 +63,12 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: protoobf <validate|graph|obfuscate|codegen|stream|serve|"
-      "connect> <spec-file> [--seed N] [--per-node K] [-o FILE]\n"
+      "connect|fuzz> <spec-file> [--seed N] [--per-node K] [-o FILE]\n"
       "       stream extras: [--emit COUNT] [--expect COUNT] "
       "[--msg-seed N] [--frame-width W] "
       "[--obf-frame SEED:PER_NODE] [--dump]\n"
+      "       fuzz extras: [--iters N] [--chunked] [--whole] "
+      "[--msg-seed N]  (env: PROTOOBF_FUZZ_SEED overrides --msg-seed)\n"
       "       serve extras: [--host H] [--port P] [--shards N] "
       "[--round-robin] [--idle-ms N]\n"
       "       connect extras: [--host H] [--port P] [--emit COUNT] "
@@ -92,6 +98,10 @@ struct Options {
   bool round_robin = false;
   std::size_t idle_ms = 0;
   std::size_t retry_ms = 2000;
+  // fuzz
+  std::size_t iters = 1000;
+  bool chunked = false;  // force the chunk-split resume replay
+  bool whole = false;    // force whole-message parses (no prefix replay)
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -143,6 +153,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.idle_ms = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
     } else if (arg == "--retry-ms" && i + 1 < argc) {
       opts.retry_ms = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--iters" && i + 1 < argc) {
+      opts.iters = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--chunked") {
+      opts.chunked = true;
+    } else if (arg == "--whole") {
+      opts.whole = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -288,86 +304,6 @@ Expected<CompiledFraming> compile_frame_protocol(const Options& opts) {
   return CompiledFraming{std::move(shared), std::move(*framer)};
 }
 
-/// Best-effort random logical message for --emit: letters/digits in user
-/// terminals, derived fields left for the serializer, optional presence
-/// chosen consistently with its condition (conditions reference fields that
-/// parse earlier, so the referenced value is already drawn when the
-/// Optional is reached). Specs with exotic constraints may still reject a
-/// draw; those are reported and skipped.
-InstPtr random_instance(const Graph& g, NodeId id, Rng& rng,
-                        const std::unordered_set<NodeId>& derived,
-                        std::unordered_map<NodeId, const Inst*>& built) {
-  const Node& n = g.node(id);
-  InstPtr inst;
-  switch (n.type) {
-    case NodeType::Terminal: {
-      inst = ast::deferred(id);
-      if (!n.has_const && derived.count(id) == 0) {
-        const std::size_t size =
-            n.boundary == BoundaryKind::Fixed
-                ? n.fixed_size
-                : static_cast<std::size_t>(rng.between(1, 10));
-        Bytes value(size);
-        for (Byte& b : value) {
-          b = n.encoding == Encoding::AsciiDec
-                  ? static_cast<Byte>(rng.between('0', '9'))
-                  : static_cast<Byte>(rng.between('a', 'z'));
-        }
-        inst->value = std::move(value);
-      }
-      break;
-    }
-    case NodeType::Sequence: {
-      inst = std::make_unique<Inst>(id);
-      for (const NodeId child : n.children) {
-        inst->children.push_back(
-            random_instance(g, child, rng, derived, built));
-      }
-      break;
-    }
-    case NodeType::Optional: {
-      bool present = n.condition.kind == Condition::Kind::Always;
-      if (!present) {
-        const auto ref = built.find(n.condition.ref);
-        if (ref != built.end()) {
-          const Node& holder = g.node(n.condition.ref);
-          present = n.condition.evaluate(
-              holder.has_const ? holder.const_value : ref->second->value);
-        }
-      }
-      if (present) {
-        inst = std::make_unique<Inst>(id);
-        inst->children.push_back(
-            random_instance(g, n.children[0], rng, derived, built));
-      } else {
-        inst = ast::absent(id);
-      }
-      break;
-    }
-    case NodeType::Repetition:
-    case NodeType::Tabular: {
-      inst = std::make_unique<Inst>(id);
-      const std::uint64_t count = rng.between(1, 2);
-      for (std::uint64_t k = 0; k < count; ++k) {
-        inst->children.push_back(
-            random_instance(g, n.children[0], rng, derived, built));
-      }
-      break;
-    }
-  }
-  built[id] = inst.get();
-  return inst;
-}
-
-std::unordered_set<NodeId> derived_nodes(const Graph& g) {
-  std::unordered_set<NodeId> derived;
-  for (const NodeId id : g.dfs_order()) {
-    const Node& n = g.node(id);
-    if (n.ref != kNoNode) derived.insert(n.ref);
-  }
-  return derived;
-}
-
 int cmd_stream(const Options& opts) {
   auto graph = load(opts.spec_path);
   if (!graph.ok()) {
@@ -407,14 +343,11 @@ int cmd_stream(const Options& opts) {
 
   if (opts.emit > 0) {
     // Emit mode: framed random messages to stdout, summary to stderr.
-    const auto derived = derived_nodes(*graph);
     Rng rng(opts.msg_seed);
     std::size_t sent = 0;
     std::size_t bytes = 0;
     for (std::size_t i = 0; i < opts.emit; ++i) {
-      std::unordered_map<NodeId, const Inst*> built;
-      InstPtr msg =
-          random_instance(*graph, graph->root(), rng, derived, built);
+      InstPtr msg = fuzz::random_message(*graph, rng);
       auto framed = channel.send(*msg, opts.msg_seed + i);
       if (!framed.ok()) {
         std::fprintf(stderr, "message %zu rejected: %s\n", i,
@@ -661,12 +594,10 @@ int cmd_connect(const Options& opts) {
 
   // Emit the batch up front (the loop is not running yet, so sends are
   // race-free; overflow queues drain through EPOLLOUT below).
-  const auto derived = derived_nodes(graph);
   Rng rng(opts.msg_seed);
   std::size_t sent = 0;
   for (std::size_t i = 0; i < emit; ++i) {
-    std::unordered_map<NodeId, const Inst*> built;
-    InstPtr msg = random_instance(graph, graph.root(), rng, derived, built);
+    InstPtr msg = fuzz::random_message(graph, rng);
     if (Status s = conn->send(*msg, opts.msg_seed + i); !s) {
       std::fprintf(stderr, "message %zu rejected: %s\n", i,
                    s.error().message.c_str());
@@ -698,6 +629,84 @@ int cmd_connect(const Options& opts) {
   return echoed == sent && sent > 0 ? 0 : 1;
 }
 
+int cmd_fuzz(const Options& opts) {
+  auto graph = load(opts.spec_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.error().message.c_str());
+    return 1;
+  }
+  ObfuscationConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.per_node = opts.per_node;
+  auto compiled = Framework::generate(*graph, cfg);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "error: %s\n", compiled.error().message.c_str());
+    return 1;
+  }
+
+  // Campaign RNG: --msg-seed, overridable by PROTOOBF_FUZZ_SEED (the same
+  // env the test suites honor, so a CI failure line reproduces here too).
+  std::uint64_t rng_seed = opts.msg_seed;
+  if (const char* env = std::getenv("PROTOOBF_FUZZ_SEED");
+      env != nullptr && *env != '\0') {
+    rng_seed = std::strtoull(env, nullptr, 0);
+  }
+
+  auto mutator = fuzz::WireMutator::create(*compiled, rng_seed);
+  if (!mutator.ok()) {
+    std::fprintf(stderr, "error: %s\n", mutator.error().message.c_str());
+    return 1;
+  }
+
+  const bool prefix_capable = stream_safe(compiled->wire_graph()).ok();
+  if (opts.chunked && !prefix_capable) {
+    std::fprintf(stderr,
+                 "error: --chunked needs a stream-safe wire format and "
+                 "this compilation is not (try --whole)\n");
+    return 1;
+  }
+  fuzz::FuzzRunner::Config run_cfg;
+  run_cfg.whole_message = opts.whole || !prefix_capable;
+  fuzz::FuzzRunner runner(*compiled, run_cfg);
+
+  Rng chunks(rng_seed ^ 0xC4A7);
+  for (std::size_t i = 0; i < opts.iters; ++i) {
+    const fuzz::Mutant m = mutator->next();
+    const std::string violation = runner.check(m.wire, chunks);
+    if (!violation.empty()) {
+      std::fprintf(stderr,
+                   "VIOLATION at iter %zu (strategy %s): %s\n%s"
+                   "reproduce with PROTOOBF_FUZZ_SEED=%llu\n",
+                   i, m.strategy, violation.c_str(),
+                   hexdump(m.wire).c_str(),
+                   static_cast<unsigned long long>(rng_seed));
+      return 1;
+    }
+  }
+
+  const fuzz::FuzzRunner::Totals& t = runner.totals();
+  std::printf(
+      "fuzzed %llu inputs (%s): %llu parsed, %llu truncated, %llu "
+      "malformed, 0 violations\n",
+      static_cast<unsigned long long>(t.inputs),
+      run_cfg.whole_message ? "whole-message" : "chunk-split resumed",
+      static_cast<unsigned long long>(t.parsed),
+      static_cast<unsigned long long>(t.truncated),
+      static_cast<unsigned long long>(t.malformed));
+  if (!run_cfg.whole_message) {
+    std::printf("resume: %llu attempts, %llu resumed, %llu suspensions\n",
+                static_cast<unsigned long long>(runner.resume_stats().attempts),
+                static_cast<unsigned long long>(runner.resume_stats().resumed),
+                static_cast<unsigned long long>(
+                    runner.resume_stats().suspensions));
+  }
+  std::printf("pool: %zu slabs, %zu live (rng seed %llu)\n",
+              runner.arena().nodes().stats().slabs,
+              runner.arena().nodes().stats().live,
+              static_cast<unsigned long long>(rng_seed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -710,5 +719,6 @@ int main(int argc, char** argv) {
   if (opts.command == "stream") return cmd_stream(opts);
   if (opts.command == "serve") return cmd_serve(opts);
   if (opts.command == "connect") return cmd_connect(opts);
+  if (opts.command == "fuzz") return cmd_fuzz(opts);
   return usage();
 }
