@@ -16,15 +16,21 @@
 // Defaults keep a full run under ~5 s on one core for the CI smoke test.
 // Every run also writes a machine-readable BENCH_throughput.json so the
 // perf trajectory across PRs can be archived from CI.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "harness.hpp"
+#include "native/compiler.hpp"
+#include "native/protocol.hpp"
 #include "session/protocol_cache.hpp"
 #include "session/session.hpp"
 
@@ -83,6 +89,38 @@ int main(int argc, char** argv) {
   }
   const ObfuscatedProtocol& protocol = **entry;
 
+  // Native rows: the compiled generated unit, built cold into a
+  // run-private dir so native_compile_ms reports a true cold compile (the
+  // .so stays mapped after the dir is removed). Skipped — with the rows
+  // absent from stdout and zeroed in the JSON — when this environment
+  // cannot build/load units; CI's guard requires them, so a toolchain
+  // regression there fails loudly instead of vacuously passing.
+  std::shared_ptr<const native::NativeProtocol> native_backend;
+  double native_compile_ms = 0.0;
+  if (native::NativeCompiler::toolchain_available()) {
+    native::NativeCompiler::Options nopt;
+    nopt.cache_dir =
+        "/tmp/protoobf-bench-native-" + std::to_string(::getpid());
+    native::NativeCompiler compiler(nopt);
+    auto built = compiler.compile(
+        protocol, native::NativeCompiler::cache_file_base(
+                      protocol, ProtocolCache::hash_graph(g), config.seed,
+                      static_cast<std::size_t>(config.per_node)));
+    if (built) {
+      native_compile_ms = built->compile_ms;
+      native_backend =
+          std::make_shared<const native::NativeProtocol>(protocol, built->unit);
+    } else {
+      std::fprintf(stderr, "native rows skipped (build failed): %s\n",
+                   built.error().message.c_str());
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(nopt.cache_dir, ec);
+  } else {
+    std::fprintf(stderr, "native rows skipped (no toolchain): %s\n",
+                 native::NativeCompiler::toolchain_status().c_str());
+  }
+
   Rng rng(7);
   std::vector<Message> msgs;
   msgs.reserve(messages);
@@ -125,8 +163,8 @@ int main(int argc, char** argv) {
   // perturbation evenly instead of biasing whichever path happened to run
   // during it.
   constexpr int kTrials = 5;
-  Rate ser_single, ser_arena, ser_batched;
-  Rate parse_single, parse_arena, parse_batched;
+  Rate ser_single, ser_arena, ser_batched, ser_native;
+  Rate parse_single, parse_arena, parse_batched, parse_native;
   std::vector<std::pair<Rate*, std::function<void()>>> paths;
 
   // Single vs batched is apples-to-apples: the fixture is "N independent
@@ -180,6 +218,34 @@ int main(int argc, char** argv) {
     }
   });
 
+  // The native rows mirror the single-message baselines exactly — same
+  // allocation pattern, same collected-results fixture — with only the
+  // wire-syntax half routed through the compiled unit.
+  if (native_backend != nullptr) {
+    paths.emplace_back(&ser_native, [&] {
+      std::vector<Bytes> results;
+      results.reserve(messages);
+      for (std::size_t i = 0; i < messages; ++i) {
+        Bytes out;
+        (void)protocol.serialize_with(native_backend.get(), msgs[i].root(),
+                                      msg_seed_of(i), out);
+        results.push_back(std::move(out));
+      }
+      for (const auto& result : results) checksum += result.size();
+    });
+
+    paths.emplace_back(&parse_native, [&] {
+      std::vector<Expected<InstPtr>> results;
+      results.reserve(messages);
+      for (const Bytes& wire : wires) {
+        results.emplace_back(protocol.parse_with(native_backend.get(), wire));
+      }
+      for (const auto& result : results) {
+        checksum += result ? (*result)->children.size() : 0;
+      }
+    });
+  }
+
   for (auto& [rate, body] : paths) {
     rate->messages = messages * static_cast<std::size_t>(repeats);
   }
@@ -213,6 +279,17 @@ int main(int argc, char** argv) {
               ser_arena.msgs_per_sec / ser_single.msgs_per_sec);
   std::printf("  parse     arena/single:   %.3fx\n",
               parse_arena.msgs_per_sec / parse_single.msgs_per_sec);
+  if (native_backend != nullptr) {
+    print_rate("serialize/native", ser_native);
+    print_rate("parse/native", parse_native);
+    // Compiled tables + monomorphized walks must at least match the
+    // interpreter (CI guards these ratios too).
+    std::printf("  serialize native/single:  %.3fx\n",
+                ser_native.msgs_per_sec / ser_single.msgs_per_sec);
+    std::printf("  parse     native/single:  %.3fx\n",
+                parse_native.msgs_per_sec / parse_single.msgs_per_sec);
+    std::printf("  native compile (cold):    %.0f ms\n", native_compile_ms);
+  }
   std::printf("  (checksum %zu)\n", checksum);
 
   if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -229,13 +306,17 @@ int main(int argc, char** argv) {
                  "  \"serialize_batched_msgs_per_sec\": %.0f,\n"
                  "  \"parse_single_msgs_per_sec\": %.0f,\n"
                  "  \"parse_arena_msgs_per_sec\": %.0f,\n"
-                 "  \"parse_batched_msgs_per_sec\": %.0f\n"
+                 "  \"parse_batched_msgs_per_sec\": %.0f,\n"
+                 "  \"serialize_native_msgs_per_sec\": %.0f,\n"
+                 "  \"parse_native_msgs_per_sec\": %.0f,\n"
+                 "  \"native_compile_ms\": %.1f\n"
                  "}\n",
                  workload.name.c_str(), per_node, messages, repeats,
                  session.batch_width(), ser_single.msgs_per_sec,
                  ser_arena.msgs_per_sec, ser_batched.msgs_per_sec,
                  parse_single.msgs_per_sec, parse_arena.msgs_per_sec,
-                 parse_batched.msgs_per_sec);
+                 parse_batched.msgs_per_sec, ser_native.msgs_per_sec,
+                 parse_native.msgs_per_sec, native_compile_ms);
     std::fclose(f);
     std::printf("  wrote %s\n", json_path);
   } else {

@@ -1,0 +1,1623 @@
+// Native ABI section emitter. See native_unit.hpp for the contract.
+//
+// The emitted section has three parts:
+//   1. a fixed prologue (includes + record types),
+//   2. generated constexpr tables describing this protocol (wire-graph
+//      arena including detached nodes — journal entries and holder origins
+//      reference them — plus journal, holder lineage and shared byte pool),
+//   3. a fixed engine: a transliteration of the interpreter's wire-syntax
+//      layer (runtime/parse.cpp, runtime/derive.cpp's fix_holders,
+//      runtime/emit.cpp, transform/exec.cpp) over those tables.
+//
+// Randomness, traversal order and failure conditions follow the
+// interpreter line by line; where the interpreter would hit an impossible
+// state (validated graphs rule it out), the engine fails malformed instead
+// of invoking undefined behaviour.
+
+#include "codegen/native_unit.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "transform/lineage.hpp"
+
+namespace protoobf {
+
+namespace {
+
+// ------------------------------------------------------------ fingerprint --
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void mix(BytesView data) {
+    mix(static_cast<std::uint64_t>(data.size()));
+    for (const Byte b : data) byte(b);
+  }
+  void mix(std::string_view text) {
+    mix(static_cast<std::uint64_t>(text.size()));
+    for (const char c : text) byte(static_cast<std::uint8_t>(c));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  void byte(std::uint8_t b) {
+    hash_ ^= b;
+    hash_ *= 0x100000001b3ull;
+  }
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+// ---------------------------------------------------------- table emitter --
+
+/// Shared byte pool: delimiters, const keys, condition values and every
+/// other blob the engine needs land here once; records carry (off, len).
+class BytePool {
+ public:
+  std::pair<std::uint32_t, std::uint32_t> add(BytesView data) {
+    const auto off = static_cast<std::uint32_t>(bytes_.size());
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+    return {off, static_cast<std::uint32_t>(data.size())};
+  }
+  const Bytes& bytes() const { return bytes_; }
+
+ private:
+  Bytes bytes_;
+};
+
+std::string u32_of(std::uint64_t v) { return std::to_string(v); }
+
+std::string id_of(NodeId id) {
+  return id == kNoNode ? std::string("kNoId") : std::to_string(id);
+}
+
+void emit_u8_array(std::ostringstream& out, const char* name,
+                   const Bytes& data) {
+  out << "constexpr u8 " << name << "[] = {";
+  if (data.empty()) {
+    out << "0";  // zero-size arrays are ill-formed; counts gate all access
+  } else {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (i % 16 == 0) out << "\n    ";
+      out << static_cast<unsigned>(data[i]) << ",";
+    }
+    out << "\n";
+  }
+  out << "};\n";
+}
+
+void emit_u32_array(std::ostringstream& out, const char* name,
+                    const std::vector<std::uint32_t>& data) {
+  out << "constexpr u32 " << name << "[] = {";
+  if (data.empty()) {
+    out << "0";
+  } else {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (i % 12 == 0) out << "\n    ";
+      out << data[i] << ",";
+    }
+    out << "\n";
+  }
+  out << "};\n";
+}
+
+std::string escaped(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// The prologue: includes and the record types the tables instantiate.
+constexpr const char kSectionPrologue[] = R"npro(
+// ===================== native serving ABI (po_native) =====================
+// Appended by protoobf's generator: constexpr protocol tables plus a
+// self-contained wire-syntax engine, exported through the extern "C"
+// po_native_* entry points for dlopen-based serving (src/native).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace po_native {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using buf = std::vector<u8>;
+
+constexpr u32 kNoId = 0xFFFFFFFFu;
+
+// Numeric mirrors of the host enums. The generator emits table values via
+// static_cast of the host enumerators, so these constants only need to
+// match the host declaration order (graph/node.hpp, transform/journal.hpp).
+enum : u32 { T_TERM = 0, T_SEQ = 1, T_OPT = 2, T_REP = 3, T_TAB = 4 };
+enum : u32 {
+  B_FIXED = 0, B_DELIM = 1, B_LEN = 2, B_COUNTER = 3,
+  B_END = 4, B_DELEG = 5, B_HALF = 6
+};
+enum : u32 { E_BIN = 0, E_ASCII = 1 };
+enum : u32 { C_ALWAYS = 0, C_EQ = 1, C_NE = 2, C_ONEOF = 3, C_NONZERO = 4 };
+enum : u32 {
+  TK_SPLIT_ADD = 0, TK_SPLIT_SUB = 1, TK_SPLIT_XOR = 2, TK_SPLIT_CAT = 3,
+  TK_CONST_ADD = 4, TK_CONST_SUB = 5, TK_CONST_XOR = 6, TK_BOUNDARY = 7,
+  TK_PAD = 8, TK_MIRROR = 9, TK_TAB_SPLIT = 10, TK_REP_SPLIT = 11,
+  TK_CHILD_MOVE = 12
+};
+
+// One wire-graph arena node (index == NodeId; detached nodes included).
+struct NRec {
+  u32 type, boundary, encoding, mirrored, fixed_size, ref;
+  u32 delim_off, delim_len;
+  u32 cond_kind, cond_ref, cond_off, cond_cnt;
+  u32 kid_off, kid_cnt;
+};
+
+// One journal entry (transform/journal.hpp's AppliedTransform).
+struct JRec {
+  u32 kind, target, created_seq, created_a, created_b, created_c, created_d,
+      element;
+  u32 key_off, key_len, split_point, pad_index, pad_size, len_width,
+      len_ascii;
+  i32 child_i, child_j;
+};
+
+// One holder lineage record (transform/lineage.hpp's HolderInfo).
+struct HRec {
+  u32 origin, top, chain_off, chain_cnt;
+};
+
+// One condition value (a slice of the byte pool).
+struct VRec {
+  u32 off, len;
+};
+
+}  // namespace po_native
+)npro";
+
+void emit_tables(std::ostringstream& out, const ObfuscatedProtocol& protocol,
+                 std::uint64_t fingerprint) {
+  const Graph& wire = protocol.wire_graph();
+  const Journal& journal = protocol.journal();
+  const HolderTable holders = build_holder_table(protocol.original(), journal);
+
+  BytePool pool;
+  std::vector<std::uint32_t> kids;
+  std::vector<std::uint32_t> chains;
+  std::ostringstream nodes, jout, hout, vout;
+  std::size_t cond_count = 0;
+
+  for (NodeId id = 0; id < wire.arena_size(); ++id) {
+    const Node& n = wire.node(id);
+    const auto delim = pool.add(n.delimiter);
+    const auto cond_off = static_cast<std::uint32_t>(cond_count);
+    for (const Bytes& v : n.condition.values) {
+      const auto ref = pool.add(v);
+      vout << "    {" << ref.first << "," << ref.second << "},\n";
+      ++cond_count;
+    }
+    const auto kid_off = static_cast<std::uint32_t>(kids.size());
+    for (const NodeId child : n.children) {
+      kids.push_back(child);
+    }
+    nodes << "    {" << u32_of(static_cast<unsigned>(n.type)) << ","
+          << u32_of(static_cast<unsigned>(n.boundary)) << ","
+          << u32_of(static_cast<unsigned>(n.encoding)) << ","
+          << (n.mirrored ? 1 : 0) << "," << u32_of(n.fixed_size) << ","
+          << id_of(n.ref) << "," << delim.first << "," << delim.second << ","
+          << u32_of(static_cast<unsigned>(n.condition.kind)) << ","
+          << id_of(n.condition.ref) << "," << cond_off << ","
+          << n.condition.values.size() << "," << kid_off << ","
+          << n.children.size() << "},\n";
+  }
+
+  for (const AppliedTransform& e : journal) {
+    const auto key = pool.add(e.key);
+    jout << "    {" << u32_of(static_cast<unsigned>(e.kind)) << ","
+         << id_of(e.target) << "," << id_of(e.created_seq) << ","
+         << id_of(e.created_a) << "," << id_of(e.created_b) << ","
+         << id_of(e.created_c) << "," << id_of(e.created_d) << ","
+         << id_of(e.element) << "," << key.first << "," << key.second << ","
+         << u32_of(e.split_point) << "," << u32_of(e.pad_index) << ","
+         << u32_of(e.pad_size) << "," << u32_of(e.len_width) << ","
+         << (e.len_ascii ? 1 : 0) << "," << e.child_i << "," << e.child_j
+         << "},\n";
+  }
+
+  for (const HolderInfo& h : holders.holders) {
+    const auto chain_off = static_cast<std::uint32_t>(chains.size());
+    for (const std::size_t idx : h.chain) {
+      chains.push_back(static_cast<std::uint32_t>(idx));
+    }
+    hout << "    {" << id_of(h.origin) << "," << id_of(h.top) << ","
+         << chain_off << "," << h.chain.size() << "},\n";
+  }
+
+  out << "namespace po_native {\n\n"
+      << "constexpr u32 kRoot = " << wire.root() << ";\n"
+      << "constexpr u64 kUnitFingerprint = 0x" << std::hex << fingerprint
+      << std::dec << "ull;\n"
+      << "constexpr char kProtocolName[] = \""
+      << escaped(wire.protocol_name()) << "\";\n";
+  emit_u8_array(out, "kPool", pool.bytes());
+  emit_u32_array(out, "kKids", kids);
+  emit_u32_array(out, "kChains", chains);
+  out << "constexpr VRec kCondVals[] = {\n"
+      << (cond_count == 0 ? "    {0,0},\n" : vout.str()) << "};\n"
+      << "constexpr NRec kNodes[] = {\n" << nodes.str() << "};\n"
+      << "constexpr JRec kJournal[] = {\n"
+      << (journal.empty() ? "    {0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,-1,-1},\n"
+                          : jout.str())
+      << "};\n"
+      << "constexpr HRec kHolders[] = {\n"
+      << (holders.holders.empty() ? "    {0,0,0,0},\n" : hout.str())
+      << "};\n"
+      << "constexpr std::size_t kJournalCount = " << journal.size() << ";\n"
+      << "constexpr std::size_t kHolderCount = " << holders.holders.size()
+      << ";\n\n}  // namespace po_native\n";
+}
+
+// ----------------------------------------------------------------- engine --
+//
+// Split across two raw strings only to stay below the compiler's literal
+// length limits; the split point is arbitrary.
+
+constexpr const char kEngineA[] = R"neng(
+namespace po_native {
+namespace {
+
+// ------------------------------------------------------------- primitives --
+
+struct Rng {
+  u64 s;
+  explicit Rng(u64 seed) : s(seed) {}
+  u64 next() {
+    u64 z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  u8 byte() { return static_cast<u8>(next() & 0xff); }
+  void fill(buf& out, std::size_t n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = byte();
+  }
+};
+
+inline const u8* pool_at(u32 off) { return kPool + off; }
+
+inline void add_into(buf& dst, const buf& a, const buf& b) {
+  dst.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    dst[i] = static_cast<u8>(a[i] + b[i]);
+}
+inline void sub_into(buf& dst, const buf& a, const buf& b) {
+  dst.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    dst[i] = static_cast<u8>(a[i] - b[i]);
+}
+inline void xor_into(buf& dst, const buf& a, const buf& b) {
+  dst.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    dst[i] = static_cast<u8>(a[i] ^ b[i]);
+}
+
+inline void be_encode_into(buf& dst, u64 value, std::size_t width) {
+  dst.resize(width);
+  for (std::size_t i = 0; i < width; ++i)
+    dst[width - 1 - i] = static_cast<u8>(value >> (8 * i));
+}
+
+inline u64 be_decode(const u8* p, std::size_t n) {
+  u64 value = 0;
+  for (std::size_t i = 0; i < n; ++i) value = (value << 8) | p[i];
+  return value;
+}
+
+inline void ascii_dec_encode_into(buf& dst, u64 value, std::size_t min_width) {
+  char digits[20];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  const std::size_t width = n < min_width ? min_width : n;
+  dst.assign(width, static_cast<u8>('0'));
+  for (std::size_t i = 0; i < n; ++i)
+    dst[width - 1 - i] = static_cast<u8>(digits[i]);
+}
+
+inline bool ascii_dec_decode(const u8* p, std::size_t n, u64& out) {
+  if (n == 0 || n > 20) return false;
+  u64 value = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] < '0' || p[i] > '9') return false;
+    const u64 next = value * 10 + (p[i] - '0');
+    if (next < value) return false;  // overflow
+    value = next;
+  }
+  out = value;
+  return true;
+}
+
+inline bool starts_with(const u8* d, std::size_t dn, const u8* pre,
+                        std::size_t pn) {
+  return dn >= pn && (pn == 0 || std::memcmp(d, pre, pn) == 0);
+}
+
+// Mirrors the host's find(): needle within data[0, dn), scanning from
+// `from`; empty needles and out-of-range starts never match.
+inline bool find_in(const u8* d, std::size_t dn, const u8* needle,
+                    std::size_t nn, std::size_t from, std::size_t& at) {
+  if (nn == 0 || from > dn || nn > dn) return false;
+  const u8* it = std::search(d + from, d + dn, needle, needle + nn);
+  if (it == d + dn) return false;
+  at = static_cast<std::size_t>(it - d);
+  return true;
+}
+
+// ------------------------------------------------------------------- tree --
+
+struct EN {
+  u32 schema = 0;
+  bool present = true;
+  buf value;
+  std::vector<EN*> kids;
+};
+
+// Slab pool mirroring the host's InstPool: checked-out nodes keep their
+// payload/children capacity across messages, so steady-state serving stops
+// touching the allocator.
+class Pool {
+ public:
+  EN* make(u32 schema) {
+    if (free_.empty()) grow();
+    EN* n = free_.back();
+    free_.pop_back();
+    n->schema = schema;
+    n->present = true;
+    n->value.clear();
+    n->kids.clear();
+    return n;
+  }
+  // Null-tolerant (moved-out child slots) and recursive.
+  void release(EN* n) {
+    if (n == nullptr) return;
+    for (EN* k : n->kids) release(k);
+    n->kids.clear();
+    free_.push_back(n);
+  }
+
+ private:
+  void grow() {
+    slabs_.emplace_back(new EN[kSlab]);
+    EN* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < kSlab; ++i) free_.push_back(&slab[i]);
+  }
+  static constexpr std::size_t kSlab = 64;
+  std::vector<std::unique_ptr<EN[]>> slabs_;
+  std::vector<EN*> free_;
+};
+
+class Scopes {
+ public:
+  Scopes() { push(); }
+  void push() {
+    if (depth_ == scopes_.size()) {
+      scopes_.emplace_back();
+    } else {
+      scopes_[depth_].clear();
+    }
+    ++depth_;
+  }
+  void pop() { --depth_; }
+  void add(EN* inst) { scopes_[depth_ - 1].emplace_back(inst->schema, inst); }
+  EN* lookup(u32 id) const {
+    for (std::size_t i = depth_; i-- > 0;) {
+      const auto& entries = scopes_[i];
+      for (std::size_t k = entries.size(); k-- > 0;) {
+        if (entries[k].first == id) return entries[k].second;
+      }
+    }
+    return nullptr;
+  }
+  void reset() {
+    depth_ = 0;
+    push();
+  }
+
+ private:
+  std::vector<std::vector<std::pair<u32, EN*>>> scopes_;
+  std::size_t depth_ = 0;
+};
+
+// status codes shared with the ABI: 0 ok, 1 truncated, 2 malformed.
+struct Err {
+  i32 status = 0;
+  std::size_t off = static_cast<std::size_t>(-1);
+  std::size_t need = 0;
+};
+
+struct Ctx {
+  Pool pool;
+  Scopes scopes;
+  Err err;
+  std::vector<buf> spare;  // mirrored-region scratch, capacity-recycled
+  buf tlv, out, measure, encoded;
+
+  buf acquire() {
+    if (spare.empty()) return buf();
+    buf b = std::move(spare.back());
+    spare.pop_back();
+    b.clear();
+    return b;
+  }
+  void put_back(buf b) { spare.push_back(std::move(b)); }
+};
+
+thread_local Ctx g_ctx;
+
+inline bool mfail(Ctx& c, std::size_t off) {
+  c.err.status = 2;
+  c.err.off = off;
+  c.err.need = 0;
+  return false;
+}
+
+// Out-of-bytes against a soft end is a truncation (need clamped >= 1, like
+// the host's Unexpected::truncated); against a hard region, malformed.
+inline bool short_fail(Ctx& c, bool soft, std::size_t off, std::size_t need) {
+  if (!soft) return mfail(c, off);
+  c.err.status = 1;
+  c.err.off = off;
+  c.err.need = need > 0 ? need : 1;
+  return false;
+}
+
+// Transform-algebra failure: malformed with no wire offset, mirroring the
+// host's plain Unexpected from exec.cpp.
+inline bool xfail(Ctx& c) {
+  c.err.status = 2;
+  c.err.off = static_cast<std::size_t>(-1);
+  c.err.need = 0;
+  return false;
+}
+
+EN* copy_tree(Ctx& c, const EN* src) {
+  EN* n = c.pool.make(src->schema);
+  n->present = src->present;
+  n->value = src->value;
+  n->kids.reserve(src->kids.size());
+  for (const EN* k : src->kids) n->kids.push_back(copy_tree(c, k));
+  return n;
+}
+
+inline const HRec* find_by_top(u32 top) {
+  for (std::size_t i = 0; i < kHolderCount; ++i) {
+    if (kHolders[i].top == top) return &kHolders[i];
+  }
+  return nullptr;
+}
+
+// ------------------------------------------- transforms (transform/exec) --
+
+template <typename Op>
+bool for_each_match(Ctx& c, EN*& p, u32 match, Op&& op) {
+  if (p->schema == match) return op(p);
+  if (!p->present) return true;
+  for (EN*& child : p->kids) {
+    if (!for_each_match(c, child, match, op)) return false;
+  }
+  return true;
+}
+
+bool forward_split(Ctx& c, EN*& p, const JRec& e, Rng& rng) {
+  EN* first = c.pool.make(e.created_a);
+  EN* second = c.pool.make(e.created_b);
+  const buf& v = p->value;
+  switch (e.kind) {
+    case TK_SPLIT_ADD:
+      rng.fill(first->value, v.size());
+      add_into(second->value, v, first->value);
+      break;
+    case TK_SPLIT_SUB:
+      rng.fill(first->value, v.size());
+      sub_into(second->value, v, first->value);
+      break;
+    case TK_SPLIT_XOR:
+      rng.fill(first->value, v.size());
+      xor_into(second->value, v, first->value);
+      break;
+    case TK_SPLIT_CAT:
+      if (v.size() < e.split_point) {
+        c.pool.release(first);
+        c.pool.release(second);
+        return xfail(c);
+      }
+      first->value.assign(v.begin(), v.begin() + e.split_point);
+      second->value.assign(v.begin() + e.split_point, v.end());
+      break;
+    default:
+      c.pool.release(first);
+      c.pool.release(second);
+      return xfail(c);
+  }
+  EN* seq = c.pool.make(e.created_seq);
+  seq->kids.reserve(2);
+  seq->kids.push_back(first);
+  seq->kids.push_back(second);
+  c.pool.release(p);
+  p = seq;
+  return true;
+}
+
+bool inverse_split(Ctx& c, EN*& p, const JRec& e) {
+  if (p->kids.size() != 2) return xfail(c);
+  const buf& a = p->kids[0]->value;
+  const buf& b = p->kids[1]->value;
+  if (e.kind != TK_SPLIT_CAT && a.size() != b.size()) return xfail(c);
+  EN* merged = c.pool.make(e.target);
+  switch (e.kind) {
+    case TK_SPLIT_ADD: sub_into(merged->value, b, a); break;
+    case TK_SPLIT_SUB: add_into(merged->value, b, a); break;
+    case TK_SPLIT_XOR: xor_into(merged->value, b, a); break;
+    case TK_SPLIT_CAT:
+      merged->value.assign(a.begin(), a.end());
+      merged->value.insert(merged->value.end(), b.begin(), b.end());
+      break;
+    default:
+      c.pool.release(merged);
+      return xfail(c);
+  }
+  c.pool.release(p);
+  p = merged;
+  return true;
+}
+
+void apply_const(EN* p, const JRec& e, bool forward) {
+  const u8* key = pool_at(e.key_off);
+  const std::size_t kn = e.key_len;
+  if (kn == 0) return;
+  u32 kind = e.kind;
+  if (!forward) {  // add <-> sub; xor is self-inverse
+    if (kind == TK_CONST_ADD) kind = TK_CONST_SUB;
+    else if (kind == TK_CONST_SUB) kind = TK_CONST_ADD;
+  }
+  buf& v = p->value;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const u8 k = key[i % kn];
+    if (kind == TK_CONST_ADD) v[i] = static_cast<u8>(v[i] + k);
+    else if (kind == TK_CONST_SUB) v[i] = static_cast<u8>(v[i] - k);
+    else v[i] = static_cast<u8>(v[i] ^ k);
+  }
+}
+
+bool forward_boundary_change(Ctx& c, EN*& p, const JRec& e) {
+  EN* length = c.pool.make(e.created_a);
+  if (e.len_ascii != 0) {
+    ascii_dec_encode_into(length->value, 0, e.len_width);
+  } else {
+    length->value.assign(e.len_width, 0);
+  }
+  EN* seq = c.pool.make(e.created_seq);
+  seq->kids.reserve(2);
+  seq->kids.push_back(length);
+  seq->kids.push_back(p);
+  p = seq;
+  return true;
+}
+
+bool inverse_boundary_change(Ctx& c, EN*& p, const JRec& e) {
+  if (p->kids.size() != 2 || p->kids[1]->schema != e.target) return xfail(c);
+  EN* data = p->kids[1];
+  p->kids.pop_back();
+  c.pool.release(p);
+  p = data;
+  return true;
+}
+
+bool forward_pad(Ctx& c, EN* p, const JRec& e, Rng& rng) {
+  if (e.pad_index > p->kids.size()) return xfail(c);
+  EN* pad = c.pool.make(e.created_a);
+  rng.fill(pad->value, e.pad_size);
+  p->kids.insert(p->kids.begin() + e.pad_index, pad);
+  return true;
+}
+
+bool inverse_pad(Ctx& c, EN* p, const JRec& e) {
+  if (e.pad_index >= p->kids.size() ||
+      p->kids[e.pad_index]->schema != e.created_a) {
+    return xfail(c);
+  }
+  c.pool.release(p->kids[e.pad_index]);
+  p->kids.erase(p->kids.begin() + e.pad_index);
+  return true;
+}
+
+bool forward_group_split(Ctx& c, EN*& p, const JRec& e, u32 cnt_node,
+                         u32 t1_node, u32 t2_node, u32 rest_node) {
+  std::vector<EN*> elements;
+  elements.swap(p->kids);
+  EN* firsts = c.pool.make(t1_node);
+  EN* seconds = c.pool.make(t2_node);
+  firsts->kids.reserve(elements.size());
+  seconds->kids.reserve(elements.size());
+  for (std::size_t idx = 0; idx < elements.size(); ++idx) {
+    EN* element = elements[idx];
+    if (element->kids.size() < 2) {
+      c.pool.release(firsts);
+      c.pool.release(seconds);
+      for (std::size_t r = idx; r < elements.size(); ++r)
+        c.pool.release(elements[r]);
+      return xfail(c);
+    }
+    firsts->kids.push_back(element->kids[0]);
+    element->kids[0] = nullptr;
+    if (rest_node == kNoId) {
+      seconds->kids.push_back(element->kids[1]);
+      element->kids[1] = nullptr;
+    } else {
+      EN* rest = c.pool.make(rest_node);
+      rest->kids.reserve(element->kids.size() - 1);
+      for (std::size_t i = 1; i < element->kids.size(); ++i) {
+        rest->kids.push_back(element->kids[i]);
+        element->kids[i] = nullptr;
+      }
+      seconds->kids.push_back(rest);
+    }
+    c.pool.release(element);
+  }
+  const std::size_t m = firsts->kids.size();
+  EN* seq = c.pool.make(e.created_seq);
+  seq->kids.reserve(cnt_node != kNoId ? 3 : 2);
+  if (cnt_node != kNoId) {
+    EN* cnt = c.pool.make(cnt_node);
+    be_encode_into(cnt->value, static_cast<u64>(m), 2);
+    seq->kids.push_back(cnt);
+  }
+  seq->kids.push_back(firsts);
+  seq->kids.push_back(seconds);
+  c.pool.release(p);
+  p = seq;
+  return true;
+}
+
+bool inverse_group_split(Ctx& c, EN*& p, const JRec& e, bool has_cnt,
+                         u32 rest_node) {
+  const std::size_t expected = has_cnt ? 3 : 2;
+  if (p->kids.size() != expected) return xfail(c);
+  EN* t1 = p->kids[expected - 2];
+  EN* t2 = p->kids[expected - 1];
+  if (t1->kids.size() != t2->kids.size()) return xfail(c);
+  EN* merged = c.pool.make(e.target);
+  merged->kids.reserve(t1->kids.size());
+  for (std::size_t k = 0; k < t1->kids.size(); ++k) {
+    EN* element = c.pool.make(e.element);
+    element->kids.push_back(t1->kids[k]);
+    t1->kids[k] = nullptr;
+    if (rest_node == kNoId) {
+      element->kids.push_back(t2->kids[k]);
+      t2->kids[k] = nullptr;
+    } else {
+      EN* rest = t2->kids[k];
+      for (EN*& sub : rest->kids) {
+        element->kids.push_back(sub);
+        sub = nullptr;
+      }
+    }
+    merged->kids.push_back(element);
+  }
+  c.pool.release(p);  // count field, emptied halves and rest wrappers
+  p = merged;
+  return true;
+}
+
+bool child_move(Ctx& c, EN* p, const JRec& e) {
+  const std::size_t i = static_cast<std::size_t>(e.child_i);
+  const std::size_t j = static_cast<std::size_t>(e.child_j);
+  // The host checks j only; i out of range cannot occur on shape-checked
+  // trees, so the extra guard is UB-avoidance, not a semantic difference.
+  if (j >= p->kids.size() || i >= p->kids.size()) return xfail(c);
+  std::swap(p->kids[i], p->kids[j]);
+  return true;
+}
+
+bool forward_entry(Ctx& c, EN*& root, const JRec& e, Rng& rng) {
+  switch (e.kind) {
+    case TK_SPLIT_ADD:
+    case TK_SPLIT_SUB:
+    case TK_SPLIT_XOR:
+    case TK_SPLIT_CAT:
+      return for_each_match(c, root, e.target, [&](EN*& p) {
+        return forward_split(c, p, e, rng);
+      });
+    case TK_CONST_ADD:
+    case TK_CONST_SUB:
+    case TK_CONST_XOR:
+      return for_each_match(c, root, e.target, [&](EN*& p) {
+        apply_const(p, e, /*forward=*/true);
+        return true;
+      });
+    case TK_BOUNDARY:
+      return for_each_match(c, root, e.target, [&](EN*& p) {
+        return forward_boundary_change(c, p, e);
+      });
+    case TK_PAD:
+      return for_each_match(c, root, e.target, [&](EN*& p) {
+        return forward_pad(c, p, e, rng);
+      });
+    case TK_MIRROR:
+      return true;  // handled at emission/parse time
+    case TK_TAB_SPLIT:
+      return for_each_match(c, root, e.target, [&](EN*& p) {
+        return forward_group_split(c, p, e, kNoId, e.created_a, e.created_b,
+                                   e.created_c);
+      });
+    case TK_REP_SPLIT:
+      return for_each_match(c, root, e.target, [&](EN*& p) {
+        return forward_group_split(c, p, e, e.created_a, e.created_b,
+                                   e.created_c, e.created_d);
+      });
+    case TK_CHILD_MOVE:
+      return for_each_match(c, root, e.target,
+                            [&](EN*& p) { return child_move(c, p, e); });
+    default:
+      return true;
+  }
+}
+
+bool inverse_entry(Ctx& c, EN*& root, const JRec& e) {
+  switch (e.kind) {
+    case TK_SPLIT_ADD:
+    case TK_SPLIT_SUB:
+    case TK_SPLIT_XOR:
+    case TK_SPLIT_CAT:
+      return for_each_match(c, root, e.created_seq,
+                            [&](EN*& p) { return inverse_split(c, p, e); });
+    case TK_CONST_ADD:
+    case TK_CONST_SUB:
+    case TK_CONST_XOR:
+      return for_each_match(c, root, e.target, [&](EN*& p) {
+        apply_const(p, e, /*forward=*/false);
+        return true;
+      });
+    case TK_BOUNDARY:
+      return for_each_match(c, root, e.created_seq, [&](EN*& p) {
+        return inverse_boundary_change(c, p, e);
+      });
+    case TK_PAD:
+      return for_each_match(c, root, e.target,
+                            [&](EN*& p) { return inverse_pad(c, p, e); });
+    case TK_MIRROR:
+      return true;
+    case TK_TAB_SPLIT:
+      return for_each_match(c, root, e.created_seq, [&](EN*& p) {
+        return inverse_group_split(c, p, e, /*has_cnt=*/false, e.created_c);
+      });
+    case TK_REP_SPLIT:
+      return for_each_match(c, root, e.created_seq, [&](EN*& p) {
+        return inverse_group_split(c, p, e, /*has_cnt=*/true, e.created_d);
+      });
+    case TK_CHILD_MOVE:
+      return for_each_match(c, root, e.target,
+                            [&](EN*& p) { return child_move(c, p, e); });
+    default:
+      return true;
+  }
+}
+
+bool inverse_all(Ctx& c, EN*& root) {
+  for (std::size_t i = kJournalCount; i-- > 0;) {
+    if (!inverse_entry(c, root, kJournal[i])) return false;
+  }
+  return true;
+}
+
+// invert_clone: pool-copy + full-journal inversion, like the host's.
+EN* invert_clone(Ctx& c, const EN* subtree) {
+  EN* copy = copy_tree(c, subtree);
+  if (!inverse_all(c, copy)) {
+    c.pool.release(copy);
+    return nullptr;
+  }
+  return copy;
+}
+
+EN* rerun_chain(Ctx& c, u32 origin, const buf& logical_value,
+                const HRec& holder, Rng& rng) {
+  EN* p = c.pool.make(origin);
+  p->value = logical_value;
+  for (u32 i = 0; i < holder.chain_cnt; ++i) {
+    if (!forward_entry(c, p, kJournal[kChains[holder.chain_off + i]], rng)) {
+      c.pool.release(p);
+      return nullptr;
+    }
+  }
+  return p;
+}
+)neng";
+
+constexpr const char kEngineB[] = R"neng(
+// ----------------------------------------------- parse (runtime/parse.cpp) --
+
+struct Reader {
+  const u8* data;
+  std::size_t pos;
+  std::size_t end;
+  bool soft;  // see runtime/parse.cpp: input end vs region end
+  std::size_t remaining() const { return end - pos; }
+};
+
+bool eval_cond(const NRec& n, const buf& v) {
+  const auto eq = [&](const VRec& r) {
+    return v.size() == r.len &&
+           (r.len == 0 || std::memcmp(v.data(), pool_at(r.off), r.len) == 0);
+  };
+  switch (n.cond_kind) {
+    case C_EQ: return n.cond_cnt != 0 && eq(kCondVals[n.cond_off]);
+    case C_NE: return n.cond_cnt == 0 || !eq(kCondVals[n.cond_off]);
+    case C_ONEOF:
+      for (u32 i = 0; i < n.cond_cnt; ++i) {
+        if (eq(kCondVals[n.cond_off + i])) return true;
+      }
+      return false;
+    case C_NONZERO:
+      for (const u8 b : v) {
+        if (b != 0) return true;
+      }
+      return false;
+    default:
+      return true;
+  }
+}
+
+class Parser {
+ public:
+  Parser(Ctx& c, bool prefix) : c_(c), prefix_(prefix) {}
+
+  EN* parse(const u8* data, std::size_t len, std::size_t* consumed) {
+    c_.scopes.reset();
+    Reader r{data, 0, len, /*soft=*/true};
+    EN* root = parse_node(kRoot, r);
+    if (root == nullptr) return nullptr;
+    if (prefix_) {
+      if (consumed != nullptr) *consumed = r.pos;
+    } else if (r.pos != r.end) {
+      c_.pool.release(root);
+      mfail(c_, r.pos);  // trailing bytes after message
+      return nullptr;
+    }
+    return root;
+  }
+
+ private:
+  // Logical value of an already-parsed reference target. nullptr => err set.
+  EN* logical_tree(const EN* holder, const Reader& r) {
+    EN* logical = invert_clone(c_, holder);
+    if (logical == nullptr) return nullptr;
+    if (!logical->kids.empty()) {
+      c_.pool.release(logical);
+      mfail(c_, r.pos);  // reference target does not invert to a terminal
+      return nullptr;
+    }
+    return logical;
+  }
+
+  bool scalar(u32 ref, const EN* holder, const Reader& r, u64& out) {
+    EN* logical = logical_tree(holder, r);
+    if (logical == nullptr) return false;
+    const buf& bytes = logical->value;
+    const HRec* info = find_by_top(ref);
+    const u32 origin = info != nullptr ? info->origin : ref;
+    const NRec& n = kNodes[origin];
+    bool ok;
+    if (n.encoding == E_ASCII) {
+      ok = ascii_dec_decode(bytes.data(), bytes.size(), out);
+      if (!ok) mfail(c_, r.pos);  // holder is not a decimal number
+    } else if (bytes.size() > 8) {
+      ok = false;
+      mfail(c_, r.pos);  // holder wider than 8 bytes
+    } else {
+      out = be_decode(bytes.data(), bytes.size());
+      ok = true;
+    }
+    c_.pool.release(logical);
+    return ok;
+  }
+
+  EN* lookup(u32 ref, const Reader& r) {
+    EN* found = c_.scopes.lookup(ref);
+    if (found == nullptr) {
+      mfail(c_, r.pos);  // reference target not yet parsed
+      return nullptr;
+    }
+    return found;
+  }
+
+  EN* parse_node(u32 id, Reader& r) {
+    return parse_node_impl(id, r, /*ignore_mirror=*/false);
+  }
+
+  EN* parse_node_impl(u32 id, Reader& r, bool ignore_mirror) {
+    const NRec& n = kNodes[id];
+    bool has_region = false;
+    std::size_t region_end = 0;
+    const bool stop_marker_rep = n.type == T_REP && n.boundary == B_DELIM;
+    if (ignore_mirror) {
+      // Re-entry on the reversed copy of a mirrored region: the buffer *is*
+      // the region, whatever the declared boundary says.
+      return parse_with_region(n, id, r, true, r.end, stop_marker_rep);
+    }
+    switch (n.boundary) {
+      case B_FIXED:
+        if (r.remaining() < n.fixed_size) {
+          return fail_node(short_fail(c_, r.soft, r.pos,
+                                      n.fixed_size - r.remaining()));
+        }
+        has_region = true;
+        region_end = r.pos + n.fixed_size;
+        break;
+      case B_HALF:
+        if (prefix_ && r.soft) return fail_node(mfail(c_, r.pos));
+        if (r.remaining() % 2 != 0) return fail_node(mfail(c_, r.pos));
+        has_region = true;
+        region_end = r.pos + r.remaining() / 2;
+        break;
+      case B_LEN: {
+        EN* holder = lookup(n.ref, r);
+        if (holder == nullptr) return nullptr;
+        u64 length = 0;
+        if (!scalar(n.ref, holder, r, length)) return nullptr;
+        if (length > r.remaining()) {
+          return fail_node(short_fail(
+              c_, r.soft, r.pos,
+              static_cast<std::size_t>(length - r.remaining())));
+        }
+        has_region = true;
+        region_end = r.pos + static_cast<std::size_t>(length);
+        break;
+      }
+      case B_END:
+        if (prefix_ && r.soft) {
+          if (n.type != T_SEQ || n.mirrored != 0) {
+            return fail_node(mfail(c_, r.pos));  // not self-delimiting
+          }
+          break;  // sequence copes: region stays undetermined
+        }
+        has_region = true;
+        region_end = r.end;
+        break;
+      case B_DELIM:
+        if (!stop_marker_rep) {
+          std::size_t at = 0;
+          if (!find_in(r.data, r.end, pool_at(n.delim_off), n.delim_len,
+                       r.pos, at)) {
+            return fail_node(short_fail(c_, r.soft, r.pos, 1));
+          }
+          has_region = true;
+          region_end = at;
+        }
+        break;
+      case B_DELEG:
+      case B_COUNTER:
+        break;
+      default:
+        break;
+    }
+
+    if (n.mirrored != 0 && !ignore_mirror) {
+      if (!has_region) return fail_node(mfail(c_, r.pos));
+      buf temp = c_.acquire();
+      temp.assign(std::reverse_iterator<const u8*>(r.data + region_end),
+                  std::reverse_iterator<const u8*>(r.data + r.pos));
+      Reader mirror{temp.data(), 0, temp.size(), /*soft=*/false};
+      EN* inst = parse_node_impl(id, mirror, /*ignore_mirror=*/true);
+      const bool consumed_all = mirror.pos == mirror.end;
+      c_.put_back(std::move(temp));
+      if (inst == nullptr) return nullptr;
+      if (!consumed_all) {
+        c_.pool.release(inst);
+        return fail_node(mfail(c_, r.pos));  // mirror not fully consumed
+      }
+      r.pos = region_end;
+      c_.scopes.add(inst);
+      return inst;
+    }
+
+    return parse_with_region(n, id, r, has_region, region_end,
+                             stop_marker_rep);
+  }
+
+  EN* parse_with_region(const NRec& n, u32 id, Reader& r, bool has_region,
+                        std::size_t region_end, bool stop_marker_rep) {
+    // Only an `end` region inherits the reader's softness.
+    const bool sub_soft = r.soft && n.boundary == B_END;
+    EN* inst = nullptr;
+    switch (n.type) {
+      case T_TERM: {
+        // A region-less terminal cannot occur in a validated graph; the
+        // host would dereference an empty optional here.
+        if (!has_region) return fail_node(mfail(c_, r.pos));
+        inst = c_.pool.make(id);
+        inst->value.assign(r.data + r.pos, r.data + region_end);
+        r.pos = region_end;
+        break;
+      }
+      case T_SEQ: {
+        inst = c_.pool.make(id);
+        if (has_region) {
+          Reader sub{r.data, r.pos, region_end, sub_soft};
+          for (u32 ci = 0; ci < n.kid_cnt; ++ci) {
+            EN* parsed = parse_node(kKids[n.kid_off + ci], sub);
+            if (parsed == nullptr) return drop(inst);
+            inst->kids.push_back(parsed);
+          }
+          if (sub.pos != sub.end) {
+            c_.pool.release(inst);
+            return fail_node(mfail(c_, sub.pos));  // trailing bytes in region
+          }
+          r.pos = region_end;
+        } else {
+          for (u32 ci = 0; ci < n.kid_cnt; ++ci) {
+            EN* parsed = parse_node(kKids[n.kid_off + ci], r);
+            if (parsed == nullptr) return drop(inst);
+            inst->kids.push_back(parsed);
+          }
+        }
+        break;
+      }
+      case T_OPT: {
+        bool present = true;
+        if (n.cond_kind != C_ALWAYS) {
+          EN* ref = lookup(n.cond_ref, r);
+          if (ref == nullptr) return nullptr;
+          EN* logical = logical_tree(ref, r);
+          if (logical == nullptr) return nullptr;
+          present = eval_cond(n, logical->value);
+          c_.pool.release(logical);
+        }
+        inst = c_.pool.make(id);
+        if (present) {
+          EN* child = parse_node(kKids[n.kid_off], r);
+          if (child == nullptr) return drop(inst);
+          inst->kids.push_back(child);
+        } else {
+          inst->present = false;
+        }
+        break;
+      }
+      case T_REP: {
+        inst = c_.pool.make(id);
+        if (stop_marker_rep) {
+          const u8* delim = pool_at(n.delim_off);
+          const std::size_t dn = n.delim_len;
+          while (true) {
+            const u8* w = r.data + r.pos;
+            const std::size_t wn = r.end - r.pos;
+            if (starts_with(w, wn, delim, dn)) {
+              r.pos += dn;
+              break;
+            }
+            if (r.soft && wn < dn && std::memcmp(w, delim, wn) == 0) {
+              // Undecided against the stream end: the input stops inside
+              // what may be the stop marker.
+              c_.pool.release(inst);
+              return fail_node(short_fail(c_, true, r.pos, dn - wn));
+            }
+            if (r.pos >= r.end) {
+              c_.pool.release(inst);
+              return fail_node(short_fail(c_, r.soft, r.pos, dn));
+            }
+            EN* element = parse_element(kKids[n.kid_off], r, true);
+            if (element == nullptr) return drop(inst);
+            inst->kids.push_back(element);
+          }
+        } else {
+          if (!has_region) return fail_node(mfail(c_, r.pos));
+          Reader sub{r.data, r.pos, region_end, sub_soft};
+          while (sub.pos < sub.end) {
+            EN* element = parse_element(kKids[n.kid_off], sub, true);
+            if (element == nullptr) return drop(inst);
+            inst->kids.push_back(element);
+          }
+          r.pos = region_end;
+        }
+        break;
+      }
+      case T_TAB: {
+        EN* holder = lookup(n.ref, r);
+        if (holder == nullptr) return nullptr;
+        u64 count = 0;
+        if (!scalar(n.ref, holder, r, count)) return nullptr;
+        inst = c_.pool.make(id);
+        for (u64 k = 0; k < count; ++k) {
+          // Tabular elements may be legitimately empty: the count, not
+          // progress, terminates the loop.
+          EN* element = parse_element(kKids[n.kid_off], r, false);
+          if (element == nullptr) return drop(inst);
+          inst->kids.push_back(element);
+        }
+        break;
+      }
+      default:
+        return fail_node(mfail(c_, r.pos));
+    }
+
+    // Consume the delimiter of scanned (non-repetition) nodes.
+    if (n.boundary == B_DELIM && !stop_marker_rep) {
+      if (r.pos != region_end) {
+        c_.pool.release(inst);
+        return fail_node(mfail(c_, r.pos));  // region not fully consumed
+      }
+      r.pos = region_end + n.delim_len;
+    }
+
+    c_.scopes.add(inst);
+    return inst;
+  }
+
+  EN* parse_element(u32 element, Reader& r, bool require_progress) {
+    const std::size_t before = r.pos;
+    c_.scopes.push();
+    EN* parsed = parse_node(element, r);
+    if (parsed == nullptr) {
+      c_.scopes.pop();
+      return nullptr;
+    }
+    c_.scopes.pop();
+    if (require_progress && r.pos == before) {
+      c_.pool.release(parsed);
+      return fail_node(mfail(c_, r.pos));  // element consumed no input
+    }
+    return parsed;
+  }
+
+  EN* drop(EN* inst) {
+    c_.pool.release(inst);
+    return nullptr;
+  }
+  EN* fail_node(bool) { return nullptr; }
+
+  Ctx& c_;
+  bool prefix_;
+};
+
+// ------------------------------------------------ emit (runtime/emit.cpp) --
+
+bool emit_node(Ctx& c, const EN* inst, buf& out) {
+  const NRec& n = kNodes[inst->schema];
+  const std::size_t start = out.size();
+  switch (n.type) {
+    case T_TERM:
+      if (n.boundary == B_FIXED && inst->value.size() != n.fixed_size) {
+        return xfail(c);  // value does not match fixed size
+      }
+      out.insert(out.end(), inst->value.begin(), inst->value.end());
+      break;
+    case T_SEQ:
+      for (const EN* child : inst->kids) {
+        if (!emit_node(c, child, out)) return false;
+      }
+      break;
+    case T_OPT:
+      if (inst->present) {
+        if (inst->kids.size() != 1) return xfail(c);
+        if (!emit_node(c, inst->kids[0], out)) return false;
+      }
+      break;
+    case T_REP:
+    case T_TAB:
+      for (const EN* element : inst->kids) {
+        const std::size_t element_start = out.size();
+        if (!emit_node(c, element, out)) return false;
+        if (n.type == T_REP && out.size() == element_start) {
+          return xfail(c);  // repetition element serialized empty
+        }
+        if (n.type == T_REP && n.boundary == B_DELIM &&
+            starts_with(out.data() + element_start,
+                        out.size() - element_start, pool_at(n.delim_off),
+                        n.delim_len)) {
+          return xfail(c);  // element starts with the stop marker
+        }
+      }
+      break;
+    default:
+      return xfail(c);
+  }
+
+  if (n.mirrored != 0) {
+    std::reverse(out.begin() + start, out.end());
+  }
+
+  if (n.boundary == B_DELIM) {
+    if (n.type != T_REP) {
+      std::size_t at = 0;
+      if (find_in(out.data() + start, out.size() - start,
+                  pool_at(n.delim_off), n.delim_len, 0, at)) {
+        return xfail(c);  // content contains its own delimiter
+      }
+    }
+    out.insert(out.end(), pool_at(n.delim_off),
+               pool_at(n.delim_off) + n.delim_len);
+  }
+
+  if (n.boundary == B_FIXED && n.type != T_TERM &&
+      out.size() - start != n.fixed_size) {
+    return xfail(c);  // composite size mismatch
+  }
+  return true;
+}
+
+// ----------------------------------- fix_holders (runtime/derive.cpp) --
+
+template <typename Pre>
+bool walk_scoped(Ctx& c, EN* inst, Pre& pre) {
+  if (!pre(inst)) return false;
+  const NRec& n = kNodes[inst->schema];
+  if (inst->present) {
+    const bool element_scope = n.type == T_REP || n.type == T_TAB;
+    for (EN* child : inst->kids) {
+      if (element_scope) c.scopes.push();
+      const bool ok = walk_scoped(c, child, pre);
+      if (element_scope) c.scopes.pop();
+      if (!ok) return false;
+    }
+  }
+  c.scopes.add(inst);
+  return true;
+}
+
+bool encode_holder(Ctx& c, buf& out, u32 holder, u64 value) {
+  const NRec& n = kNodes[holder];
+  if (n.encoding == E_ASCII) {
+    const std::size_t width = n.boundary == B_FIXED ? n.fixed_size : 0;
+    ascii_dec_encode_into(out, value, width);
+    if (width != 0 && out.size() != width) return xfail(c);
+    return true;
+  }
+  if (n.boundary != B_FIXED) return xfail(c);
+  if (n.fixed_size < 8 && value >= (1ull << (8 * n.fixed_size))) {
+    return xfail(c);  // derived value overflows the field
+  }
+  be_encode_into(out, value, n.fixed_size);
+  return true;
+}
+
+struct DPair {
+  EN* holder;
+  EN* measured;
+  bool is_counter;
+};
+
+bool fix_holders(Ctx& c, EN* root, u64 msg_seed) {
+  buf& encoded = c.encoded;
+  std::vector<DPair> pairs;
+  for (int iter = 0; iter < 16; ++iter) {
+    pairs.clear();
+    c.scopes.reset();
+    auto pre = [&](EN* inst) -> bool {
+      const NRec& n = kNodes[inst->schema];
+      if (n.boundary != B_LEN && n.boundary != B_COUNTER) return true;
+      EN* holder = c.scopes.lookup(n.ref);
+      if (holder == nullptr) return xfail(c);  // target not in scope
+      pairs.push_back({holder, inst, n.boundary == B_COUNTER});
+      return true;
+    };
+    if (!walk_scoped(c, root, pre)) return false;
+    bool changed = false;
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const DPair& pair = pairs[k];
+      u64 value = 0;
+      if (pair.is_counter) {
+        value = pair.measured->kids.size();
+      } else {
+        c.measure.clear();
+        if (!emit_node(c, pair.measured, c.measure)) return false;
+        value = c.measure.size();
+      }
+      const HRec* info = find_by_top(pair.holder->schema);
+      if (info == nullptr) return xfail(c);  // no lineage for holder
+      if (!encode_holder(c, encoded, info->origin, value)) return false;
+
+      // Skip the rebuild if the holder already carries this logical value.
+      // An inversion failure is swallowed (like the host's `if (current &&
+      // ...)` on an errored Expected) and forces the rebuild.
+      EN* current = invert_clone(c, pair.holder);
+      if (current != nullptr) {
+        const bool keep =
+            current->schema == info->origin && current->value == encoded;
+        c.pool.release(current);
+        if (keep) continue;
+      } else {
+        c.err = Err{};
+      }
+
+      Rng rng(msg_seed ^ (0x9e3779b97f4a7c15ull * (k + 1)));
+      EN* rebuilt = rerun_chain(c, info->origin, encoded, *info, rng);
+      if (rebuilt == nullptr) return false;
+      // The host move-assigns into the holder node (identity preserved);
+      // swap the buffers the same way.
+      pair.holder->schema = rebuilt->schema;
+      pair.holder->present = rebuilt->present;
+      pair.holder->value.swap(rebuilt->value);
+      pair.holder->kids.swap(rebuilt->kids);
+      c.pool.release(rebuilt);
+      changed = true;
+    }
+    if (!changed) return true;
+  }
+  return xfail(c);  // wire holder derivation did not converge
+}
+
+// --------------------------------------------------------------- TLV codec --
+//
+// Host <-> unit tree interchange, a lockstep walk of the wire graph:
+//   Terminal            u32 length + bytes
+//   Sequence            children inline (count fixed by the graph)
+//   Optional            u8 present + child when present
+//   Repetition/Tabular  u32 count + elements
+// Little-endian u32s; the host side lives in src/native/protocol.cpp.
+
+inline void put_u32(buf& out, u32 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 24));
+}
+
+inline u32 get_u32(const u8* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+void encode_tlv(const EN* inst, buf& out) {
+  const NRec& n = kNodes[inst->schema];
+  switch (n.type) {
+    case T_TERM:
+      put_u32(out, static_cast<u32>(inst->value.size()));
+      out.insert(out.end(), inst->value.begin(), inst->value.end());
+      break;
+    case T_SEQ:
+      for (const EN* child : inst->kids) encode_tlv(child, out);
+      break;
+    case T_OPT: {
+      const bool present = inst->present && !inst->kids.empty();
+      out.push_back(present ? 1 : 0);
+      if (present) encode_tlv(inst->kids[0], out);
+      break;
+    }
+    case T_REP:
+    case T_TAB:
+      put_u32(out, static_cast<u32>(inst->kids.size()));
+      for (const EN* child : inst->kids) encode_tlv(child, out);
+      break;
+    default:
+      break;
+  }
+}
+
+EN* decode_tlv(Ctx& c, u32 id, const u8* tlv, std::size_t len,
+               std::size_t& pos) {
+  const NRec& n = kNodes[id];
+  switch (n.type) {
+    case T_TERM: {
+      if (len - pos < 4) break;
+      const u32 vn = get_u32(tlv + pos);
+      pos += 4;
+      if (len - pos < vn) break;
+      EN* t = c.pool.make(id);
+      t->value.assign(tlv + pos, tlv + pos + vn);
+      pos += vn;
+      return t;
+    }
+    case T_SEQ: {
+      EN* s = c.pool.make(id);
+      for (u32 i = 0; i < n.kid_cnt; ++i) {
+        EN* child = decode_tlv(c, kKids[n.kid_off + i], tlv, len, pos);
+        if (child == nullptr) {
+          c.pool.release(s);
+          return nullptr;
+        }
+        s->kids.push_back(child);
+      }
+      return s;
+    }
+    case T_OPT: {
+      if (pos >= len) break;
+      const u8 present = tlv[pos++];
+      EN* o = c.pool.make(id);
+      if (present != 0) {
+        EN* child = decode_tlv(c, kKids[n.kid_off], tlv, len, pos);
+        if (child == nullptr) {
+          c.pool.release(o);
+          return nullptr;
+        }
+        o->kids.push_back(child);
+      } else {
+        o->present = false;
+      }
+      return o;
+    }
+    case T_REP:
+    case T_TAB: {
+      if (len - pos < 4) break;
+      const u32 cnt = get_u32(tlv + pos);
+      pos += 4;
+      EN* rep = c.pool.make(id);
+      for (u32 i = 0; i < cnt; ++i) {
+        EN* child = decode_tlv(c, kKids[n.kid_off], tlv, len, pos);
+        if (child == nullptr) {
+          c.pool.release(rep);
+          return nullptr;
+        }
+        rep->kids.push_back(child);
+      }
+      return rep;
+    }
+    default:
+      break;
+  }
+  mfail(c, pos);  // corrupt tree interchange
+  return nullptr;
+}
+
+}  // namespace
+}  // namespace po_native
+
+// ------------------------------------------------------------ C entry ABI --
+
+extern "C" {
+
+std::uint32_t po_native_abi_version(void) { return 1u; }
+
+std::uint64_t po_native_fingerprint(void) {
+  return po_native::kUnitFingerprint;
+}
+
+const char* po_native_protocol(void) { return po_native::kProtocolName; }
+
+// status: 0 parsed (sink receives the raw wire tree as TLV, *consumed set
+// in prefix mode), 1 truncated (*need set), 2 malformed. *err_off is the
+// wire offset of the failure, SIZE_MAX when none applies.
+std::int32_t po_native_parse(const std::uint8_t* data, std::size_t len,
+                             std::int32_t prefix, std::size_t* consumed,
+                             std::size_t* need, std::size_t* err_off,
+                             void (*sink)(void*, const std::uint8_t*,
+                                          std::size_t),
+                             void* sink_ctx) {
+  using namespace po_native;
+  Ctx& c = g_ctx;
+  c.err = Err{};
+  Parser parser(c, prefix != 0);
+  std::size_t local_consumed = 0;
+  EN* root = parser.parse(data, len, &local_consumed);
+  if (root == nullptr) {
+    if (need != nullptr) *need = c.err.need;
+    if (err_off != nullptr) *err_off = c.err.off;
+    return c.err.status == 1 ? 1 : 2;
+  }
+  c.tlv.clear();
+  encode_tlv(root, c.tlv);
+  c.pool.release(root);
+  if (consumed != nullptr) *consumed = local_consumed;
+  sink(sink_ctx, c.tlv.data(), c.tlv.size());
+  return 0;
+}
+
+// `tlv` describes a forward-transformed wire tree; the unit runs the holder
+// fixpoint with `msg_seed` and emits the final wire image through `sink`.
+// status: 0 ok, 2 malformed.
+std::int32_t po_native_fix_emit(const std::uint8_t* tlv, std::size_t tlv_len,
+                                std::uint64_t msg_seed,
+                                void (*sink)(void*, const std::uint8_t*,
+                                             std::size_t),
+                                void* sink_ctx) {
+  using namespace po_native;
+  Ctx& c = g_ctx;
+  c.err = Err{};
+  std::size_t pos = 0;
+  EN* root = decode_tlv(c, kRoot, tlv, tlv_len, pos);
+  if (root == nullptr) return 2;
+  if (pos != tlv_len) {
+    c.pool.release(root);
+    return 2;
+  }
+  if (!fix_holders(c, root, msg_seed)) {
+    c.pool.release(root);
+    return 2;
+  }
+  c.out.clear();
+  if (!emit_node(c, root, c.out)) {
+    c.pool.release(root);
+    return 2;
+  }
+  c.pool.release(root);
+  sink(sink_ctx, c.out.data(), c.out.size());
+  return 0;
+}
+
+}  // extern "C"
+)neng";
+
+}  // namespace
+
+std::uint64_t native_fingerprint(const ObfuscatedProtocol& protocol) {
+  const Graph& wire = protocol.wire_graph();
+  Fnv1a h;
+  h.mix(std::string_view(wire.protocol_name()));
+  h.mix(static_cast<std::uint64_t>(kNativeAbiVersion));
+  h.mix(static_cast<std::uint64_t>(wire.root()));
+  h.mix(static_cast<std::uint64_t>(wire.arena_size()));
+  for (NodeId id = 0; id < wire.arena_size(); ++id) {
+    const Node& n = wire.node(id);
+    h.mix(static_cast<std::uint64_t>(n.type));
+    h.mix(static_cast<std::uint64_t>(n.boundary));
+    h.mix(static_cast<std::uint64_t>(n.encoding));
+    h.mix(static_cast<std::uint64_t>(n.mirrored));
+    h.mix(static_cast<std::uint64_t>(n.fixed_size));
+    h.mix(static_cast<std::uint64_t>(n.ref));
+    h.mix(BytesView(n.delimiter));
+    h.mix(static_cast<std::uint64_t>(n.condition.kind));
+    h.mix(static_cast<std::uint64_t>(n.condition.ref));
+    for (const Bytes& v : n.condition.values) h.mix(BytesView(v));
+    h.mix(static_cast<std::uint64_t>(n.children.size()));
+    for (const NodeId child : n.children) {
+      h.mix(static_cast<std::uint64_t>(child));
+    }
+  }
+  const Journal& journal = protocol.journal();
+  h.mix(static_cast<std::uint64_t>(journal.size()));
+  for (const AppliedTransform& e : journal) {
+    h.mix(static_cast<std::uint64_t>(e.kind));
+    h.mix(static_cast<std::uint64_t>(e.target));
+    h.mix(static_cast<std::uint64_t>(e.created_seq));
+    h.mix(static_cast<std::uint64_t>(e.created_a));
+    h.mix(static_cast<std::uint64_t>(e.created_b));
+    h.mix(static_cast<std::uint64_t>(e.created_c));
+    h.mix(static_cast<std::uint64_t>(e.created_d));
+    h.mix(static_cast<std::uint64_t>(e.element));
+    h.mix(BytesView(e.key));
+    h.mix(static_cast<std::uint64_t>(e.split_point));
+    h.mix(static_cast<std::uint64_t>(e.pad_index));
+    h.mix(static_cast<std::uint64_t>(e.pad_size));
+    h.mix(static_cast<std::uint64_t>(e.child_i));
+    h.mix(static_cast<std::uint64_t>(e.child_j));
+    h.mix(static_cast<std::uint64_t>(e.len_width));
+    h.mix(static_cast<std::uint64_t>(e.len_ascii));
+  }
+  const HolderTable holders =
+      build_holder_table(protocol.original(), journal);
+  h.mix(static_cast<std::uint64_t>(holders.holders.size()));
+  for (const HolderInfo& info : holders.holders) {
+    h.mix(static_cast<std::uint64_t>(info.origin));
+    h.mix(static_cast<std::uint64_t>(info.top));
+    h.mix(static_cast<std::uint64_t>(info.chain.size()));
+    for (const std::size_t idx : info.chain) {
+      h.mix(static_cast<std::uint64_t>(idx));
+    }
+  }
+  return h.value();
+}
+
+std::string generate_native_section(const ObfuscatedProtocol& protocol) {
+  std::ostringstream out;
+  out << kSectionPrologue;
+  emit_tables(out, protocol, native_fingerprint(protocol));
+  out << kEngineA << kEngineB;
+  return out.str();
+}
+
+}  // namespace protoobf

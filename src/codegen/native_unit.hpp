@@ -1,0 +1,48 @@
+// Native serving ABI section of the generated unit.
+//
+// generate_cpp() appends this section to every generated translation unit:
+// a self-contained C++17 engine (no protoobf headers — the unit must build
+// with nothing but a system compiler) plus constexpr tables describing the
+// wire graph, the transformation journal and the holder lineage. Compiled
+// with `c++ -O2 -fPIC -shared` and dlopen'd (src/native), the unit serves
+// the wire-syntax half of the hot path:
+//
+//   po_native_parse     wire bytes -> raw (untransformed) wire tree as TLV
+//   po_native_fix_emit  forward-transformed wire tree as TLV -> wire bytes
+//                       (holder fixpoint + emission inside the unit)
+//
+// The host keeps the transform algebra on logical trees (inverse_all /
+// canonicalize / fill_consts on the parse side, canonicalize / forward_all
+// on the serialize side), so parse results are bit-identical to the
+// interpreter by construction and serialization is property-tested
+// byte-identical (tests/native_test.cpp).
+//
+// The engine is a transliteration of src/runtime/{parse,derive,emit}.cpp
+// and src/transform/exec.cpp over the embedded tables; any semantic change
+// there must be mirrored here (the fuzz agreement arm and the byte-identity
+// suite are the tripwires).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/protocol.hpp"
+
+namespace protoobf {
+
+/// Bumped whenever the po_native_* contract changes shape. Units report
+/// theirs through po_native_abi_version(); loaders reject mismatches.
+inline constexpr std::uint32_t kNativeAbiVersion = 1;
+
+/// Identity of a protocol's native tables: FNV-1a 64 over a canonical dump
+/// of the protocol name, wire-graph arena, root, journal and holder table.
+/// Embedded in the generated unit (po_native_fingerprint()) and recomputed
+/// by the loader, so a stale or corrupted cached .so can never serve a
+/// different protocol than the one it was compiled for.
+std::uint64_t native_fingerprint(const ObfuscatedProtocol& protocol);
+
+/// The native section appended by generate_cpp(): tables + engine +
+/// extern "C" entry points. Self-contained and C++17-clean.
+std::string generate_native_section(const ObfuscatedProtocol& protocol);
+
+}  // namespace protoobf

@@ -16,6 +16,13 @@
 //      ParseResume continuing each truncated attempt. Disagreement means a
 //      suspend/restore path lost or invented state.
 //
+// A fifth, optional clause: with a native backend attached
+// (set_native_backend), every input is additionally parsed through the
+// compiled generated unit and its verdict, consumed count and tree must
+// agree with the interpreter's — the cross-implementation oracle that
+// keeps the native engine honest against hostile bytes, not just valid
+// round-trips.
+//
 // The runner owns one SessionArena and one ParseResume and reuses them
 // across inputs — exactly the shape of a long-lived connection fed by an
 // adversary, which is the scenario under test.
@@ -91,6 +98,11 @@ class FuzzRunner {
   SessionArena& arena() { return arena_; }
   const ObfuscatedProtocol& protocol() const { return *protocol_; }
 
+  /// Attaches the native==interpreter agreement arm: every check() also
+  /// parses through `backend` and compares verdict/consumed/tree. Pass
+  /// nullptr to detach. The backend must outlive the runner.
+  void set_native_backend(const WireBackend* backend) { native_ = backend; }
+
  private:
   struct Attempt {
     Verdict verdict;
@@ -98,12 +110,14 @@ class FuzzRunner {
   };
 
   Attempt parse_full(BytesView wire);
+  Attempt parse_native(BytesView wire);
   Attempt replay_chunked(BytesView wire, Rng& chunks);
 
   const ObfuscatedProtocol* protocol_;
   Config config_;
   SessionArena arena_;
   ParseResume resume_;  // reused across replays; invalidated between inputs
+  const WireBackend* native_ = nullptr;
   Totals totals_;
 };
 

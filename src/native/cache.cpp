@@ -1,0 +1,171 @@
+#include "native/cache.hpp"
+
+#include "codegen/native_unit.hpp"
+
+namespace protoobf::native {
+
+namespace {
+
+std::size_t mix_hash(std::size_t h, std::size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+std::size_t NativeCache::KeyHash::operator()(const Key& k) const {
+  std::size_t h = std::hash<std::uint64_t>{}(k.spec_hash);
+  h = mix_hash(h, std::hash<std::uint64_t>{}(k.seed));
+  h = mix_hash(h, std::hash<int>{}(k.per_node));
+  for (const TransformKind kind : k.enabled) {
+    h = mix_hash(h, static_cast<std::size_t>(kind));
+  }
+  return h;
+}
+
+NativeCache::NativeCache(std::size_t capacity, NativeCompiler::Options options)
+    : compiler_(std::move(options)), capacity_(capacity > 0 ? capacity : 1) {}
+
+NativeCache::~NativeCache() { wait_idle(); }
+
+NativeCache::Key NativeCache::make_key(std::uint64_t spec_hash,
+                                       const ObfuscationConfig& config) {
+  Key key;
+  key.spec_hash = spec_hash;
+  key.seed = config.seed;
+  key.per_node = static_cast<int>(config.per_node);
+  key.enabled = config.enabled;
+  return key;
+}
+
+Expected<NativeCache::Backend> NativeCache::build(
+    const ObfuscatedProtocol& protocol, const Key& key,
+    std::uint64_t fingerprint) {
+  const std::string base = NativeCompiler::cache_file_base(
+      protocol, key.spec_hash, key.seed,
+      static_cast<std::size_t>(key.per_node));
+  auto compiled = compiler_.compile(protocol, base);
+  if (!compiled) return Unexpected(compiled.error());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (compiled->disk_hit) ++stats_.disk_hits;
+    if (compiled->recompiled) ++stats_.recompiles;
+  }
+  if (compiled->unit->fingerprint() != fingerprint) {
+    return Unexpected("native unit fingerprint mismatch after build");
+  }
+  return std::make_shared<const NativeProtocol>(protocol,
+                                                std::move(compiled->unit));
+}
+
+Expected<NativeCache::Backend> NativeCache::get_or_compile(
+    const ObfuscatedProtocol& protocol, std::uint64_t spec_hash,
+    const ObfuscationConfig& config) {
+  const Key key = make_key(spec_hash, config);
+  const std::uint64_t fingerprint = native_fingerprint(protocol);
+
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = index_.find(key); it != index_.end()) {
+      if (it->second->fingerprint == fingerprint) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->backend;
+      }
+      // Key collision (same tuple, different tables): fall through to a
+      // one-off build below, leaving the cached entry alone.
+    }
+    if (auto it = inflight_.find(key);
+        it != inflight_.end() && it->second->fingerprint == fingerprint) {
+      flight = it->second;
+      ++stats_.coalesced;
+    } else {
+      flight = std::make_shared<InFlight>();
+      flight->fingerprint = fingerprint;
+      inflight_[key] = flight;
+      leader = true;
+      ++stats_.misses;
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    return *flight->result;
+  }
+
+  Expected<Backend> result = build(protocol, key, fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Only erase our own rendezvous: a collision build may have replaced it.
+    if (auto it = inflight_.find(key);
+        it != inflight_.end() && it->second == flight) {
+      inflight_.erase(it);
+    }
+    if (result) {
+      if (auto it = index_.find(key); it != index_.end()) {
+        it->second->fingerprint = fingerprint;
+        it->second->backend = *result;
+        lru_.splice(lru_.begin(), lru_, it->second);
+      } else {
+        lru_.push_front(Slot{key, fingerprint, *result});
+        index_[key] = lru_.begin();
+        while (lru_.size() > capacity_) {
+          index_.erase(lru_.back().key);
+          lru_.pop_back();
+        }
+      }
+      stats_.size = lru_.size();
+    } else {
+      ++stats_.errors;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return result;
+}
+
+void NativeCache::compile_and_attach(
+    std::shared_ptr<const ObfuscatedProtocol> protocol,
+    std::uint64_t spec_hash, const ObfuscationConfig& config) {
+  if (protocol == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.background;
+  workers_.emplace_back(
+      [this, protocol = std::move(protocol), spec_hash, config] {
+        auto backend = get_or_compile(*protocol, spec_hash, config);
+        if (backend) protocol->attach_wire_backend(*backend);
+        // Failures already counted in stats().errors by get_or_compile;
+        // the protocol keeps serving interpreted.
+      });
+}
+
+void NativeCache::wait_idle() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+NativeCache::Stats NativeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void NativeCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.size = 0;
+}
+
+}  // namespace protoobf::native

@@ -1,0 +1,123 @@
+// NativeCache: process-wide cache of compiled native units.
+//
+// Mirrors session/ProtocolCache one level down: where ProtocolCache
+// memoizes *obfuscation* (graph work) per (spec hash, seed, per_node,
+// enabled-transform set), NativeCache memoizes *toolchain runs* per the
+// same key — generate + `c++ -shared` + dlopen is milliseconds-to-seconds,
+// so it must happen at most once per key per machine. Three layers:
+//
+//   memory   LRU of loaded units (shared_ptr keeps evicted units alive
+//            for whoever already serves from them);
+//   disk     NativeCompiler's <key+fingerprint>.so files, shared across
+//            processes and validated before reuse;
+//   dedup    in-flight leader/follower rendezvous so a miss storm on one
+//            key runs the compiler exactly once.
+//
+// The intended serving pattern is compile_and_attach(): a cold key keeps
+// serving interpreted while a background thread builds the unit, then the
+// backend swaps into the (shared) ObfuscatedProtocol mid-flight.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "native/compiler.hpp"
+#include "native/protocol.hpp"
+#include "transform/engine.hpp"
+
+namespace protoobf::native {
+
+class NativeCache {
+ public:
+  using Backend = std::shared_ptr<const NativeProtocol>;
+
+  struct Stats {
+    std::size_t hits = 0;        // served from the in-memory LRU
+    std::size_t misses = 0;      // required compiler work or a disk load
+    std::size_t disk_hits = 0;   // misses satisfied by a valid on-disk .so
+    std::size_t recompiles = 0;  // invalid/corrupt cached .so rebuilt
+    std::size_t coalesced = 0;   // misses that waited on an in-flight build
+    std::size_t background = 0;  // compile_and_attach jobs started
+    std::size_t errors = 0;      // builds that failed (toolchain, codegen)
+    std::size_t size = 0;
+  };
+
+  explicit NativeCache(std::size_t capacity = 16,
+                       NativeCompiler::Options options = {});
+  ~NativeCache();
+
+  /// Blocking get: returns the native backend for `protocol`, compiling
+  /// (or loading from disk) on a miss. `spec_hash` and `config` form the
+  /// cache key, exactly as in ProtocolCache; the unit fingerprint guards
+  /// against key collisions and stale disk artifacts.
+  Expected<Backend> get_or_compile(const ObfuscatedProtocol& protocol,
+                                   std::uint64_t spec_hash,
+                                   const ObfuscationConfig& config);
+
+  /// Non-blocking serve-then-swap: starts a background build (deduped by
+  /// key) and attaches the resulting backend to `protocol` when it lands.
+  /// Until then the protocol keeps serving interpreted. Failures count in
+  /// stats().errors and leave the protocol untouched.
+  void compile_and_attach(std::shared_ptr<const ObfuscatedProtocol> protocol,
+                          std::uint64_t spec_hash,
+                          const ObfuscationConfig& config);
+
+  /// Joins all outstanding background builds (tests and shutdown).
+  void wait_idle();
+
+  Stats stats() const;
+  void clear();
+
+  const NativeCompiler& compiler() const { return compiler_; }
+
+ private:
+  struct Key {
+    std::uint64_t spec_hash = 0;
+    std::uint64_t seed = 0;
+    int per_node = 0;
+    std::vector<TransformKind> enabled;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  // `fingerprint` verifies a key match (like ProtocolCache's Slot::source):
+  // a spec-hash collision degrades to a compile-without-caching instead of
+  // serving another protocol's unit.
+  struct Slot {
+    Key key;
+    std::uint64_t fingerprint = 0;
+    Backend backend;
+  };
+  using LruList = std::list<Slot>;
+
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::uint64_t fingerprint = 0;
+    std::optional<Expected<Backend>> result;
+  };
+
+  static Key make_key(std::uint64_t spec_hash, const ObfuscationConfig& config);
+  Expected<Backend> build(const ObfuscatedProtocol& protocol, const Key& key,
+                          std::uint64_t fingerprint);
+
+  NativeCompiler compiler_;
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHash> inflight_;
+  std::vector<std::thread> workers_;
+  Stats stats_;
+};
+
+}  // namespace protoobf::native

@@ -1,0 +1,303 @@
+#include "native/compiler.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "codegen/generator.hpp"
+#include "codegen/native_unit.hpp"
+
+#ifndef PROTOOBF_NATIVE_CXX
+#define PROTOOBF_NATIVE_CXX "c++"
+#endif
+#ifndef PROTOOBF_NATIVE_FLAGS
+#define PROTOOBF_NATIVE_FLAGS ""
+#endif
+
+namespace protoobf::native {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("PROTOOBF_NATIVE_CACHE");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "/tmp/protoobf-native-" + std::to_string(::getuid());
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string sanitized(std::string_view name) {
+  std::string out;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("protocol") : out;
+}
+
+Status write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return Unexpected("cannot write " + path);
+  return {};
+}
+
+/// Runs `<compiler> <fixed flags> <extra> -o <out> <src>`, stderr captured
+/// to `<out>.log`. Paths are double-quoted; extra_flags is trusted text
+/// from the build system / caller, inserted verbatim.
+Status run_compiler(const std::string& compiler,
+                    const std::string& extra_flags, const std::string& src,
+                    const std::string& out) {
+  std::ostringstream cmd;
+  cmd << compiler << " -std=c++17 -O2 -fPIC -shared";
+  if (!extra_flags.empty()) cmd << " " << extra_flags;
+  cmd << " -o \"" << out << "\" \"" << src << "\" 2> \"" << out << ".log\"";
+  const int rc = std::system(cmd.str().c_str());
+  if (rc != 0) {
+    std::string detail;
+    std::ifstream log(out + ".log");
+    std::string line;
+    while (std::getline(log, line) && detail.size() < 512) {
+      detail += line;
+      detail += "; ";
+    }
+    return Unexpected("native compile failed (exit " + std::to_string(rc) +
+                      "): " + detail + "see " + out + ".log");
+  }
+  return {};
+}
+
+struct ToolchainProbe {
+  bool available = false;
+  std::string reason;
+};
+
+/// One real compile + dlopen + call with the default options: the only
+/// trustworthy way to know the native path works in this build mode (a
+/// present compiler is not enough — e.g. gcc's static libasan makes
+/// sanitized .so files fail at dlopen time).
+ToolchainProbe probe_toolchain() {
+  ToolchainProbe probe;
+  const std::string dir = default_cache_dir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    probe.reason = "cannot create cache dir " + dir + ": " + ec.message();
+    return probe;
+  }
+  const std::string base =
+      dir + "/toolchain-probe-" + std::to_string(::getpid());
+  const std::string src = base + ".cpp";
+  const std::string so = base + ".so";
+  if (Status s = write_file(
+          src, "extern \"C\" int po_native_probe(void) { return 42; }\n");
+      !s) {
+    probe.reason = s.error().message;
+    return probe;
+  }
+  if (Status s = run_compiler(PROTOOBF_NATIVE_CXX, PROTOOBF_NATIVE_FLAGS, src,
+                              so);
+      !s) {
+    probe.reason = s.error().message;
+    fs::remove(src, ec);
+    return probe;
+  }
+  void* handle = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = ::dlerror();
+    probe.reason = std::string("probe dlopen failed: ") +
+                   (err != nullptr ? err : "unknown");
+  } else {
+    using ProbeFn = int (*)(void);
+    auto fn =
+        reinterpret_cast<ProbeFn>(::dlsym(handle, "po_native_probe"));
+    if (fn == nullptr || fn() != 42) {
+      probe.reason = "probe symbol did not resolve or misbehaved";
+    } else {
+      probe.available = true;
+    }
+    ::dlclose(handle);
+  }
+  fs::remove(src, ec);
+  fs::remove(so, ec);
+  fs::remove(so + ".log", ec);
+  return probe;
+}
+
+const ToolchainProbe& toolchain_probe() {
+  static const ToolchainProbe probe = probe_toolchain();
+  return probe;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- NativeUnit
+
+NativeUnit::NativeUnit(void* handle, UnitApi api, std::string path)
+    : handle_(handle), api_(api), path_(std::move(path)) {}
+
+NativeUnit::~NativeUnit() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+Expected<std::shared_ptr<const NativeUnit>> NativeUnit::load(
+    const std::string& so_path, std::uint64_t expect_fingerprint) {
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = ::dlerror();
+    return Unexpected("dlopen " + so_path + " failed: " +
+                      (err != nullptr ? err : "unknown error"));
+  }
+  UnitApi api;
+  const auto resolve = [&](const char* name) -> void* {
+    return ::dlsym(handle, name);
+  };
+  api.abi_version = reinterpret_cast<decltype(api.abi_version)>(
+      resolve("po_native_abi_version"));
+  api.fingerprint = reinterpret_cast<decltype(api.fingerprint)>(
+      resolve("po_native_fingerprint"));
+  api.protocol =
+      reinterpret_cast<decltype(api.protocol)>(resolve("po_native_protocol"));
+  api.parse = reinterpret_cast<decltype(api.parse)>(resolve("po_native_parse"));
+  api.fix_emit =
+      reinterpret_cast<decltype(api.fix_emit)>(resolve("po_native_fix_emit"));
+  const auto reject = [&](const std::string& why) {
+    ::dlclose(handle);
+    return Unexpected("native unit " + so_path + " rejected: " + why);
+  };
+  if (api.abi_version == nullptr || api.fingerprint == nullptr ||
+      api.protocol == nullptr || api.parse == nullptr ||
+      api.fix_emit == nullptr) {
+    return reject("missing po_native_* symbols");
+  }
+  if (api.abi_version() != kNativeAbiVersion) {
+    return reject("ABI version " + std::to_string(api.abi_version()) +
+                  " != host " + std::to_string(kNativeAbiVersion));
+  }
+  if (expect_fingerprint != 0 && api.fingerprint() != expect_fingerprint) {
+    return reject("fingerprint mismatch (stale cache entry)");
+  }
+  return std::shared_ptr<const NativeUnit>(
+      new NativeUnit(handle, api, so_path));
+}
+
+// ------------------------------------------------------------ NativeCompiler
+
+NativeCompiler::NativeCompiler(Options options) : options_(std::move(options)) {
+  if (options_.cache_dir.empty()) options_.cache_dir = default_cache_dir();
+  if (options_.compiler.empty()) options_.compiler = PROTOOBF_NATIVE_CXX;
+  if (options_.extra_flags.empty()) options_.extra_flags = PROTOOBF_NATIVE_FLAGS;
+}
+
+std::string NativeCompiler::cache_file_base(const ObfuscatedProtocol& protocol,
+                                            std::uint64_t spec_hash,
+                                            std::uint64_t seed,
+                                            std::size_t per_node) {
+  return sanitized(protocol.wire_graph().protocol_name()) + "-" +
+         hex64(spec_hash) + "-" + std::to_string(seed) + "-" +
+         std::to_string(per_node) + "-" +
+         hex64(native_fingerprint(protocol));
+}
+
+bool NativeCompiler::toolchain_available() {
+  return toolchain_probe().available;
+}
+
+const std::string& NativeCompiler::toolchain_status() {
+  return toolchain_probe().reason;
+}
+
+Expected<NativeCompiler::Result> NativeCompiler::compile(
+    const ObfuscatedProtocol& protocol, const std::string& key_base) const {
+  std::error_code ec;
+  fs::create_directories(options_.cache_dir, ec);
+  if (ec) {
+    return Unexpected("cannot create native cache dir " + options_.cache_dir +
+                      ": " + ec.message());
+  }
+  const std::uint64_t fingerprint = native_fingerprint(protocol);
+  const std::string base = options_.cache_dir + "/" + sanitized(key_base);
+  const std::string so = base + ".so";
+
+  Result result;
+  if (fs::exists(so, ec)) {
+    // Cache hygiene: a cached artifact is only served once its embedded
+    // ABI/fingerprint probes validate; otherwise it is deleted and rebuilt.
+    auto unit = NativeUnit::load(so, fingerprint);
+    if (unit) {
+      result.unit = std::move(*unit);
+      result.disk_hit = true;
+      return result;
+    }
+    fs::remove(so, ec);
+    result.recompiled = true;
+  }
+
+  GeneratedCode code = generate_cpp(protocol);
+  auto unit = build(code.source, base, fingerprint, &result.compile_ms);
+  if (!unit) return Unexpected(unit.error());
+  result.unit = std::move(*unit);
+  return result;
+}
+
+Expected<std::shared_ptr<const NativeUnit>> NativeCompiler::build(
+    const std::string& source, const std::string& base,
+    std::uint64_t fingerprint, double* compile_ms) const {
+  const std::string pid = std::to_string(::getpid());
+  const std::string cpp = base + ".cpp";
+  const std::string tmp_cpp = cpp + ".tmp." + pid;
+  const std::string so = base + ".so";
+  const std::string tmp_so = so + ".tmp." + pid;
+
+  if (Status s = write_file(tmp_cpp, source); !s) {
+    return Unexpected(s.error());
+  }
+  std::error_code ec;
+  fs::rename(tmp_cpp, cpp, ec);
+  if (ec) {
+    return Unexpected("cannot place generated source " + cpp + ": " +
+                      ec.message());
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  Status compiled =
+      run_compiler(options_.compiler, options_.extra_flags, cpp, tmp_so);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (compile_ms != nullptr) {
+    *compile_ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+  }
+  if (!compiled) {
+    if (!options_.keep_source) fs::remove(cpp, ec);
+    return Unexpected(compiled.error());
+  }
+  // tmp-compile + rename keeps concurrent processes from ever seeing a
+  // half-written .so; last writer wins with an identical artifact.
+  fs::rename(tmp_so, so, ec);
+  if (ec) {
+    return Unexpected("cannot place native unit " + so + ": " + ec.message());
+  }
+  fs::remove(tmp_so + ".log", ec);
+  if (!options_.keep_source) fs::remove(cpp, ec);
+  return NativeUnit::load(so, fingerprint);
+}
+
+}  // namespace protoobf::native

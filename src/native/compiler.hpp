@@ -1,0 +1,129 @@
+// NativeCompiler: generated unit -> shared object -> dlopen'd NativeUnit.
+//
+// Takes codegen::generate_cpp() output (whose tail is the po_native ABI
+// section, see codegen/native_unit.hpp), writes it to a scratch/cache
+// directory, invokes the system toolchain (`c++ -std=c++17 -O2 -fPIC
+// -shared`, with the host build's CXX flags appended so sanitizer builds
+// produce sanitizer-coherent units) and loads the result behind RAII.
+//
+// On-disk layout (shared across processes): one `<base>.so` per protocol,
+// where <base> encodes the cache key and the table fingerprint —
+//   <name>-<spec_hash hex>-<seed>-<per_node>-<fingerprint hex>
+// A cached .so is only served after its embedded ABI version, fingerprint
+// and protocol name check out; anything stale, truncated or corrupted is
+// deleted and recompiled, never dlopen'd blind beyond those probes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/protocol.hpp"
+#include "util/result.hpp"
+
+namespace protoobf::native {
+
+/// The extern "C" surface of a loaded unit (resolved via dlsym).
+struct UnitApi {
+  using Sink = void (*)(void*, const std::uint8_t*, std::size_t);
+  std::uint32_t (*abi_version)(void) = nullptr;
+  std::uint64_t (*fingerprint)(void) = nullptr;
+  const char* (*protocol)(void) = nullptr;
+  std::int32_t (*parse)(const std::uint8_t* data, std::size_t len,
+                        std::int32_t prefix, std::size_t* consumed,
+                        std::size_t* need, std::size_t* err_off, Sink sink,
+                        void* ctx) = nullptr;
+  std::int32_t (*fix_emit)(const std::uint8_t* tlv, std::size_t tlv_len,
+                           std::uint64_t msg_seed, Sink sink,
+                           void* ctx) = nullptr;
+};
+
+/// A dlopen'd generated unit. RTLD_LOCAL keeps the po_native symbols
+/// per-handle, so units for different protocols coexist in one process.
+/// The handle closes when the last shared_ptr drops.
+class NativeUnit {
+ public:
+  /// Loads and validates `so_path`: all five symbols must resolve, the ABI
+  /// version must match the host's, and when `expect_fingerprint` is
+  /// nonzero the unit's embedded fingerprint must equal it.
+  static Expected<std::shared_ptr<const NativeUnit>> load(
+      const std::string& so_path, std::uint64_t expect_fingerprint);
+
+  ~NativeUnit();
+  NativeUnit(const NativeUnit&) = delete;
+  NativeUnit& operator=(const NativeUnit&) = delete;
+
+  const UnitApi& api() const { return api_; }
+  const std::string& path() const { return path_; }
+  std::uint64_t fingerprint() const { return api_.fingerprint(); }
+
+ private:
+  NativeUnit(void* handle, UnitApi api, std::string path);
+  void* handle_;
+  UnitApi api_;
+  std::string path_;
+};
+
+class NativeCompiler {
+ public:
+  struct Options {
+    /// Where .so/.cpp/.log files live. Default: $PROTOOBF_NATIVE_CACHE,
+    /// else /tmp/protoobf-native-<uid>. Created on demand.
+    std::string cache_dir;
+    /// Compiler driver. Default: the compiler that built this binary
+    /// (PROTOOBF_NATIVE_CXX), else "c++".
+    std::string compiler;
+    /// Extra flags appended after the fixed set — defaults to the host
+    /// build's CMAKE_CXX_FLAGS so -fsanitize and friends propagate.
+    std::string extra_flags;
+    /// Keep the generated .cpp beside the .so (useful for debugging; the
+    /// source is always kept while compiling for diagnostics).
+    bool keep_source = true;
+  };
+
+  struct Result {
+    std::shared_ptr<const NativeUnit> unit;
+    /// A valid on-disk .so was reused; no compiler run.
+    bool disk_hit = false;
+    /// A cached .so existed but failed validation and was rebuilt.
+    bool recompiled = false;
+    /// Wall-clock of the toolchain run (0 on disk hits).
+    double compile_ms = 0.0;
+  };
+
+  NativeCompiler() : NativeCompiler(Options{}) {}
+  explicit NativeCompiler(Options options);
+
+  /// Generates the unit for `protocol`, compiles it (unless a valid .so for
+  /// the same key+fingerprint is already on disk) and loads it. `key_base`
+  /// names the artifact files — pass cache_file_base() output.
+  Expected<Result> compile(const ObfuscatedProtocol& protocol,
+                           const std::string& key_base) const;
+
+  const Options& options() const { return options_; }
+
+  /// File-name base for a protocol's artifacts: sanitized protocol name +
+  /// cache key (spec hash, seed, per_node) + table fingerprint.
+  static std::string cache_file_base(const ObfuscatedProtocol& protocol,
+                                     std::uint64_t spec_hash,
+                                     std::uint64_t seed, std::size_t per_node);
+
+  /// One-time probe: compiles and dlopens a minimal unit with the
+  /// configured defaults. False when no toolchain is installed or when
+  /// loading fails in this build mode (e.g. static-libasan setups cannot
+  /// dlopen sanitized objects) — callers skip the native path and log why.
+  static bool toolchain_available();
+
+  /// Human-readable reason for the last toolchain_available() == false,
+  /// empty when available. Stable after the first probe.
+  static const std::string& toolchain_status();
+
+ private:
+  Expected<std::shared_ptr<const NativeUnit>> build(
+      const std::string& source, const std::string& base,
+      std::uint64_t fingerprint, double* compile_ms) const;
+
+  Options options_;
+};
+
+}  // namespace protoobf::native

@@ -1,0 +1,183 @@
+#include "native/protocol.hpp"
+
+namespace protoobf::native {
+
+namespace {
+
+// Host half of the TLV interchange (the unit half lives in the generated
+// engine, codegen/native_unit.cpp): u32 little-endian lengths/counts, a
+// lockstep walk of the wire graph supplying all structure.
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<Byte>(v));
+  out.push_back(static_cast<Byte>(v >> 8));
+  out.push_back(static_cast<Byte>(v >> 16));
+  out.push_back(static_cast<Byte>(v >> 24));
+}
+
+bool get_u32(BytesView tlv, std::size_t& pos, std::uint32_t& v) {
+  if (tlv.size() - pos < 4) return false;
+  v = static_cast<std::uint32_t>(tlv[pos]) |
+      (static_cast<std::uint32_t>(tlv[pos + 1]) << 8) |
+      (static_cast<std::uint32_t>(tlv[pos + 2]) << 16) |
+      (static_cast<std::uint32_t>(tlv[pos + 3]) << 24);
+  pos += 4;
+  return true;
+}
+
+Status flatten(const Graph& g, const Inst& inst, NodeId id, Bytes& out) {
+  if (inst.schema != id) {
+    return Unexpected("native tlv: tree does not match the wire graph");
+  }
+  const Node& n = g.node(id);
+  switch (n.type) {
+    case NodeType::Terminal:
+      put_u32(out, static_cast<std::uint32_t>(inst.value.size()));
+      out.insert(out.end(), inst.value.begin(), inst.value.end());
+      return {};
+    case NodeType::Sequence: {
+      if (inst.children.size() != n.children.size()) {
+        return Unexpected("native tlv: sequence arity mismatch");
+      }
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        if (Status s = flatten(g, *inst.children[i], n.children[i], out); !s) {
+          return s;
+        }
+      }
+      return {};
+    }
+    case NodeType::Optional: {
+      const bool present = inst.present && !inst.children.empty();
+      out.push_back(present ? 1 : 0);
+      if (present) {
+        return flatten(g, *inst.children[0], n.children[0], out);
+      }
+      return {};
+    }
+    case NodeType::Repetition:
+    case NodeType::Tabular: {
+      put_u32(out, static_cast<std::uint32_t>(inst.children.size()));
+      for (const InstPtr& child : inst.children) {
+        if (Status s = flatten(g, *child, n.children[0], out); !s) return s;
+      }
+      return {};
+    }
+  }
+  return Unexpected("native tlv: unknown node type");
+}
+
+Expected<InstPtr> unflatten(const Graph& g, NodeId id, BytesView tlv,
+                            std::size_t& pos, InstPool* nodes) {
+  const Node& n = g.node(id);
+  switch (n.type) {
+    case NodeType::Terminal: {
+      std::uint32_t len = 0;
+      if (!get_u32(tlv, pos, len) || tlv.size() - pos < len) {
+        return Unexpected("native tlv corrupt: terminal out of bounds");
+      }
+      InstPtr t = ast::terminal(nodes, id, tlv.subspan(pos, len));
+      pos += len;
+      return t;
+    }
+    case NodeType::Sequence: {
+      InstPtr s = ast::make(nodes, id);
+      s->children.reserve(n.children.size());
+      for (const NodeId child : n.children) {
+        auto parsed = unflatten(g, child, tlv, pos, nodes);
+        if (!parsed) return parsed;
+        s->children.push_back(std::move(*parsed));
+      }
+      return s;
+    }
+    case NodeType::Optional: {
+      if (pos >= tlv.size()) {
+        return Unexpected("native tlv corrupt: optional out of bounds");
+      }
+      const Byte present = tlv[pos++];
+      if (present == 0) return ast::absent(nodes, id);
+      InstPtr o = ast::make(nodes, id);
+      auto child = unflatten(g, n.children[0], tlv, pos, nodes);
+      if (!child) return child;
+      o->children.push_back(std::move(*child));
+      return o;
+    }
+    case NodeType::Repetition:
+    case NodeType::Tabular: {
+      std::uint32_t count = 0;
+      if (!get_u32(tlv, pos, count)) {
+        return Unexpected("native tlv corrupt: count out of bounds");
+      }
+      InstPtr rep = ast::make(nodes, id);
+      rep->children.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        auto element = unflatten(g, n.children[0], tlv, pos, nodes);
+        if (!element) return element;
+        rep->children.push_back(std::move(*element));
+      }
+      return rep;
+    }
+  }
+  return Unexpected("native tlv corrupt: unknown node type");
+}
+
+void bytes_sink(void* ctx, const std::uint8_t* data, std::size_t n) {
+  Bytes& out = *static_cast<Bytes*>(ctx);
+  if (n == 0) {
+    out.clear();
+    return;
+  }
+  out.assign(data, data + n);
+}
+
+// One interchange buffer per thread: steady-state serving round-trips
+// through recycled capacity, matching the interpreter's allocation profile.
+Bytes& tlv_scratch() {
+  thread_local Bytes scratch;
+  return scratch;
+}
+
+}  // namespace
+
+NativeProtocol::NativeProtocol(const ObfuscatedProtocol& protocol,
+                               std::shared_ptr<const NativeUnit> unit)
+    : wire_(protocol.wire_graph().clone()), unit_(std::move(unit)) {}
+
+Expected<InstPtr> NativeProtocol::parse_wire_tree(BytesView wire, bool prefix,
+                                                  std::size_t* consumed,
+                                                  InstPool* nodes) const {
+  Bytes& tlv = tlv_scratch();
+  std::size_t need = 0;
+  std::size_t err_off = static_cast<std::size_t>(-1);
+  const std::int32_t status = unit_->api().parse(
+      wire.data(), wire.size(), prefix ? 1 : 0, consumed, &need, &err_off,
+      &bytes_sink, &tlv);
+  if (status == 1) {
+    return Unexpected::truncated("truncated wire (native)", err_off, need);
+  }
+  if (status != 0) {
+    return Unexpected("malformed wire (native)", err_off);
+  }
+  std::size_t pos = 0;
+  auto tree = unflatten(wire_, wire_.root(), BytesView(tlv), pos, nodes);
+  if (!tree) return tree;
+  if (pos != tlv.size()) {
+    return Unexpected("native tlv corrupt: trailing bytes");
+  }
+  return tree;
+}
+
+Status NativeProtocol::fix_emit(const Inst& wire_tree, std::uint64_t msg_seed,
+                                Bytes& out) const {
+  Bytes& tlv = tlv_scratch();
+  tlv.clear();
+  if (Status s = flatten(wire_, wire_tree, wire_.root(), tlv); !s) return s;
+  const std::int32_t status =
+      unit_->api().fix_emit(tlv.data(), tlv.size(), msg_seed, &bytes_sink,
+                            &out);
+  if (status != 0) {
+    return Unexpected("native serialization failed (fixpoint or emission)");
+  }
+  return {};
+}
+
+}  // namespace protoobf::native

@@ -1,0 +1,43 @@
+// NativeProtocol: WireBackend over a dlopen'd generated unit.
+//
+// Bridges the host's pooled Inst trees and the unit's internal tree
+// representation through a compact TLV interchange (lockstep walk of the
+// wire graph, see the codec section of codegen/native_unit.cpp):
+//
+//   parse      wire bytes --unit--> TLV --host--> raw wire tree (pooled)
+//   fix_emit   wire tree --host--> TLV --unit--> fixpoint + wire bytes
+//
+// The adapter owns a clone of the protocol's wire graph (no back-pointer
+// into the ObfuscatedProtocol it serves, so attachment cannot cycle) and a
+// shared reference to the unit, which keeps the .so mapped. Thread-safe
+// the same way the interpreter is: the unit's engine state is
+// thread_local, the host scratch here too.
+#pragma once
+
+#include <memory>
+
+#include "native/compiler.hpp"
+#include "runtime/backend.hpp"
+
+namespace protoobf::native {
+
+class NativeProtocol : public WireBackend {
+ public:
+  NativeProtocol(const ObfuscatedProtocol& protocol,
+                 std::shared_ptr<const NativeUnit> unit);
+
+  Expected<InstPtr> parse_wire_tree(BytesView wire, bool prefix,
+                                    std::size_t* consumed,
+                                    InstPool* nodes) const override;
+
+  Status fix_emit(const Inst& wire_tree, std::uint64_t msg_seed,
+                  Bytes& out) const override;
+
+  const NativeUnit& unit() const { return *unit_; }
+
+ private:
+  Graph wire_;
+  std::shared_ptr<const NativeUnit> unit_;
+};
+
+}  // namespace protoobf::native

@@ -1,0 +1,48 @@
+// WireBackend: a pluggable implementation of the wire-syntax half of an
+// ObfuscatedProtocol — the parts the generated native unit can take over.
+//
+// The split follows the transformation pipeline: a backend owns everything
+// that touches wire bytes (prefix/whole-message parsing into the *raw*
+// wire tree, and holder fixpoint + emission of a forward-transformed
+// tree), while the host keeps the transform algebra on logical trees
+// (canonicalize / forward_all before fix_emit, inverse_all / fill_consts /
+// canonicalize / ast::check after parse_wire_tree). Because the host-side
+// passes are shared, a backend only has to reproduce the interpreter's
+// wire syntax to be byte-identical end to end.
+//
+// The production implementation is native::NativeProtocol (a dlopen'd
+// generated unit); attach one with
+// ObfuscatedProtocol::attach_wire_backend().
+#pragma once
+
+#include <cstdint>
+
+#include "ast/pool.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace protoobf {
+
+class WireBackend {
+ public:
+  virtual ~WireBackend() = default;
+
+  /// Parses wire bytes into the raw (still forward-transformed) wire tree,
+  /// exactly as the interpreter's parse_wire/parse_wire_prefix would.
+  /// `prefix` tolerates trailing bytes and reports the message's wire size
+  /// in `*consumed`; otherwise trailing bytes are an error. Truncated
+  /// inputs fail with ErrorKind::Truncated and a need hint. The result
+  /// tree draws from `nodes` when given.
+  virtual Expected<InstPtr> parse_wire_tree(BytesView wire, bool prefix,
+                                            std::size_t* consumed,
+                                            InstPool* nodes) const = 0;
+
+  /// Runs the derived-holder fixpoint (seeded with `msg_seed`, same
+  /// per-pair stream as the interpreter's fix_holders) on an already
+  /// forward-transformed wire tree and emits the final wire image into
+  /// `out` (contents replaced, capacity reused).
+  virtual Status fix_emit(const Inst& wire_tree, std::uint64_t msg_seed,
+                          Bytes& out) const = 0;
+};
+
+}  // namespace protoobf

@@ -19,9 +19,11 @@
 // hexdump from the assertion message, drop them in a new file.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,7 +31,9 @@
 #include "core/protoobf.hpp"
 #include "fuzz/runner.hpp"
 #include "fuzz_support.hpp"
+#include "native/cache.hpp"
 #include "runtime/parse.hpp"
+#include "session/protocol_cache.hpp"
 #include "util/rng.hpp"
 
 #ifndef PROTOOBF_CORPUS_DIR
@@ -99,9 +103,21 @@ TEST(CorpusReplay, EveryCheckedInCrasherHoldsAllInvariants) {
 
   // One compiled protocol + runner per (spec, seed, per_node), reused
   // across entries the way the fuzz campaign reuses its per-arm runner.
-  std::map<std::string, std::pair<std::unique_ptr<ObfuscatedProtocol>,
-                                  std::unique_ptr<fuzz::FuzzRunner>>>
-      runners;
+  struct ReplayArm {
+    std::unique_ptr<ObfuscatedProtocol> protocol;
+    std::unique_ptr<fuzz::FuzzRunner> runner;
+    std::shared_ptr<const native::NativeProtocol> native;
+  };
+  std::map<std::string, ReplayArm> runners;
+
+  // Crashers replay through the native engine too: an input that once broke
+  // the interpreter is exactly the input a transliteration gets wrong.
+  const bool native_ok = native::NativeCompiler::toolchain_available();
+  if (!native_ok) {
+    std::printf("[ info ] native agreement arm skipped: %s\n",
+                native::NativeCompiler::toolchain_status().c_str());
+  }
+  native::NativeCache native_cache;
 
   for (const auto& path : files) {
     auto entry = load_entry(path);
@@ -124,21 +140,27 @@ TEST(CorpusReplay, EveryCheckedInCrasherHoldsAllInvariants) {
       auto protocol = Framework::generate(*graph, cfg);
       ASSERT_TRUE(protocol.ok()) << entry->file << ": "
                                  << protocol.error().message;
-      auto owned = std::make_unique<ObfuscatedProtocol>(std::move(*protocol));
+      ReplayArm arm;
+      arm.protocol = std::make_unique<ObfuscatedProtocol>(std::move(*protocol));
       fuzz::FuzzRunner::Config run_cfg;
-      run_cfg.whole_message = !stream_safe(owned->wire_graph()).ok();
-      auto runner = std::make_unique<fuzz::FuzzRunner>(*owned, run_cfg);
-      found = runners
-                  .emplace(key, std::make_pair(std::move(owned),
-                                               std::move(runner)))
-                  .first;
+      run_cfg.whole_message = !stream_safe(arm.protocol->wire_graph()).ok();
+      arm.runner = std::make_unique<fuzz::FuzzRunner>(*arm.protocol, run_cfg);
+      if (native_ok) {
+        auto backend = native_cache.get_or_compile(
+            *arm.protocol, ProtocolCache::hash_spec(spec->spec), cfg);
+        ASSERT_TRUE(backend.ok()) << entry->file << ": native build failed: "
+                                  << backend.error().message;
+        arm.native = *backend;
+        arm.runner->set_native_backend(arm.native.get());
+      }
+      found = runners.emplace(key, std::move(arm)).first;
     }
 
     // The chunk RNG is pinned per entry (not per campaign): replays are
     // bit-for-bit deterministic regardless of corpus ordering.
     Rng chunks(entry->seed ^ 0xC0DE ^ entry->wire.size());
     const std::string violation =
-        found->second.second->check(entry->wire, chunks);
+        found->second.runner->check(entry->wire, chunks);
     EXPECT_EQ(violation, "")
         << entry->file << " (" << entry->note << ")\n"
         << hexdump(entry->wire);

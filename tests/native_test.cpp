@@ -1,0 +1,388 @@
+// Native backend tests (ISSUE 7 tentpole).
+//
+// The compiled generated unit must be *indistinguishable* from the
+// interpreter at the byte level:
+//   * serialize: identical wire bytes for every (message, msg_seed) —
+//     including the per-message randomness (split halves, pad bytes) and
+//     the holder-fixpoint reruns, which consume their own seeded streams;
+//   * parse / parse_prefix: identical verdict, consumed count, error
+//     taxonomy (Truncated vs Malformed, need hints) and logical tree, on
+//     valid wires and on mutated hostile ones.
+//
+// Plus the operational half: the cache serves repeat keys without
+// recompiling, coalesces concurrent misses, reuses on-disk units across
+// cache instances, detects corrupted artifacts instead of dlopen'ing them
+// blind, and background-attaches to a serving protocol.
+//
+// Every test skips (with the probe's reason) when the toolchain cannot
+// produce loadable units in this build mode — e.g. ASan with static
+// libasan, where dlopen of a sanitized .so fails by design.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/protoobf.hpp"
+#include "fuzz/random_message.hpp"
+#include "fuzz_support.hpp"
+#include "native/cache.hpp"
+#include "runtime/parse.hpp"
+#include "session/protocol_cache.hpp"
+#include "util/rng.hpp"
+
+namespace protoobf {
+namespace {
+
+namespace fs = std::filesystem;
+using native::NativeCache;
+using native::NativeCompiler;
+using native::NativeProtocol;
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                       \
+  if (!NativeCompiler::toolchain_available()) {                        \
+    GTEST_SKIP() << "native toolchain unavailable in this build mode: " \
+                 << NativeCompiler::toolchain_status();                \
+  }
+
+/// A scratch cache dir per test suite run, so cache hit/corruption tests
+/// are not confused by artifacts from earlier runs or other tests.
+std::string fresh_cache_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "protoobf-native-" + tag;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir;
+}
+
+NativeCompiler::Options options_in(const std::string& dir) {
+  NativeCompiler::Options options;
+  options.cache_dir = dir;
+  return options;
+}
+
+ObfuscatedProtocol compile_spec(std::string_view spec, int per_node,
+                                std::uint64_t seed = 90125) {
+  auto g = Framework::load_spec(spec);
+  EXPECT_TRUE(g.ok()) << g.error().message;
+  ObfuscationConfig cfg;
+  cfg.per_node = per_node;
+  cfg.seed = seed;
+  auto protocol = Framework::generate(*g, cfg);
+  EXPECT_TRUE(protocol.ok()) << protocol.error().message;
+  return std::move(*protocol);
+}
+
+// --- byte identity ----------------------------------------------------------
+
+/// The property: across every registry spec at several obfuscation depths,
+/// random messages serialize to identical bytes, and the wires (valid and
+/// bit-flipped) parse to identical outcomes through both implementations.
+TEST(NativeIdentity, SerializeAndParseMatchInterpreterAcrossRegistry) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  const std::uint64_t seed = fuzztest::fuzz_seed(0x7A714E);
+  SCOPED_TRACE(fuzztest::seed_note(seed));
+
+  NativeCache cache(16, options_in(fresh_cache_dir("identity")));
+  for (const fuzztest::SpecEntry& entry : fuzztest::spec_registry()) {
+    for (const int per_node : {0, 2}) {
+      auto protocol = compile_spec(entry.spec, per_node);
+      ObfuscationConfig cfg;
+      cfg.per_node = per_node;
+      cfg.seed = 90125;
+      auto backend = cache.get_or_compile(
+          protocol, ProtocolCache::hash_spec(entry.spec), cfg);
+      ASSERT_TRUE(backend.ok())
+          << entry.name << ": " << backend.error().message;
+      const NativeProtocol* native = backend->get();
+      const bool stream = stream_safe(protocol.wire_graph()).ok();
+
+      Rng rng(seed ^ (per_node * 7919) ^
+              std::hash<std::string_view>{}(entry.name));
+      int round_trips = 0;
+      for (int i = 0; i < 60; ++i) {
+        InstPtr msg = fuzz::random_message(protocol.original(), rng);
+        if (msg == nullptr) continue;
+        const std::uint64_t msg_seed = rng.next_u64();
+        Bytes interp, nat;
+        Status si = protocol.serialize_with(nullptr, *msg, msg_seed, interp);
+        Status sn = protocol.serialize_with(native, *msg, msg_seed, nat);
+        ASSERT_EQ(si.ok(), sn.ok())
+            << entry.name << "/" << per_node << " msg " << i
+            << ": serialize outcome diverged: "
+            << (si.ok() ? "ok" : si.error().message) << " vs "
+            << (sn.ok() ? "ok" : sn.error().message);
+        if (!si.ok()) continue;
+        ASSERT_EQ(to_hex(interp), to_hex(nat))
+            << entry.name << "/" << per_node << " msg " << i
+            << ": native wire differs";
+        ++round_trips;
+
+        // The valid wire and a bit-flipped mutant, through whole-message
+        // and (when stream-safe) prefix parses.
+        for (const bool mutate : {false, true}) {
+          Bytes wire = interp;
+          if (mutate && !wire.empty()) {
+            wire[rng.below(wire.size())] ^=
+                static_cast<Byte>(1 + rng.below(255));
+          }
+          auto ti = protocol.parse_with(nullptr, wire);
+          auto tn = protocol.parse_with(native, wire);
+          ASSERT_EQ(ti.ok(), tn.ok())
+              << entry.name << "/" << per_node << " msg " << i
+              << ": parse outcome diverged on "
+              << (mutate ? "mutated" : "valid") << " wire\n" << hexdump(wire);
+          if (ti.ok()) {
+            EXPECT_TRUE(ast::equal(**ti, **tn))
+                << entry.name << "/" << per_node << ": tree mismatch";
+          } else {
+            EXPECT_EQ(ti.error().kind, tn.error().kind) << entry.name;
+          }
+          if (!stream) continue;
+          std::size_t ci = 0, cn = 0;
+          auto pi = protocol.parse_prefix_with(nullptr, wire, &ci);
+          auto pn = protocol.parse_prefix_with(native, wire, &cn);
+          ASSERT_EQ(pi.ok(), pn.ok())
+              << entry.name << "/" << per_node
+              << ": prefix outcome diverged\n" << hexdump(wire);
+          if (pi.ok()) {
+            EXPECT_EQ(ci, cn) << entry.name << ": consumed mismatch";
+            EXPECT_TRUE(ast::equal(**pi, **pn)) << entry.name;
+          } else {
+            EXPECT_EQ(pi.error().kind, pn.error().kind) << entry.name;
+            EXPECT_EQ(pi.error().need, pn.error().need)
+                << entry.name << ": truncation need hint diverged";
+          }
+        }
+      }
+      EXPECT_GT(round_trips, 0) << entry.name << "/" << per_node;
+    }
+  }
+}
+
+/// Truncation sweep: every prefix of a valid wire gets the same taxonomy
+/// and need hint from both implementations (the framer depends on both).
+TEST(NativeIdentity, TruncationSweepAgreesByteForByte) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto protocol = compile_spec(fuzztest::kDelimSpec, 2);
+  NativeCache cache(4, options_in(fresh_cache_dir("sweep")));
+  ObfuscationConfig cfg;
+  cfg.per_node = 2;
+  cfg.seed = 90125;
+  auto backend = cache.get_or_compile(
+      protocol, ProtocolCache::hash_spec(fuzztest::kDelimSpec), cfg);
+  ASSERT_TRUE(backend.ok()) << backend.error().message;
+
+  Rng rng(0x5EEDF00D);
+  InstPtr msg;
+  while (msg == nullptr) msg = fuzz::random_message(protocol.original(), rng);
+  Bytes wire;
+  ASSERT_TRUE(protocol.serialize_with(nullptr, *msg, 7, wire).ok());
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    const BytesView prefix = BytesView(wire).first(cut);
+    std::size_t ci = 0, cn = 0;
+    auto pi = protocol.parse_prefix_with(nullptr, prefix, &ci);
+    auto pn = protocol.parse_prefix_with(backend->get(), prefix, &cn);
+    ASSERT_EQ(pi.ok(), pn.ok()) << "cut " << cut;
+    if (pi.ok()) {
+      EXPECT_EQ(ci, cn) << "cut " << cut;
+    } else {
+      EXPECT_EQ(pi.error().kind, pn.error().kind) << "cut " << cut;
+      EXPECT_EQ(pi.error().need, pn.error().need) << "cut " << cut;
+    }
+  }
+}
+
+// --- attachment and routing -------------------------------------------------
+
+TEST(NativeAttach, AttachedBackendServesDefaultEntryPoints) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto protocol = compile_spec(fuzztest::kNetDemoSpec, 2);
+  NativeCache cache(4, options_in(fresh_cache_dir("attach")));
+  ObfuscationConfig cfg;
+  cfg.per_node = 2;
+  cfg.seed = 90125;
+  auto backend = cache.get_or_compile(
+      protocol, ProtocolCache::hash_spec(fuzztest::kNetDemoSpec), cfg);
+  ASSERT_TRUE(backend.ok()) << backend.error().message;
+
+  Rng rng(11);
+  InstPtr msg;
+  while (msg == nullptr) msg = fuzz::random_message(protocol.original(), rng);
+  Bytes interpreted;
+  ASSERT_TRUE(protocol.serialize_into(*msg, 3, interpreted).ok());
+
+  ASSERT_EQ(protocol.wire_backend(), nullptr);
+  protocol.attach_wire_backend(*backend);
+  ASSERT_NE(protocol.wire_backend(), nullptr);
+
+  // Same bytes through the plain entry points, now served natively.
+  Bytes attached;
+  ASSERT_TRUE(protocol.serialize_into(*msg, 3, attached).ok());
+  EXPECT_EQ(to_hex(attached), to_hex(interpreted));
+  auto parsed = protocol.parse(attached);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  // The obfuscated wire graph need not be stream-safe; what matters is that
+  // the routed prefix path agrees with the interpreter's.
+  std::size_t consumed = 0, iconsumed = 0;
+  auto prefixed = protocol.parse_prefix(attached, &consumed);
+  auto iprefixed =
+      protocol.parse_prefix_with(nullptr, attached, &iconsumed);
+  ASSERT_EQ(prefixed.ok(), iprefixed.ok());
+  if (prefixed.ok()) EXPECT_EQ(consumed, iconsumed);
+
+  // Copies share the attachment (one serving protocol, many holders).
+  ObfuscatedProtocol copy = protocol;
+  EXPECT_NE(copy.wire_backend(), nullptr);
+
+  protocol.attach_wire_backend(nullptr);
+  EXPECT_EQ(protocol.wire_backend(), nullptr);
+}
+
+TEST(NativeAttach, BackgroundCompileSwapsInWhileServing) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto owned = std::make_shared<const ObfuscatedProtocol>(
+      compile_spec(fuzztest::kNetDemoSpec, 1));
+  NativeCache cache(4, options_in(fresh_cache_dir("background")));
+  ObfuscationConfig cfg;
+  cfg.per_node = 1;
+  cfg.seed = 90125;
+
+  // Cold key: serving starts interpreted immediately...
+  Rng rng(21);
+  InstPtr msg;
+  while (msg == nullptr) msg = fuzz::random_message(owned->original(), rng);
+  Bytes cold;
+  ASSERT_TRUE(owned->serialize_into(*msg, 5, cold).ok());
+
+  cache.compile_and_attach(owned, ProtocolCache::hash_spec(fuzztest::kNetDemoSpec),
+                           cfg);
+  cache.wait_idle();
+
+  // ...and the unit swapped in mid-flight without changing the bytes.
+  ASSERT_NE(owned->wire_backend(), nullptr);
+  Bytes hot;
+  ASSERT_TRUE(owned->serialize_into(*msg, 5, hot).ok());
+  EXPECT_EQ(to_hex(hot), to_hex(cold));
+  EXPECT_EQ(cache.stats().background, 1u);
+  EXPECT_EQ(cache.stats().errors, 0u);
+}
+
+// --- cache behaviour --------------------------------------------------------
+
+TEST(NativeCacheTest, RepeatKeyHitsWithoutRecompiling) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto protocol = compile_spec(fuzztest::kNetDemoSpec, 2);
+  NativeCache cache(4, options_in(fresh_cache_dir("hits")));
+  ObfuscationConfig cfg;
+  cfg.per_node = 2;
+  cfg.seed = 90125;
+  const std::uint64_t spec_hash =
+      ProtocolCache::hash_spec(fuzztest::kNetDemoSpec);
+
+  auto first = cache.get_or_compile(protocol, spec_hash, cfg);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  auto second = cache.get_or_compile(protocol, spec_hash, cfg);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get()) << "hit must return the same unit";
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // A different (seed) key is its own compile...
+  auto other_protocol = compile_spec(fuzztest::kNetDemoSpec, 2, 777);
+  ObfuscationConfig other_cfg = cfg;
+  other_cfg.seed = 777;
+  auto third = cache.get_or_compile(other_protocol, spec_hash, other_cfg);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // ...and a fresh cache over the same directory reuses the disk artifact
+  // (cross-process reuse) instead of running the compiler again.
+  NativeCache second_cache(4, options_in(cache.compiler().options().cache_dir));
+  auto reloaded = second_cache.get_or_compile(protocol, spec_hash, cfg);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(second_cache.stats().disk_hits, 1u);
+}
+
+TEST(NativeCacheTest, ConcurrentMissesCoalesceToOneCompile) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto protocol = compile_spec(fuzztest::kDelimSpec, 2);
+  NativeCache cache(4, options_in(fresh_cache_dir("coalesce")));
+  ObfuscationConfig cfg;
+  cfg.per_node = 2;
+  cfg.seed = 90125;
+  const std::uint64_t spec_hash = ProtocolCache::hash_spec(fuzztest::kDelimSpec);
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<bool> ok(kThreads, false);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto backend = cache.get_or_compile(protocol, spec_hash, cfg);
+      ok[t] = backend.ok();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[t]) << "thread " << t;
+  const NativeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u) << "exactly one leader compiles";
+  EXPECT_EQ(stats.hits + stats.coalesced, static_cast<std::size_t>(kThreads) - 1);
+}
+
+TEST(NativeCacheTest, CorruptedDiskUnitIsRecompiledNeverServed) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto protocol = compile_spec(fuzztest::kNetDemoSpec, 1);
+  const std::string dir = fresh_cache_dir("corrupt");
+  ObfuscationConfig cfg;
+  cfg.per_node = 1;
+  cfg.seed = 90125;
+  const std::uint64_t spec_hash =
+      ProtocolCache::hash_spec(fuzztest::kNetDemoSpec);
+
+  {
+    NativeCache cache(4, options_in(dir));
+    ASSERT_TRUE(cache.get_or_compile(protocol, spec_hash, cfg).ok());
+  }
+  // Truncate and scribble over every cached .so in the directory.
+  int corrupted = 0;
+  for (const auto& it : fs::directory_iterator(dir)) {
+    if (it.path().extension() != ".so") continue;
+    std::ofstream out(it.path(), std::ios::binary | std::ios::trunc);
+    out << "this is not a shared object";
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0);
+
+  NativeCache cache(4, options_in(dir));
+  auto backend = cache.get_or_compile(protocol, spec_hash, cfg);
+  ASSERT_TRUE(backend.ok()) << backend.error().message;
+  EXPECT_EQ(cache.stats().recompiles, 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+
+  // And the recompiled unit actually serves.
+  Rng rng(31);
+  InstPtr msg;
+  while (msg == nullptr) msg = fuzz::random_message(protocol.original(), rng);
+  Bytes interp, nat;
+  ASSERT_TRUE(protocol.serialize_with(nullptr, *msg, 9, interp).ok());
+  ASSERT_TRUE(protocol.serialize_with(backend->get(), *msg, 9, nat).ok());
+  EXPECT_EQ(to_hex(nat), to_hex(interp));
+}
+
+/// A stale unit for the *same key* but different tables (as after a
+/// generator change that shifts the fingerprint) is rebuilt: the file base
+/// embeds the fingerprint, so the stale artifact is simply never found.
+TEST(NativeCacheTest, FingerprintIsPartOfTheArtifactName) {
+  auto a = compile_spec(fuzztest::kNetDemoSpec, 1, 1);
+  auto b = compile_spec(fuzztest::kNetDemoSpec, 2, 1);
+  const std::uint64_t h = ProtocolCache::hash_spec(fuzztest::kNetDemoSpec);
+  EXPECT_NE(NativeCompiler::cache_file_base(a, h, 1, 1),
+            NativeCompiler::cache_file_base(b, h, 1, 2));
+  EXPECT_EQ(NativeCompiler::cache_file_base(a, h, 1, 1),
+            NativeCompiler::cache_file_base(a, h, 1, 1));
+}
+
+}  // namespace
+}  // namespace protoobf

@@ -30,6 +30,18 @@
 //       counts the echoes. --retry-ms keeps dialing a not-yet-listening
 //       server. Both ends must agree on spec, --seed/--per-node and the
 //       framing flags (--frame-width / --obf-frame).
+//   protoobf compile <spec-file> --seed N --per-node K
+//       Pre-build the native unit for (spec, seed, per_node) into the
+//       shared on-disk cache ($PROTOOBF_NATIVE_CACHE, default
+//       /tmp/protoobf-native-<uid>) and print its path and cache key.
+//       Later serve/connect/stream runs with --native hit the artifact
+//       without paying the compile on the serving path.
+//
+// stream/serve/connect accept --native: parse/serialize through the
+// compiled generated unit instead of the interpreter (identical bytes,
+// see src/native/). When no toolchain is available in this environment —
+// no `c++` on PATH, or a build mode whose objects cannot be dlopen'd —
+// the command says so and falls back to the interpreter.
 //
 // Spec files use the ProtoSpec language (see README.md).
 #include <atomic>
@@ -50,9 +62,11 @@
 #include "fuzz/mutator.hpp"
 #include "fuzz/random_message.hpp"
 #include "fuzz/runner.hpp"
+#include "native/cache.hpp"
 #include "net/connector.hpp"
 #include "net/server.hpp"
 #include "runtime/parse.hpp"
+#include "session/protocol_cache.hpp"
 #include "stream/channel.hpp"
 
 namespace {
@@ -62,11 +76,13 @@ using namespace protoobf;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: protoobf <validate|graph|obfuscate|codegen|stream|serve|"
-      "connect|fuzz> <spec-file> [--seed N] [--per-node K] [-o FILE]\n"
+      "usage: protoobf <validate|graph|obfuscate|codegen|compile|stream|"
+      "serve|connect|fuzz> <spec-file> [--seed N] [--per-node K] [-o FILE]\n"
       "       stream extras: [--emit COUNT] [--expect COUNT] "
       "[--msg-seed N] [--frame-width W] "
       "[--obf-frame SEED:PER_NODE] [--dump]\n"
+      "       stream/serve/connect: [--native]  (serve from the compiled "
+      "generated unit; falls back to the interpreter without a toolchain)\n"
       "       fuzz extras: [--iters N] [--chunked] [--whole] "
       "[--msg-seed N]  (env: PROTOOBF_FUZZ_SEED overrides --msg-seed)\n"
       "       serve extras: [--host H] [--port P] [--shards N] "
@@ -102,6 +118,8 @@ struct Options {
   std::size_t iters = 1000;
   bool chunked = false;  // force the chunk-split resume replay
   bool whole = false;    // force whole-message parses (no prefix replay)
+  // native backend (stream/serve/connect)
+  bool native = false;
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -159,6 +177,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.chunked = true;
     } else if (arg == "--whole") {
       opts.whole = true;
+    } else if (arg == "--native") {
+      opts.native = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -167,12 +187,109 @@ bool parse_args(int argc, char** argv, Options& opts) {
   return true;
 }
 
-Expected<Graph> load(const std::string& path) {
+Expected<std::string> read_text(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Unexpected("cannot open '" + path + "'");
   std::ostringstream text;
   text << in.rdbuf();
-  return Framework::load_spec(text.str());
+  return text.str();
+}
+
+Expected<Graph> load(const std::string& path) {
+  auto text = read_text(path);
+  if (!text.ok()) return Unexpected(text.error());
+  return Framework::load_spec(*text);
+}
+
+// --- native backend ---------------------------------------------------------
+
+/// --native: build (or reuse from the shared on-disk cache) the compiled
+/// generated unit for this exact (spec, seed, per_node) and attach it, so
+/// the command's default parse/serialize entry points serve natively.
+/// Degrades to the interpreter with an explanation when the environment
+/// has no usable toolchain or the build fails — never hard-errors, because
+/// the interpreted path is always correct.
+void maybe_attach_native(const ObfuscatedProtocol& protocol,
+                         const Options& opts) {
+  if (!opts.native) return;
+  if (!native::NativeCompiler::toolchain_available()) {
+    std::fprintf(stderr, "--native unavailable (%s); serving interpreted\n",
+                 native::NativeCompiler::toolchain_status().c_str());
+    return;
+  }
+  auto text = read_text(opts.spec_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "--native failed (%s); serving interpreted\n",
+                 text.error().message.c_str());
+    return;
+  }
+  ObfuscationConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.per_node = opts.per_node;
+  // The cache object is transient; the attached backend keeps the .so
+  // mapped for as long as the protocol serves from it.
+  native::NativeCache cache;
+  auto backend =
+      cache.get_or_compile(protocol, ProtocolCache::hash_spec(*text), cfg);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "--native build failed (%s); serving interpreted\n",
+                 backend.error().message.c_str());
+    return;
+  }
+  const std::string& so = (*backend)->unit().path();
+  protocol.attach_wire_backend(*backend);
+  std::fprintf(stderr, "native unit attached: %s\n", so.c_str());
+}
+
+int cmd_compile(const Options& opts) {
+  auto text = read_text(opts.spec_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "error: %s\n", text.error().message.c_str());
+    return 1;
+  }
+  auto graph = Framework::load_spec(*text);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.error().message.c_str());
+    return 1;
+  }
+  ObfuscationConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.per_node = opts.per_node;
+  auto protocol = Framework::generate(*graph, cfg);
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
+    return 1;
+  }
+  if (!native::NativeCompiler::toolchain_available()) {
+    std::fprintf(stderr, "error: no usable native toolchain: %s\n",
+                 native::NativeCompiler::toolchain_status().c_str());
+    return 1;
+  }
+  const std::uint64_t spec_hash = ProtocolCache::hash_spec(*text);
+  native::NativeCompiler compiler;
+  auto built = compiler.compile(
+      *protocol,
+      native::NativeCompiler::cache_file_base(
+          *protocol, spec_hash, opts.seed,
+          static_cast<std::size_t>(opts.per_node)));
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n", built.error().message.c_str());
+    return 1;
+  }
+  std::printf("unit: %s\n", built->unit->path().c_str());
+  std::printf("key: spec %016llx seed %llu per-node %d, fingerprint %016llx\n",
+              static_cast<unsigned long long>(spec_hash),
+              static_cast<unsigned long long>(opts.seed), opts.per_node,
+              static_cast<unsigned long long>(built->unit->fingerprint()));
+  if (built->disk_hit) {
+    std::printf("cache hit: reused the on-disk unit, no compile\n");
+  } else {
+    std::printf("%s in %.0f ms\n",
+                built->recompiled ? "recompiled (stale or corrupt artifact)"
+                                  : "compiled",
+                built->compile_ms);
+  }
+  return 0;
 }
 
 int cmd_validate(const Options& opts) {
@@ -320,6 +437,7 @@ int cmd_stream(const Options& opts) {
   }
   auto protocol =
       std::make_shared<const ObfuscatedProtocol>(std::move(*compiled));
+  maybe_attach_native(*protocol, opts);
 
   // Framing layer: transparent length prefix, or the obfuscated frame spec
   // when both ends agreed on --obf-frame SEED:PER_NODE.
@@ -452,6 +570,7 @@ int cmd_serve(const Options& opts) {
     std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
     return 1;
   }
+  maybe_attach_native(**protocol, opts);
   auto factory = framer_factory_of(opts);
   if (!factory.ok()) {
     std::fprintf(stderr, "error: %s\n", factory.error().message.c_str());
@@ -534,6 +653,7 @@ int cmd_connect(const Options& opts) {
     std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
     return 1;
   }
+  maybe_attach_native(**protocol, opts);
   // The G1 view the random messages are built against — taken from the
   // compiled protocol so it cannot diverge from what serialization uses.
   const Graph& graph = (*protocol)->original();
@@ -716,6 +836,7 @@ int main(int argc, char** argv) {
   if (opts.command == "graph") return cmd_graph(opts);
   if (opts.command == "obfuscate") return cmd_obfuscate(opts);
   if (opts.command == "codegen") return cmd_codegen(opts);
+  if (opts.command == "compile") return cmd_compile(opts);
   if (opts.command == "stream") return cmd_stream(opts);
   if (opts.command == "serve") return cmd_serve(opts);
   if (opts.command == "connect") return cmd_connect(opts);
