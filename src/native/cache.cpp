@@ -22,8 +22,11 @@ std::size_t NativeCache::KeyHash::operator()(const Key& k) const {
   return h;
 }
 
-NativeCache::NativeCache(std::size_t capacity, NativeCompiler::Options options)
-    : compiler_(std::move(options)), capacity_(capacity > 0 ? capacity : 1) {}
+NativeCache::NativeCache(std::size_t capacity, NativeCompiler::Options options,
+                         std::chrono::milliseconds poison_ttl)
+    : compiler_(std::move(options)),
+      capacity_(capacity > 0 ? capacity : 1),
+      poison_ttl_(poison_ttl) {}
 
 NativeCache::~NativeCache() { wait_idle(); }
 
@@ -57,6 +60,20 @@ Expected<NativeCache::Backend> NativeCache::build(
                                                 std::move(compiled->unit));
 }
 
+std::optional<Error> NativeCache::check_poison(const Key& key,
+                                               std::uint64_t fingerprint) {
+  auto it = poisoned_.find(key);
+  if (it == poisoned_.end() || it->second.fingerprint != fingerprint) {
+    return std::nullopt;
+  }
+  if (std::chrono::steady_clock::now() >= it->second.until) {
+    poisoned_.erase(it);  // TTL over — the next request retries the build
+    return std::nullopt;
+  }
+  ++stats_.poisoned;
+  return it->second.error;
+}
+
 Expected<NativeCache::Backend> NativeCache::get_or_compile(
     const ObfuscatedProtocol& protocol, std::uint64_t spec_hash,
     const ObfuscationConfig& config) {
@@ -75,6 +92,9 @@ Expected<NativeCache::Backend> NativeCache::get_or_compile(
       }
       // Key collision (same tuple, different tables): fall through to a
       // one-off build below, leaving the cached entry alone.
+    }
+    if (auto poison = check_poison(key, fingerprint)) {
+      return Unexpected(*poison);
     }
     if (auto it = inflight_.find(key);
         it != inflight_.end() && it->second->fingerprint == fingerprint) {
@@ -118,7 +138,14 @@ Expected<NativeCache::Backend> NativeCache::get_or_compile(
       }
       stats_.size = lru_.size();
     } else {
+      // Count the failure once, then poison the key: every request inside
+      // the TTL fails fast with this error instead of re-running a build
+      // that will fail the same way (compile_and_attach callers keep
+      // serving interpreted throughout).
       ++stats_.errors;
+      poisoned_[key] = Poison{fingerprint,
+                              std::chrono::steady_clock::now() + poison_ttl_,
+                              result.error()};
     }
   }
   {
@@ -135,6 +162,12 @@ void NativeCache::compile_and_attach(
     std::uint64_t spec_hash, const ObfuscationConfig& config) {
   if (protocol == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
+  // A poisoned key does not even rate a worker thread: the protocol keeps
+  // serving interpreted and the error has already been surfaced once.
+  if (check_poison(make_key(spec_hash, config),
+                   native_fingerprint(*protocol))) {
+    return;
+  }
   ++stats_.background;
   workers_.emplace_back(
       [this, protocol = std::move(protocol), spec_hash, config] {
@@ -165,6 +198,7 @@ void NativeCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  poisoned_.clear();
   stats_.size = 0;
 }
 

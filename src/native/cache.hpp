@@ -18,6 +18,7 @@
 // backend swaps into the (shared) ObfuscatedProtocol mid-flight.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -46,11 +47,20 @@ class NativeCache {
     std::size_t coalesced = 0;   // misses that waited on an in-flight build
     std::size_t background = 0;  // compile_and_attach jobs started
     std::size_t errors = 0;      // builds that failed (toolchain, codegen)
+    std::size_t poisoned = 0;    // requests refused by a poisoned key
     std::size_t size = 0;
   };
 
+  /// `poison_ttl` is how long a key whose build failed stays poisoned:
+  /// further requests for it fail fast (stats().poisoned) instead of
+  /// re-running the same doomed toolchain invocation on every miss, and
+  /// compile_and_attach callers keep serving interpreted. After the TTL
+  /// the next request retries (the failure may have been transient — a
+  /// full disk, an OOM-killed compiler).
   explicit NativeCache(std::size_t capacity = 16,
-                       NativeCompiler::Options options = {});
+                       NativeCompiler::Options options = {},
+                       std::chrono::milliseconds poison_ttl =
+                           std::chrono::seconds(30));
   ~NativeCache();
 
   /// Blocking get: returns the native backend for `protocol`, compiling
@@ -106,16 +116,30 @@ class NativeCache {
     std::optional<Expected<Backend>> result;
   };
 
+  // A failed build parks its key here until `until`; the original error is
+  // replayed to fast-failed requests so callers see *why* without paying
+  // for another compile.
+  struct Poison {
+    std::uint64_t fingerprint = 0;
+    std::chrono::steady_clock::time_point until;
+    Error error;
+  };
+
   static Key make_key(std::uint64_t spec_hash, const ObfuscationConfig& config);
   Expected<Backend> build(const ObfuscatedProtocol& protocol, const Key& key,
                           std::uint64_t fingerprint);
+  /// Locked check: replays the poison error while it is fresh, lazily
+  /// expires it otherwise. Call with mu_ held.
+  std::optional<Error> check_poison(const Key& key, std::uint64_t fingerprint);
 
   NativeCompiler compiler_;
   mutable std::mutex mu_;
   std::size_t capacity_;
+  std::chrono::milliseconds poison_ttl_;
   LruList lru_;  // front = most recently used
   std::unordered_map<Key, LruList::iterator, KeyHash> index_;
   std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHash> inflight_;
+  std::unordered_map<Key, Poison, KeyHash> poisoned_;
   std::vector<std::thread> workers_;
   Stats stats_;
 };

@@ -9,6 +9,23 @@
 
 namespace protoobf::net {
 
+FramerFactory length_prefix_framer_factory(LengthPrefixFramer::Config config) {
+  return [config]() -> Expected<std::unique_ptr<Framer>> {
+    return std::unique_ptr<Framer>(new LengthPrefixFramer(config));
+  };
+}
+
+FramerFactory obfuscated_framer_factory(
+    std::shared_ptr<const ObfuscatedProtocol> framing,
+    ObfuscatedFramer::Config config) {
+  return [framing = std::move(framing),
+          config]() -> Expected<std::unique_ptr<Framer>> {
+    auto framer = ObfuscatedFramer::create(framing, config);
+    if (!framer) return Unexpected(framer.error());
+    return std::unique_ptr<Framer>(std::move(*framer));
+  };
+}
+
 Connection::Connection(EventLoop& loop, Fd fd,
                        std::shared_ptr<const ObfuscatedProtocol> protocol,
                        std::unique_ptr<Framer> framer, Config config)
@@ -28,6 +45,7 @@ Connection::~Connection() {
     if (idle_timer_ != 0) loop_.cancel_timer(idle_timer_);
     if (drain_timer_ != 0) loop_.cancel_timer(drain_timer_);
     loop_.unwatch(fd_.get());
+    ops().on_close(fd_.get());
     state_ = State::Closed;
   }
 }
@@ -53,6 +71,7 @@ Status Connection::open() {
       !s) {
     return s;
   }
+  ops().on_open(fd_.get());
   if (config_.idle_timeout > std::chrono::milliseconds::zero()) {
     // One periodic check instead of a re-armed one-shot per byte: activity
     // just stamps a timestamp, and the sweep fires at most one period late.
@@ -77,8 +96,8 @@ Status Connection::send(const Inst& message, std::uint64_t msg_seed) {
     while (off < framed->size()) {
       // MSG_NOSIGNAL: a peer that vanished must surface as EPIPE on this
       // connection, not as a process-wide SIGPIPE.
-      const ssize_t n = ::send(fd_.get(), framed->data() + off,
-                               framed->size() - off, MSG_NOSIGNAL);
+      const ssize_t n = ops().send(fd_.get(), framed->data() + off,
+                                   framed->size() - off, MSG_NOSIGNAL);
       if (n > 0) {
         off += static_cast<std::size_t>(n);
         stats_.bytes_out += static_cast<std::uint64_t>(n);
@@ -161,7 +180,8 @@ void Connection::handle_events(std::uint32_t events) {
 
 void Connection::handle_readable() {
   for (;;) {
-    const ssize_t n = ::read(fd_.get(), read_buf_.data(), read_buf_.size());
+    const ssize_t n = ops().recv(fd_.get(), read_buf_.data(),
+                                 read_buf_.size());
     if (n > 0) {
       stats_.bytes_in += static_cast<std::uint64_t>(n);
       touch();
@@ -230,8 +250,8 @@ void Connection::pump_receive() {
 
 Status Connection::flush_out() {
   while (outhead_ < outbuf_.size()) {
-    const ssize_t n = ::send(fd_.get(), outbuf_.data() + outhead_,
-                             outbuf_.size() - outhead_, MSG_NOSIGNAL);
+    const ssize_t n = ops().send(fd_.get(), outbuf_.data() + outhead_,
+                                 outbuf_.size() - outhead_, MSG_NOSIGNAL);
     if (n > 0) {
       outhead_ += static_cast<std::size_t>(n);
       stats_.bytes_out += static_cast<std::uint64_t>(n);
@@ -297,6 +317,7 @@ void Connection::do_close(const Error* err) {
     drain_timer_ = 0;
   }
   loop_.unwatch(fd_.get());
+  ops().on_close(fd_.get());
   fd_.reset();
   if (close_cb_) close_cb_(*this, err);
   // Owner reclaim runs last — it may schedule this object's destruction.

@@ -34,11 +34,25 @@
 
 #include "net/capture.hpp"
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "session/session.hpp"
 #include "stream/channel.hpp"
 
 namespace protoobf::net {
+
+/// Builds one framer per connection (per-connection decode state is a hard
+/// requirement of the streaming layer). Used by Server for accepted
+/// connections and ReliableClient for each dial attempt; factories for the
+/// two stock framers are below. A custom factory can close over whatever
+/// state it needs — it runs on the owning loop's thread.
+using FramerFactory = std::function<Expected<std::unique_ptr<Framer>>()>;
+
+FramerFactory length_prefix_framer_factory(
+    LengthPrefixFramer::Config config = {});
+FramerFactory obfuscated_framer_factory(
+    std::shared_ptr<const ObfuscatedProtocol> framing,
+    ObfuscatedFramer::Config config = {});
 
 class Connection {
  public:
@@ -58,6 +72,11 @@ class Connection {
     // read() slices are recorded exactly as they hit the socket. Must
     // outlive the connection; null = no capture.
     TrafficCapture* capture = nullptr;
+    // Syscall seam (net/fault.hpp): every recv/send goes through it, and
+    // Connector consults its connect gate before dialing. Null = the real
+    // syscalls; a FaultInjector here puts the connection on a replayable
+    // hostile network. Must outlive the connection.
+    SocketOps* ops = nullptr;
   };
 
   struct Stats {
@@ -123,6 +142,11 @@ class Connection {
   std::size_t queued() const { return outbuf_.size() - outhead_; }
 
   int fd() const { return fd_.get(); }
+  /// When the connection last moved bytes (the idle sweep's clock); the
+  /// overload shedder uses it to pick least-recently-active victims.
+  std::chrono::steady_clock::time_point last_activity() const {
+    return last_activity_;
+  }
   Session& session() { return session_; }
   Channel& channel() { return channel_; }
   const Stats& stats() const { return stats_; }
@@ -145,6 +169,9 @@ class Connection {
   Error transport_error(std::string what);
   void fail_close(Error err);
   void do_close(const Error* err);
+  SocketOps& ops() const {
+    return config_.ops != nullptr ? *config_.ops : SocketOps::real();
+  }
 
   EventLoop& loop_;
   Fd fd_;

@@ -18,6 +18,7 @@
 
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
+#include "net/reconnect.hpp"
 #include "net/socket.hpp"
 
 namespace protoobf::net {
@@ -29,14 +30,17 @@ class Connector {
 
   explicit Connector(EventLoop& loop) : loop_(loop) {}
 
-  /// Blocking connect with a deadline. Retries nothing by itself — a
-  /// refused connection fails immediately (callers that race a starting
-  /// server loop over dial() themselves).
+  /// Blocking connect with a deadline. A refused connection — the classic
+  /// client-raced-the-server startup window, or the fault injector's
+  /// connect gate — is retried with capped-exponential backoff (full
+  /// jitter, `backoff`) until the overall `timeout` elapses; every other
+  /// failure is immediate. config.ops supplies the connect gate.
   static Expected<std::unique_ptr<Connection>> dial(
       EventLoop& loop, const Endpoint& ep,
       std::shared_ptr<const ObfuscatedProtocol> protocol,
       std::unique_ptr<Framer> framer, Connection::Config config,
-      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000),
+      BackoffPolicy backoff = {});
 
   /// Nonblocking connect resolved on the loop thread. Must be called from
   /// the loop thread (or before the loop runs).

@@ -1,0 +1,187 @@
+#include "net/fault.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace protoobf::net {
+
+namespace {
+
+/// SplitMix64-style mix so nearby connection indexes get unrelated streams.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ssize_t SocketOps::recv(int fd, void* buf, std::size_t len) {
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t SocketOps::send(int fd, const void* buf, std::size_t len, int flags) {
+  return ::send(fd, buf, len, flags);
+}
+
+int SocketOps::connect_gate() { return 0; }
+void SocketOps::on_open(int) {}
+void SocketOps::on_close(int) {}
+
+SocketOps& SocketOps::real() {
+  static SocketOps instance;
+  return instance;
+}
+
+// --- FaultInjector ----------------------------------------------------------
+
+bool FaultInjector::roll(FlowState& flow, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // 53-bit uniform: plenty for test probabilities.
+  const double draw =
+      static_cast<double>(flow.rng.next_u64() >> 11) * 0x1.0p-53;
+  return draw < p;
+}
+
+void FaultInjector::on_open(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The schedule is keyed by open order: replaying a seed redraws the same
+  // per-connection fates no matter which fd numbers the kernel hands out.
+  FlowState flow(mix_seed(plan_.seed, next_flow_++));
+  ++stats_.connections;
+  if (roll(flow, plan_.kill_rate)) {
+    flow.kill_at = plan_.kill_window_bytes > 0
+                       ? flow.rng.below(plan_.kill_window_bytes)
+                       : 0;
+    KillKind kinds[3];
+    std::size_t n = 0;
+    if (plan_.kill_reset) kinds[n++] = KillKind::Reset;
+    if (plan_.kill_epipe) kinds[n++] = KillKind::Epipe;
+    if (plan_.kill_fin) kinds[n++] = KillKind::Fin;
+    flow.kill = n > 0 ? kinds[flow.rng.below(n)] : KillKind::None;
+  }
+  flows_.erase(fd);  // fd recycled before on_close (shouldn't happen; safe)
+  flows_.emplace(fd, std::move(flow));
+}
+
+void FaultInjector::on_close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flows_.erase(fd);
+}
+
+ssize_t FaultInjector::maybe_kill_recv(FlowState& flow) {
+  flow.dead = true;
+  if (flow.kill == KillKind::Fin) {
+    ++stats_.fins;
+    return 0;  // mid-frame FIN: clean EOF while bytes are still buffered
+  }
+  ++stats_.resets;
+  errno = ECONNRESET;
+  return -1;
+}
+
+ssize_t FaultInjector::maybe_kill_send(FlowState& flow) {
+  flow.dead = true;
+  ++stats_.epipes;
+  errno = EPIPE;
+  return -1;
+}
+
+ssize_t FaultInjector::recv(int fd, void* buf, std::size_t len) {
+  std::size_t want = len;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(fd);
+    if (it != flows_.end()) {
+      FlowState& flow = it->second;
+      if (flow.dead) {
+        errno = ECONNRESET;
+        return -1;
+      }
+      if ((flow.kill == KillKind::Reset || flow.kill == KillKind::Fin) &&
+          flow.bytes >= flow.kill_at) {
+        // EPIPE kills wait for a send; echo traffic always sends soon.
+        return maybe_kill_recv(flow);
+      }
+      if (roll(flow, plan_.eagain)) {
+        ++stats_.eagains;
+        errno = EAGAIN;
+        return -1;
+      }
+      if (len > 1 && roll(flow, plan_.short_read)) {
+        ++stats_.short_reads;
+        want = 1 + static_cast<std::size_t>(flow.rng.below(len - 1));
+      }
+    }
+  }
+  const ssize_t n = SocketOps::recv(fd, buf, want);
+  if (n > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = flows_.find(fd); it != flows_.end()) {
+      it->second.bytes += static_cast<std::uint64_t>(n);
+    }
+  }
+  return n;
+}
+
+ssize_t FaultInjector::send(int fd, const void* buf, std::size_t len,
+                            int flags) {
+  std::size_t want = len;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(fd);
+    if (it != flows_.end()) {
+      FlowState& flow = it->second;
+      if (flow.dead) {
+        errno = EPIPE;
+        return -1;
+      }
+      if (flow.kill == KillKind::Epipe && flow.bytes >= flow.kill_at) {
+        return maybe_kill_send(flow);
+      }
+      if (roll(flow, plan_.eagain)) {
+        ++stats_.eagains;
+        errno = EAGAIN;
+        return -1;
+      }
+      if (len > 1 && roll(flow, plan_.short_write)) {
+        ++stats_.short_writes;
+        want = 1 + static_cast<std::size_t>(flow.rng.below(len - 1));
+      }
+    }
+  }
+  const ssize_t n = SocketOps::send(fd, buf, want, flags);
+  if (n > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = flows_.find(fd); it != flows_.end()) {
+      it->second.bytes += static_cast<std::uint64_t>(n);
+    }
+  }
+  return n;
+}
+
+int FaultInjector::connect_gate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t attempt = next_attempt_++;
+  if (plan_.refuse_every > 0 && attempt % plan_.refuse_every == 0) {
+    ++stats_.refused;
+    return ECONNREFUSED;
+  }
+  return 0;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t FaultInjector::kills() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.resets + stats_.epipes + stats_.fins;
+}
+
+}  // namespace protoobf::net

@@ -1,0 +1,166 @@
+// Deterministic transport fault injection for the socket layer.
+//
+// The paper's obfuscated protocols only matter if the transport carrying
+// them survives a hostile, lossy network: DPI boxes reset flows mid-frame,
+// middleboxes rate-limit until send() sees EAGAIN storms, peers vanish
+// between a frame's header and its body. Reproducing those conditions
+// against real kernels is flaky; this layer makes them a *schedule*.
+//
+// Three pieces:
+//
+//   * SocketOps — the syscall seam. Connection performs every recv/send
+//     through a SocketOps (Config::ops); the default instance forwards to
+//     the real syscalls, so production pays one virtual call and nothing
+//     else. Connector::dial consults the same seam before dialing, which
+//     is where connect refusals are injected (deterministically, without
+//     needing a cooperating kernel).
+//
+//   * FaultPlan — the *parameters* of a hostile network: per-operation
+//     probabilities for short reads/writes and EAGAIN storms, scheduled
+//     connection kills (ECONNRESET on recv, EPIPE on send, or a mid-frame
+//     FIN) expressed as byte offsets, and a connect-refusal pattern. A
+//     plan plus a seed is a complete, replayable description of every
+//     fault a run will see.
+//
+//   * FaultInjector — a SocketOps that executes the plan. Each connection
+//     (identified by the on_open() call order, NOT the fd number, so a
+//     replay with different fd assignment draws the same schedule) gets
+//     its own SplitMix64 stream seeded from (plan seed, connection index).
+//     The kernel's interleaving still varies run to run; the *decisions*
+//     — which ops are shortened, at which byte offset a connection dies —
+//     do not.
+//
+// All faults respect the transport taxonomy: an injected kill surfaces
+// exactly like a real one (errno from the op), so Connection reports it
+// Truncated, never Malformed — the soak test pins that end to end.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace protoobf::net {
+
+/// The syscall seam Connection and Connector route through. The base class
+/// IS the real transport (forwards to ::recv/::send); subclasses intercept.
+/// One instance may serve many connections concurrently across shard
+/// threads — implementations must be thread-safe.
+class SocketOps {
+ public:
+  virtual ~SocketOps() = default;
+
+  /// recv(2) semantics: bytes read, 0 on EOF, -1 with errno set.
+  virtual ssize_t recv(int fd, void* buf, std::size_t len);
+
+  /// send(2) semantics (flags carried through, e.g. MSG_NOSIGNAL).
+  virtual ssize_t send(int fd, const void* buf, std::size_t len, int flags);
+
+  /// Consulted by Connector before a dial. Returning nonzero makes the
+  /// dial fail with that errno (ECONNREFUSED, ETIMEDOUT) without touching
+  /// the network — the deterministic stand-in for a refusing/blackholed
+  /// server. The default never refuses.
+  virtual int connect_gate();
+
+  /// Lifecycle notifications so per-connection fault state can be set up
+  /// and reclaimed (fd numbers are recycled by the kernel; an injector
+  /// must not leak one connection's schedule into the next). Defaults do
+  /// nothing.
+  virtual void on_open(int fd);
+  virtual void on_close(int fd);
+
+  /// The process-wide pass-through instance (used when Config::ops is
+  /// null). Stateless and thread-safe.
+  static SocketOps& real();
+};
+
+/// Everything a hostile network does to a flow, as replayable parameters.
+/// Probabilities are per qualifying operation; byte offsets count the
+/// bytes that actually crossed the seam on that connection.
+struct FaultPlan {
+  std::uint64_t seed = 1;  // the logged seed — same seed, same schedule
+
+  // Degradations (recoverable: the op is retried or shortened).
+  double short_read = 0.0;   // P(read delivers a 1..n-1 byte prefix)
+  double short_write = 0.0;  // P(send accepts a 1..n-1 byte prefix)
+  double eagain = 0.0;       // P(op reports EAGAIN instead of running)
+
+  // Kills (fatal for the connection; at-least-once recovery's job).
+  // Each connection draws one kill verdict from its own stream: with
+  // probability kill_rate it dies once its cumulative traffic (in+out)
+  // crosses a uniformly drawn offset in [0, kill_window_bytes).
+  double kill_rate = 0.0;
+  std::size_t kill_window_bytes = 16 * 1024;
+  // How a killed connection dies, drawn uniformly from the enabled set:
+  bool kill_reset = true;  // recv -> ECONNRESET
+  bool kill_epipe = true;  // send -> EPIPE
+  bool kill_fin = true;    // recv -> 0 (mid-frame FIN)
+
+  // Dialing: every refuse_every-th connect attempt is refused with
+  // ECONNREFUSED (0 = never). Deterministic in attempt order, so a retry
+  // loop provably rides through it.
+  std::uint32_t refuse_every = 0;
+};
+
+/// SocketOps that executes a FaultPlan. Thread-safe; one injector may be
+/// shared by a whole server (every accepted connection draws its own
+/// schedule) and any number of clients.
+class FaultInjector : public SocketOps {
+ public:
+  struct Stats {
+    std::uint64_t short_reads = 0;
+    std::uint64_t short_writes = 0;
+    std::uint64_t eagains = 0;
+    std::uint64_t resets = 0;   // ECONNRESET injected
+    std::uint64_t epipes = 0;   // EPIPE injected
+    std::uint64_t fins = 0;     // mid-frame FIN injected
+    std::uint64_t refused = 0;  // connects gated off
+    std::uint64_t connections = 0;
+  };
+
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+  ssize_t recv(int fd, void* buf, std::size_t len) override;
+  ssize_t send(int fd, const void* buf, std::size_t len, int flags) override;
+  int connect_gate() override;
+  void on_open(int fd) override;
+  void on_close(int fd) override;
+
+  const FaultPlan& plan() const { return plan_; }
+  Stats stats() const;
+
+  /// Total faults that terminated a connection (resets + epipes + fins).
+  std::uint64_t kills() const;
+
+ private:
+  enum class KillKind : std::uint8_t { None, Reset, Epipe, Fin };
+
+  // Per-connection schedule, drawn once at on_open() from the connection-
+  // index-keyed stream (see file comment for why not the fd).
+  struct FlowState {
+    Rng rng;
+    std::uint64_t bytes = 0;      // cumulative traffic through the seam
+    std::uint64_t kill_at = 0;    // offset the kill triggers at
+    KillKind kill = KillKind::None;
+    bool dead = false;  // kill delivered; subsequent ops keep failing
+    explicit FlowState(std::uint64_t seed) : rng(seed) {}
+  };
+
+  /// Draws against a probability from the flow's own stream.
+  static bool roll(FlowState& flow, double p);
+  ssize_t maybe_kill_recv(FlowState& flow);
+  ssize_t maybe_kill_send(FlowState& flow);
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, FlowState> flows_;
+  std::uint64_t next_flow_ = 0;     // connection index, the schedule key
+  std::uint64_t next_attempt_ = 0;  // connect_gate() call order
+  Stats stats_;
+};
+
+}  // namespace protoobf::net

@@ -2,24 +2,11 @@
 
 #include <sys/epoll.h>
 
+#include <algorithm>
+#include <limits>
+#include <thread>
+
 namespace protoobf::net {
-
-FramerFactory length_prefix_framer_factory(LengthPrefixFramer::Config config) {
-  return [config]() -> Expected<std::unique_ptr<Framer>> {
-    return std::unique_ptr<Framer>(new LengthPrefixFramer(config));
-  };
-}
-
-FramerFactory obfuscated_framer_factory(
-    std::shared_ptr<const ObfuscatedProtocol> framing,
-    ObfuscatedFramer::Config config) {
-  return [framing = std::move(framing),
-          config]() -> Expected<std::unique_ptr<Framer>> {
-    auto framer = ObfuscatedFramer::create(framing, config);
-    if (!framer) return Unexpected(framer.error());
-    return std::unique_ptr<Framer>(std::move(*framer));
-  };
-}
 
 Server::Server(std::shared_ptr<const ObfuscatedProtocol> protocol,
                FramerFactory framer_factory, Config config)
@@ -72,6 +59,11 @@ Status Server::start() {
         return s;
       }
     }
+    if (config_.shard_pending_limit != 0) {
+      shard.loop.add_timer(config_.pending_sweep_interval,
+                           [this, &shard] { sweep_pending(shard); },
+                           config_.pending_sweep_interval);
+    }
   }
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
@@ -111,12 +103,39 @@ void Server::stop() {
   started_ = false;
 }
 
+void Server::drain(std::chrono::milliseconds grace) {
+  if (!started_) return;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    shard.loop.post([&shard] {
+      if (shard.listen.valid()) {
+        shard.loop.unwatch(shard.listen.get());
+        shard.listen.reset();
+      }
+      // Graceful close: reading stops, the write queue flushes, then the
+      // close completes (each connection's own drain_timeout bounds a
+      // peer that stops reading).
+      std::vector<Connection*> live;
+      live.reserve(shard.conns.size());
+      for (auto& [fd, conn] : shard.conns) live.push_back(conn.get());
+      for (Connection* conn : live) conn->close();
+    });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  while (total_occupancy() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop();
+}
+
 Server::Stats Server::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
     total.accepted += shard->accepted.load(std::memory_order_relaxed);
     total.rejected += shard->rejected.load(std::memory_order_relaxed);
     total.closed += shard->closed.load(std::memory_order_relaxed);
+    total.shed += shard->shed.load(std::memory_order_relaxed);
   }
   // Clamped: the counters are read one by one while shard threads run, so
   // a close can land between the accepted and closed snapshots — without
@@ -126,8 +145,109 @@ Server::Stats Server::stats() const {
   return total;
 }
 
+std::size_t Server::shard_occupancy(std::size_t i) const {
+  if (i >= shards_.size()) return 0;
+  const auto occ = shards_[i]->occupancy.load(std::memory_order_acquire);
+  return occ > 0 ? static_cast<std::size_t>(occ) : 0;
+}
+
+std::size_t Server::total_occupancy() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->occupancy.load(std::memory_order_acquire);
+  }
+  return total > 0 ? static_cast<std::size_t>(total) : 0;
+}
+
+std::size_t Server::per_shard_cap() const {
+  if (config_.shard_max_connections != 0) return config_.shard_max_connections;
+  if (config_.max_connections == 0) return 0;
+  return (config_.max_connections + shards_.size() - 1) / shards_.size();
+}
+
+Server::Shard& Server::pick_target() {
+  // Round-robin with a cap-aware skip: the cursor's shard takes the fd
+  // unless it is at its connection ceiling, in which case the next shard
+  // with room does. With every shard full the least-loaded one still
+  // adopts — a handed-off fd is never dropped; stopping intake is the
+  // global cap's job in handle_accept.
+  const std::size_t cap = per_shard_cap();
+  const std::size_t n = shards_.size();
+  std::size_t fallback = next_shard_;
+  std::int64_t fallback_load = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t idx = (next_shard_ + probe) % n;
+    const auto load = shards_[idx]->occupancy.load(std::memory_order_acquire);
+    if (cap == 0 || load < static_cast<std::int64_t>(cap)) {
+      next_shard_ = (idx + 1) % n;
+      return *shards_[idx];
+    }
+    if (load < fallback_load) {
+      fallback_load = load;
+      fallback = idx;
+    }
+  }
+  next_shard_ = (fallback + 1) % n;
+  return *shards_[fallback];
+}
+
+void Server::maybe_resume_accepts() {
+  if (config_.max_connections == 0) return;
+  const std::size_t low =
+      config_.low_watermark != 0
+          ? config_.low_watermark
+          : config_.max_connections -
+                std::max<std::size_t>(1, config_.max_connections / 8);
+  if (total_occupancy() > low) return;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    // exchange() makes each pause resume exactly once, whichever shard's
+    // retire gets here first; the task re-checks the listener because a
+    // teardown may have closed it in between.
+    if (shard.accept_paused.exchange(false, std::memory_order_acq_rel)) {
+      shard.loop.post([this, &shard] {
+        if (!shard.listen.valid()) return;
+        (void)shard.loop.rearm(shard.listen.get(), EPOLLIN);
+        handle_accept(shard);
+      });
+    }
+  }
+}
+
+void Server::sweep_pending(Shard& shard) {
+  std::size_t pending = 0;
+  for (const auto& [fd, conn] : shard.conns) pending += conn->queued();
+  if (pending <= config_.shard_pending_limit) return;
+  // Over the ceiling: shed the connections actually holding queued bytes,
+  // least-recently-active first (the peers that stopped reading longest
+  // ago are the least likely to ever drain what they owe).
+  std::vector<Connection*> victims;
+  for (const auto& [fd, conn] : shard.conns) {
+    if (conn->queued() > 0) victims.push_back(conn.get());
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Connection* a, const Connection* b) {
+              return a->last_activity() < b->last_activity();
+            });
+  for (Connection* conn : victims) {
+    if (pending <= config_.shard_pending_limit) break;
+    pending -= conn->queued();
+    shard.shed.fetch_add(1, std::memory_order_relaxed);
+    conn->abort();  // discards the queue; retire() parks the object
+  }
+}
+
 void Server::handle_accept(Shard& shard) {
   for (;;) {
+    // Overload gate: at the cap, stop watching the listener instead of
+    // accepting fds there is no budget for. Pending peers queue in the
+    // kernel backlog; retire() resumes the watch at the low watermark.
+    if (config_.max_connections != 0 &&
+        total_occupancy() >= config_.max_connections) {
+      shard.accept_paused.store(true, std::memory_order_release);
+      (void)shard.loop.rearm(shard.listen.get(), 0);
+      return;
+    }
     auto fd = accept_tcp(shard.listen.get());
     if (!fd) {
       // Hard accept failure (EMFILE/ENFILE under fd pressure): the
@@ -147,15 +267,17 @@ void Server::handle_accept(Shard& shard) {
     }
     if (!fd->valid()) return;   // backlog drained
     if (config_.reuse_port || shards_.size() == 1) {
+      shard.occupancy.fetch_add(1, std::memory_order_acq_rel);
       adopt(shard, std::move(*fd));
       continue;
     }
     // Round-robin handoff. The socket travels inside a shared_ptr (an Fd
     // is move-only but std::function wants copyable captures) so that a
     // task discarded by loop teardown still closes it on destruction
-    // instead of leaking the fd and hanging the peer.
-    Shard& target = *shards_[next_shard_];
-    next_shard_ = (next_shard_ + 1) % shards_.size();
+    // instead of leaking the fd and hanging the peer. Occupancy is charged
+    // here, not in adopt(), so the cap sees handoffs still in flight.
+    Shard& target = pick_target();
+    target.occupancy.fetch_add(1, std::memory_order_acq_rel);
     auto carried = std::make_shared<Fd>(std::move(*fd));
     target.loop.post(
         [this, &target, carried] { adopt(target, std::move(*carried)); });
@@ -167,6 +289,8 @@ void Server::adopt(Shard& shard, Fd fd) {
   auto framer = framer_factory_();
   if (!framer) {
     shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    shard.occupancy.fetch_sub(1, std::memory_order_acq_rel);
+    maybe_resume_accepts();
     return;  // fd closes on scope exit — the peer sees a reset
   }
   auto conn = std::make_unique<Connection>(shard.loop, std::move(fd),
@@ -187,6 +311,8 @@ void Server::adopt(Shard& shard, Fd fd) {
   }
   if (Status s = ref.open(); !s) {
     shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    shard.occupancy.fetch_sub(1, std::memory_order_acq_rel);
+    maybe_resume_accepts();
     return;  // conn (and its fd) dies here; open() registered nothing
   }
   shard.conns.emplace(ref.fd(), std::move(conn));
@@ -203,6 +329,8 @@ void Server::retire(Shard& shard, int key, Connection& conn) {
     shard.conns.erase(it);
   }
   shard.closed.fetch_add(1, std::memory_order_relaxed);
+  shard.occupancy.fetch_sub(1, std::memory_order_acq_rel);
+  maybe_resume_accepts();
   if (shard.graveyard.size() == 1) {
     shard.loop.post([&shard] { shard.graveyard.clear(); });
   }

@@ -31,17 +31,6 @@
 
 namespace protoobf::net {
 
-/// Builds one framer per connection. Factories for the two stock framers
-/// are below; a custom one can close over whatever state it needs (it runs
-/// on shard threads, one call per accepted connection).
-using FramerFactory = std::function<Expected<std::unique_ptr<Framer>>()>;
-
-FramerFactory length_prefix_framer_factory(
-    LengthPrefixFramer::Config config = {});
-FramerFactory obfuscated_framer_factory(
-    std::shared_ptr<const ObfuscatedProtocol> framing,
-    ObfuscatedFramer::Config config = {});
-
 class Server {
  public:
   struct Config {
@@ -50,12 +39,31 @@ class Server {
     bool reuse_port = true;     // per-shard listeners vs round-robin handoff
     int backlog = 128;
     Connection::Config connection;
+
+    // Overload protection. At max_connections the listeners stop being
+    // watched (pending peers wait in the kernel backlog instead of
+    // consuming fds and sessions); accepting resumes once closes bring the
+    // count down to low_watermark (0 = 7/8 of the cap). 0 = no cap.
+    std::size_t max_connections = 0;
+    std::size_t low_watermark = 0;
+    // Per-shard connection ceiling consulted by the round-robin handoff:
+    // an at-cap shard is skipped in favour of the next one with room (the
+    // fd is never dropped — if every shard is full the least-loaded one
+    // takes it; the global cap is what actually stops intake). 0 = derive
+    // ceil(max_connections / shards), unlimited when that is 0 too.
+    std::size_t shard_max_connections = 0;
+    // Per-shard ceiling on summed write-queue bytes. A periodic sweep
+    // sheds connections — oldest activity first, queue discarded — until
+    // the shard is back under. 0 = no ceiling.
+    std::size_t shard_pending_limit = 0;
+    std::chrono::milliseconds pending_sweep_interval{100};
   };
 
   struct Stats {
     std::uint64_t accepted = 0;
     std::uint64_t rejected = 0;  // framer factory / registration failures
     std::uint64_t closed = 0;
+    std::uint64_t shed = 0;      // aborted by the pending-byte sweep
     std::uint64_t active = 0;
   };
 
@@ -81,11 +89,21 @@ class Server {
   /// and joins the shard threads. Idempotent.
   void stop();
 
+  /// Graceful shutdown (the SIGTERM path): closes the listeners, asks
+  /// every connection to close gracefully — write queues flush first —
+  /// then waits up to `grace` for them to finish before stop(). Call from
+  /// outside the shard threads (a signal-handling main thread).
+  void drain(std::chrono::milliseconds grace = std::chrono::milliseconds(5000));
+
   /// The bound port (meaningful after start(); resolves endpoint.port 0).
   std::uint16_t port() const { return port_; }
 
   Stats stats() const;
   std::size_t shard_count() const { return shards_.size(); }
+
+  /// Live connections currently owned by shard `i` (handoffs in flight
+  /// included). Exposed so tests can pin the handoff balance.
+  std::size_t shard_occupancy(std::size_t i) const;
 
  private:
   struct Shard {
@@ -99,11 +117,21 @@ class Server {
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> rejected{0};
     std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> shed{0};
+    // Connections owned + handoffs posted but not yet adopted. Written by
+    // the accepting shard, read by every shard's retire path.
+    std::atomic<std::int64_t> occupancy{0};
+    std::atomic<bool> accept_paused{false};
   };
 
   void handle_accept(Shard& shard);
   void adopt(Shard& shard, Fd fd);
   void retire(Shard& shard, int key, Connection& conn);
+  Shard& pick_target();
+  std::size_t per_shard_cap() const;
+  std::size_t total_occupancy() const;
+  void maybe_resume_accepts();
+  void sweep_pending(Shard& shard);
 
   std::shared_ptr<const ObfuscatedProtocol> protocol_;
   FramerFactory framer_factory_;

@@ -270,6 +270,48 @@ TEST(NativeAttach, BackgroundCompileSwapsInWhileServing) {
   EXPECT_EQ(cache.stats().errors, 0u);
 }
 
+TEST(NativeAttach, FailedBackgroundCompilePoisonsTheKey) {
+  auto owned = std::make_shared<const ObfuscatedProtocol>(
+      compile_spec(fuzztest::kNetDemoSpec, 1));
+  // A compiler driver that cannot exist makes every build fail the same
+  // deterministic way — the shape of a broken toolchain in production.
+  NativeCompiler::Options options = options_in(fresh_cache_dir("poison"));
+  options.compiler = "/nonexistent/protoobf-cc";
+  NativeCache cache(4, options, /*poison_ttl=*/std::chrono::milliseconds(200));
+  ObfuscationConfig cfg;
+  cfg.per_node = 1;
+  cfg.seed = 90125;
+  const std::uint64_t spec_hash =
+      ProtocolCache::hash_spec(fuzztest::kNetDemoSpec);
+
+  // First attempt: the build runs, fails, is counted once — and serving
+  // stays interpreted (the protocol is untouched).
+  cache.compile_and_attach(owned, spec_hash, cfg);
+  cache.wait_idle();
+  EXPECT_EQ(cache.stats().background, 1u);
+  EXPECT_EQ(cache.stats().errors, 1u);
+  EXPECT_EQ(owned->wire_backend(), nullptr);
+
+  // Inside the TTL nothing retries the doomed compile: a background
+  // request doesn't even spawn a worker, and a blocking request fails
+  // fast, replaying the original error.
+  cache.compile_and_attach(owned, spec_hash, cfg);
+  cache.wait_idle();
+  EXPECT_EQ(cache.stats().background, 1u) << "poisoned key spawned a worker";
+  auto blocked = cache.get_or_compile(*owned, spec_hash, cfg);
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_EQ(cache.stats().errors, 1u) << "the error must be surfaced once";
+  EXPECT_GE(cache.stats().poisoned, 2u);
+
+  // After the TTL the key is retried (the failure may have been
+  // transient); with the same broken driver it just fails — and poisons —
+  // again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  auto retried = cache.get_or_compile(*owned, spec_hash, cfg);
+  EXPECT_FALSE(retried.ok());
+  EXPECT_EQ(cache.stats().errors, 2u) << "TTL expiry must re-run the build";
+}
+
 // --- cache behaviour --------------------------------------------------------
 
 TEST(NativeCacheTest, RepeatKeyHitsWithoutRecompiling) {

@@ -771,5 +771,134 @@ frame: seq end {
   server.stop();
 }
 
+// --- timer dispatch re-entrancy (ISSUE 8 satellites) ------------------------
+
+TEST(EventLoop, PeriodicTimerCancelsItselfDuringItsOwnDispatch) {
+  EventLoop loop;
+  int fired = 0;
+  EventLoop::TimerId id = 0;
+  id = loop.add_timer(std::chrono::milliseconds(5),
+                      [&] {
+                        ++fired;
+                        // Self-cancel from inside the callback: the
+                        // periodic re-arm below it must be suppressed.
+                        loop.cancel_timer(id);
+                      },
+                      std::chrono::milliseconds(5));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(120);
+  while (std::chrono::steady_clock::now() < deadline) loop.run_once(10);
+  EXPECT_EQ(fired, 1) << "a self-cancelled periodic timer refired";
+}
+
+TEST(EventLoop, TimerReAddedDuringItsOwnDispatchFiresOnSchedule) {
+  EventLoop loop;
+  std::vector<char> order;
+  loop.add_timer(std::chrono::milliseconds(5), [&] {
+    order.push_back('a');
+    // Re-add from inside dispatch: the new timer joins the heap and fires
+    // on its own deadline — neither recursively in this batch nor never.
+    loop.add_timer(std::chrono::milliseconds(5),
+                   [&] { order.push_back('c'); });
+  });
+  loop.add_timer(std::chrono::milliseconds(30), [&] { order.push_back('b'); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (order.size() < 3 && std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(10);
+  }
+  EXPECT_EQ(order, (std::vector<char>{'a', 'c', 'b'}));
+}
+
+TEST(EventLoop, PeriodicTimerCancelsItselfAndReArmsAReplacement) {
+  EventLoop loop;
+  int periodic = 0;
+  int replacement = 0;
+  EventLoop::TimerId id = 0;
+  id = loop.add_timer(std::chrono::milliseconds(5),
+                      [&] {
+                        if (++periodic == 2) {
+                          // The hardest interleaving: cancel the firing
+                          // timer AND grow the heap in the same callback.
+                          loop.cancel_timer(id);
+                          loop.add_timer(std::chrono::milliseconds(5),
+                                         [&] { ++replacement; });
+                        }
+                      },
+                      std::chrono::milliseconds(5));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (replacement == 0 && std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(10);
+  }
+  EXPECT_EQ(periodic, 2);
+  EXPECT_EQ(replacement, 1);
+}
+
+// --- round-robin handoff at the per-shard cap -------------------------------
+
+TEST(NetServer, RoundRobinHandoffSkipsShardAtItsConnectionCap) {
+  auto protocol = compile(2018, 1);
+  Server::Config cfg;
+  cfg.shards = 3;
+  cfg.reuse_port = false;  // shard 0 accepts, hands fds around
+  cfg.shard_max_connections = 1;
+  auto server = echo_server(protocol, cfg);
+
+  // c1 -> shard 0, c2 -> shard 1 (plain rotation).
+  const int c1 = blocking_client(server->port());
+  ASSERT_TRUE(wait_for([&] { return server->stats().active == 1; }));
+  const int c2 = blocking_client(server->port());
+  ASSERT_TRUE(wait_for([&] { return server->stats().active == 2; }));
+  EXPECT_EQ(server->shard_occupancy(0), 1u);
+  EXPECT_EQ(server->shard_occupancy(1), 1u);
+
+  // Free shard 1, fill shard 2: the rotation cursor now points at shard 0,
+  // which is AT its cap.
+  ::close(c2);
+  ASSERT_TRUE(wait_for([&] { return server->stats().active == 1; }));
+  const int c3 = blocking_client(server->port());
+  ASSERT_TRUE(wait_for([&] { return server->stats().active == 2; }));
+  EXPECT_EQ(server->shard_occupancy(2), 1u);
+
+  // The handoff must skip at-cap shard 0 and land on shard 1 — the fd is
+  // served, not dropped.
+  const int c4 = blocking_client(server->port());
+  ASSERT_TRUE(wait_for([&] { return server->stats().active == 3; }));
+  EXPECT_EQ(server->shard_occupancy(0), 1u);
+  EXPECT_EQ(server->shard_occupancy(1), 1u);
+  EXPECT_EQ(server->shard_occupancy(2), 1u);
+
+  // Proof the skipped-to connection really works: echo one message on it.
+  auto g = Framework::load_spec(kSpec).value();
+  Rng rng(23);
+  Message msg = random_message(g, rng);
+  ASSERT_TRUE(protocol->canonicalize(msg.root()).ok());
+  Session session(protocol);
+  LengthPrefixFramer framer;
+  Channel channel(session, framer);
+  auto framed = channel.send(msg.root(), 9);
+  ASSERT_TRUE(framed.ok());
+  ASSERT_EQ(::send(c4, framed->data(), framed->size(), 0),
+            static_cast<ssize_t>(framed->size()));
+  Byte buf[4096];
+  InstPtr echo;
+  while (echo == nullptr) {
+    const ssize_t n = ::recv(c4, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    channel.on_bytes(BytesView(buf, static_cast<std::size_t>(n)));
+    if (auto m = channel.receive()) {
+      ASSERT_TRUE(m->ok());
+      echo = std::move(**m);
+    }
+  }
+  EXPECT_TRUE(ast::equal(*echo, msg.root()));
+
+  ::close(c1);
+  ::close(c3);
+  ::close(c4);
+  server->stop();
+}
+
 }  // namespace
 }  // namespace protoobf

@@ -27,9 +27,19 @@
 //       ready. Stop with SIGINT/SIGTERM.
 //   protoobf connect <spec-file> --port P --emit COUNT [--expect COUNT]
 //       Client peer for serve: dials, sends COUNT framed random messages,
-//       counts the echoes. --retry-ms keeps dialing a not-yet-listening
-//       server. Both ends must agree on spec, --seed/--per-node and the
-//       framing flags (--frame-width / --obf-frame).
+//       counts the echoes. --retry (alias --retry-ms) keeps dialing a
+//       not-yet-listening server, backing off between refused attempts
+//       (--backoff-ms picks the initial delay). Both ends must agree on
+//       spec, --seed/--per-node and the framing flags (--frame-width /
+//       --obf-frame).
+//   protoobf soak <spec-file> [--conns N] [--emit COUNT] [--fault-seed N]
+//       Self-contained reliability drill: spins up a loopback echo server
+//       and N ReliableClients under a seeded transport-fault schedule
+//       (short reads/writes, EAGAIN storms, scheduled resets, refused
+//       dials), then verifies every client confirmed its whole message
+//       window despite the chaos. --no-faults runs the same drill on a
+//       clean transport (a throughput baseline). Prints the fault and
+//       recovery counters; exits nonzero on any unconfirmed message.
 //   protoobf compile <spec-file> --seed N --per-node K
 //       Pre-build the native unit for (spec, seed, per_node) into the
 //       shared on-disk cache ($PROTOOBF_NATIVE_CACHE, default
@@ -64,6 +74,8 @@
 #include "fuzz/runner.hpp"
 #include "native/cache.hpp"
 #include "net/connector.hpp"
+#include "net/fault.hpp"
+#include "net/reconnect.hpp"
 #include "net/server.hpp"
 #include "runtime/parse.hpp"
 #include "session/protocol_cache.hpp"
@@ -77,7 +89,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: protoobf <validate|graph|obfuscate|codegen|compile|stream|"
-      "serve|connect|fuzz> <spec-file> [--seed N] [--per-node K] [-o FILE]\n"
+      "serve|connect|soak|fuzz> <spec-file> [--seed N] [--per-node K] "
+      "[-o FILE]\n"
       "       stream extras: [--emit COUNT] [--expect COUNT] "
       "[--msg-seed N] [--frame-width W] "
       "[--obf-frame SEED:PER_NODE] [--dump]\n"
@@ -86,9 +99,13 @@ int usage() {
       "       fuzz extras: [--iters N] [--chunked] [--whole] "
       "[--msg-seed N]  (env: PROTOOBF_FUZZ_SEED overrides --msg-seed)\n"
       "       serve extras: [--host H] [--port P] [--shards N] "
-      "[--round-robin] [--idle-ms N]\n"
+      "[--round-robin] [--idle-ms N] [--max-conns N]  (SIGTERM drains "
+      "gracefully, SIGINT stops hard)\n"
       "       connect extras: [--host H] [--port P] [--emit COUNT] "
-      "[--expect COUNT] [--msg-seed N] [--retry-ms N]\n");
+      "[--expect COUNT] [--msg-seed N] [--retry MS] [--backoff-ms N]\n"
+      "       soak extras: [--conns N] [--emit MSGS_PER_CLIENT] "
+      "[--fault-seed N] [--no-faults] [--shards N] [--max-conns N] "
+      "[--retry MS] [--backoff-ms N]\n");
   return 2;
 }
 
@@ -114,6 +131,13 @@ struct Options {
   bool round_robin = false;
   std::size_t idle_ms = 0;
   std::size_t retry_ms = 2000;
+  bool retry_set = false;       // --retry/--retry-ms given explicitly
+  std::size_t backoff_ms = 20;  // initial backoff between refused dials
+  std::size_t max_conns = 0;    // serve/soak: accept-pause cap (0 = none)
+  // soak
+  std::size_t conns = 64;
+  std::uint64_t fault_seed = 42;
+  bool no_faults = false;
   // fuzz
   std::size_t iters = 1000;
   bool chunked = false;  // force the chunk-split resume replay
@@ -169,8 +193,22 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.round_robin = true;
     } else if (arg == "--idle-ms" && i + 1 < argc) {
       opts.idle_ms = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
-    } else if (arg == "--retry-ms" && i + 1 < argc) {
+    } else if ((arg == "--retry-ms" || arg == "--retry") && i + 1 < argc) {
       opts.retry_ms = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+      opts.retry_set = true;
+    } else if (arg == "--backoff-ms" && i + 1 < argc) {
+      opts.backoff_ms =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      opts.max_conns =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--conns" && i + 1 < argc) {
+      opts.conns =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      opts.fault_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--no-faults") {
+      opts.no_faults = true;
     } else if (arg == "--iters" && i + 1 < argc) {
       opts.iters = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
     } else if (arg == "--chunked") {
@@ -560,9 +598,9 @@ Expected<net::FramerFactory> framer_factory_of(const Options& opts) {
   return net::obfuscated_framer_factory(std::move(framing->protocol));
 }
 
-std::atomic<bool> g_stop_serving{false};
+std::atomic<int> g_stop_signal{0};
 
-void stop_signal(int) { g_stop_serving.store(true); }
+void stop_signal(int sig) { g_stop_signal.store(sig); }
 
 int cmd_serve(const Options& opts) {
   auto protocol = compile_protocol(opts);
@@ -582,6 +620,7 @@ int cmd_serve(const Options& opts) {
   cfg.shards = opts.shards > 0 ? opts.shards : 1;
   cfg.reuse_port = !opts.round_robin;
   cfg.connection.idle_timeout = std::chrono::milliseconds(opts.idle_ms);
+  cfg.max_connections = opts.max_conns;
 
   net::Server server(*protocol, *factory, cfg);
   server.on_accept([](net::Connection& conn) {
@@ -631,14 +670,23 @@ int cmd_serve(const Options& opts) {
 
   std::signal(SIGINT, stop_signal);
   std::signal(SIGTERM, stop_signal);
-  while (!g_stop_serving.load()) {
+  while (g_stop_signal.load() == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  // Snapshot before shutdown: drain()/stop() retire the shards (and their
+  // counters) on the way out.
   const net::Server::Stats stats = server.stats();
+  // SIGTERM is the orchestrator's "finish what you started": close the
+  // listeners, flush every write queue, then leave. SIGINT stops hard.
+  if (g_stop_signal.load() == SIGTERM) {
+    std::fprintf(stderr, "SIGTERM: draining connections...\n");
+    server.drain(std::chrono::milliseconds(5000));
+  }
   server.stop();
-  std::fprintf(stderr, "served %llu connections (%llu rejected)\n",
+  std::fprintf(stderr, "served %llu connections (%llu rejected, %llu shed)\n",
                static_cast<unsigned long long>(stats.accepted),
-               static_cast<unsigned long long>(stats.rejected));
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.shed));
   return 0;
 }
 
@@ -664,30 +712,26 @@ int cmd_connect(const Options& opts) {
   }
 
   // Dial with retries: the smoke tests race this against a server that is
-  // still binding its port.
+  // still binding its port. Connector::dial absorbs the ECONNREFUSED
+  // window itself, backing off with full jitter between attempts.
   net::EventLoop loop;
   const net::Endpoint ep{opts.host, opts.port};
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(opts.retry_ms);
-  std::unique_ptr<net::Connection> conn;
-  for (;;) {
-    auto framer = (*factory)();
-    if (!framer.ok()) {
-      std::fprintf(stderr, "error: %s\n", framer.error().message.c_str());
-      return 1;
-    }
-    auto dialed =
-        net::Connector::dial(loop, ep, *protocol, std::move(*framer), {});
-    if (dialed.ok()) {
-      conn = std::move(*dialed);
-      break;
-    }
-    if (std::chrono::steady_clock::now() >= deadline) {
-      std::fprintf(stderr, "error: %s\n", dialed.error().message.c_str());
-      return 1;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto framer = (*factory)();
+  if (!framer.ok()) {
+    std::fprintf(stderr, "error: %s\n", framer.error().message.c_str());
+    return 1;
   }
+  net::BackoffPolicy backoff;
+  backoff.initial = std::chrono::milliseconds(opts.backoff_ms);
+  if (backoff.initial > backoff.cap) backoff.cap = backoff.initial;
+  auto dialed = net::Connector::dial(loop, ep, *protocol, std::move(*framer),
+                                     {}, std::chrono::milliseconds(opts.retry_ms),
+                                     backoff);
+  if (!dialed.ok()) {
+    std::fprintf(stderr, "error: %s\n", dialed.error().message.c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Connection> conn = std::move(*dialed);
 
   std::size_t echoed = 0;
   std::size_t parse_errors = 0;
@@ -747,6 +791,211 @@ int cmd_connect(const Options& opts) {
     return 1;
   }
   return echoed == sent && sent > 0 ? 0 : 1;
+}
+
+// --- soak -------------------------------------------------------------------
+
+/// Per-client soak bookkeeping. `confirmed` is loop-thread-only; the
+/// atomics are what the polling main thread reads.
+struct SoakClient {
+  std::unique_ptr<net::ReliableClient> client;
+  std::uint64_t confirmed = 0;  // echoes seen -> next cumulative ack
+  std::atomic<std::uint64_t> acked{0};
+  std::atomic<bool> gave_up{false};
+};
+
+/// In-process reliability drill: a sharded loopback echo server and
+/// --conns ReliableClients exchange --emit messages each while a seeded
+/// FaultInjector on both sides of the wire shortens reads, storms EAGAIN,
+/// refuses dials and kills connections at scheduled byte offsets. Every
+/// echo confirms the client's oldest outstanding message (cumulative ack,
+/// like TCP); success means every client confirmed its whole window — the
+/// at-least-once resend queue rode through every injected kill. The
+/// rigorous zero-loss/zero-duplication proof lives in tests/soak_test.cpp;
+/// this command is the operator-facing drill and throughput probe.
+int cmd_soak(const Options& opts) {
+  const std::size_t conns = opts.conns > 0 ? opts.conns : 1;
+  const std::uint64_t msgs = opts.emit > 0 ? opts.emit : 16;
+  const bool faults = !opts.no_faults;
+
+  auto protocol = compile_protocol(opts);
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
+    return 1;
+  }
+  const Graph& graph = (*protocol)->original();
+  auto factory = framer_factory_of(opts);
+  if (!factory.ok()) {
+    std::fprintf(stderr, "error: %s\n", factory.error().message.c_str());
+    return 1;
+  }
+
+  net::FaultPlan plan;
+  plan.seed = opts.fault_seed;
+  if (faults) {
+    plan.short_read = 0.2;
+    plan.short_write = 0.2;
+    plan.eagain = 0.1;
+    plan.kill_rate = 0.3;
+    plan.kill_window_bytes = 2048;
+    plan.refuse_every = 5;
+  }
+  net::FaultInjector server_faults(plan);
+  net::FaultPlan client_plan = plan;
+  client_plan.seed = plan.seed ^ 0x9e3779b97f4a7c15ull;
+  net::FaultInjector client_faults(client_plan);
+  std::printf("soak: %zu clients x %llu messages, fault seed %llu%s\n", conns,
+              static_cast<unsigned long long>(msgs),
+              static_cast<unsigned long long>(opts.fault_seed),
+              faults ? "" : " (faults off)");
+
+  net::Server::Config scfg;
+  scfg.endpoint = {"127.0.0.1", 0};
+  scfg.shards = opts.shards > 0 ? opts.shards : 1;
+  scfg.max_connections =
+      opts.max_conns > 0 ? opts.max_conns : conns + 64;
+  scfg.connection.drain_timeout = std::chrono::milliseconds(2000);
+  if (faults) scfg.connection.ops = &server_faults;
+  std::atomic<std::uint64_t> server_msgs{0};
+  net::Server server(*protocol, *factory, scfg);
+  server.on_accept([&](net::Connection& conn) {
+    conn.on_message([&](net::Connection& c, Expected<InstPtr> msg) {
+      if (!msg.ok()) return;  // per-message parse error: stream continues
+      server_msgs.fetch_add(1);
+      (void)c.send(**msg, c.stats().messages_in);
+    });
+  });
+  if (Status s = server.start(); !s) {
+    std::fprintf(stderr, "error: %s\n", s.error().message.c_str());
+    return 1;
+  }
+
+  const std::size_t n_loops = conns < 4 ? conns : 4;
+  std::vector<std::unique_ptr<net::EventLoop>> loops;
+  for (std::size_t i = 0; i < n_loops; ++i) {
+    loops.push_back(std::make_unique<net::EventLoop>());
+  }
+  std::vector<SoakClient> clients(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    net::ReliableClient::Config ccfg;
+    ccfg.endpoint = {"127.0.0.1", server.port()};
+    ccfg.framer_factory = *factory;
+    if (faults) ccfg.connection.ops = &client_faults;
+    ccfg.backoff.initial = std::chrono::milliseconds(
+        opts.backoff_ms > 0 ? opts.backoff_ms : 5);
+    if (ccfg.backoff.initial > ccfg.backoff.cap) {
+      ccfg.backoff.cap = ccfg.backoff.initial;
+    }
+    // --retry bounds how long a client keeps re-dialing (0 = forever).
+    if (opts.retry_set) {
+      ccfg.lifetime = std::chrono::milliseconds(opts.retry_ms);
+    }
+    ccfg.max_unacked = msgs;
+    ccfg.seed = opts.fault_seed + i;
+    SoakClient& state = clients[i];
+    state.client = std::make_unique<net::ReliableClient>(
+        *loops[i % n_loops], *protocol, ccfg);
+    state.client->on_message([&state](Expected<InstPtr> msg) {
+      if (!msg.ok()) return;
+      state.client->ack(++state.confirmed);
+      state.acked.store(state.client->stats().acked);
+    });
+    state.client->on_gave_up(
+        [&state](const Error&) { state.gave_up.store(true); });
+  }
+
+  std::vector<std::thread> threads;
+  for (auto& loop : loops) {
+    threads.emplace_back([&loop] { loop->run(); });
+  }
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < conns; ++i) {
+    SoakClient& state = clients[i];
+    loops[i % n_loops]->post([&state, &graph, seed = opts.msg_seed + i, msgs] {
+      state.client->start();
+      Rng rng(seed);
+      for (std::uint64_t m = 0; m < msgs; ++m) {
+        InstPtr msg = fuzz::random_message(graph, rng);
+        (void)state.client->send(*msg);
+      }
+    });
+  }
+
+  const auto deadline =
+      started + std::chrono::milliseconds(30000 + 25 * conns);
+  auto done = [&] {
+    for (const SoakClient& state : clients) {
+      if (state.gave_up.load()) return true;  // fail fast below
+      if (state.acked.load() < msgs) return false;
+    }
+    return true;
+  };
+  while (!done() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+
+  std::size_t complete = 0;
+  std::uint64_t gave_up = 0;
+  // Recovery counters live on the loop threads; read them there too.
+  std::atomic<std::uint64_t> dials{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> resent{0};
+  std::atomic<std::size_t> stopped{0};
+  for (std::size_t i = 0; i < conns; ++i) {
+    SoakClient& state = clients[i];
+    if (state.gave_up.load()) ++gave_up;
+    if (state.acked.load() >= msgs) ++complete;
+    loops[i % n_loops]->post([&state, &stopped, &dials, &reconnects,
+                              &resent] {
+      const net::ReliableClient::Stats& cs = state.client->stats();
+      dials.fetch_add(cs.dials);
+      reconnects.fetch_add(cs.reconnects);
+      resent.fetch_add(cs.resent);
+      state.client->stop();
+      stopped.fetch_add(1);
+    });
+  }
+  const auto stop_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (stopped.load() < conns &&
+         std::chrono::steady_clock::now() < stop_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  server.drain(std::chrono::milliseconds(5000));
+  for (auto& loop : loops) loop->stop();
+  for (auto& thread : threads) thread.join();
+  clients.clear();  // after their loops stopped
+
+  std::printf(
+      "soak: %zu/%zu clients confirmed %llu msgs in %.0f ms "
+      "(%llu gave up)\n",
+      complete, conns, static_cast<unsigned long long>(msgs), elapsed_ms,
+      static_cast<unsigned long long>(gave_up));
+  std::printf(
+      "recovery: %llu dials, %llu reconnects, %llu resends, "
+      "%llu server receipts\n",
+      static_cast<unsigned long long>(dials.load()),
+      static_cast<unsigned long long>(reconnects.load()),
+      static_cast<unsigned long long>(resent.load()),
+      static_cast<unsigned long long>(server_msgs.load()));
+  if (faults) {
+    const net::FaultInjector::Stats sf = server_faults.stats();
+    const net::FaultInjector::Stats cf = client_faults.stats();
+    std::printf(
+        "faults: %llu kills, %llu short reads, %llu short writes, "
+        "%llu EAGAIN, %llu dials refused\n",
+        static_cast<unsigned long long>(server_faults.kills() +
+                                        client_faults.kills()),
+        static_cast<unsigned long long>(sf.short_reads + cf.short_reads),
+        static_cast<unsigned long long>(sf.short_writes + cf.short_writes),
+        static_cast<unsigned long long>(sf.eagains + cf.eagains),
+        static_cast<unsigned long long>(cf.refused));
+  }
+  return complete == conns ? 0 : 1;
 }
 
 int cmd_fuzz(const Options& opts) {
@@ -840,6 +1089,7 @@ int main(int argc, char** argv) {
   if (opts.command == "stream") return cmd_stream(opts);
   if (opts.command == "serve") return cmd_serve(opts);
   if (opts.command == "connect") return cmd_connect(opts);
+  if (opts.command == "soak") return cmd_soak(opts);
   if (opts.command == "fuzz") return cmd_fuzz(opts);
   return usage();
 }
