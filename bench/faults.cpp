@@ -9,14 +9,17 @@
 //   recovery latency      per drop: connection-lost edge to the replacement
 //                         connection serving traffic again (on_state false
 //                         -> true), the time the backoff+redial machinery
-//                         actually costs;
+//                         actually costs. Recorded into an obs::Histogram —
+//                         the same log-bucketed instrument the live
+//                         /metrics endpoint serves — so the bench
+//                         quantiles and production quantiles share one
+//                         estimator;
 //   recovery_vs_cap       mean recovery latency over the backoff cap — the
 //                         CI ratio guard: redials must resolve within a
 //                         small multiple of the configured worst-case
 //                         delay, or the retry loop is spinning not healing.
 //
 // Usage: bench_faults [conns] [messages] [fault_seed] [json_path]
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +32,7 @@
 #include "net/fault.hpp"
 #include "net/reconnect.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
 #include "session/protocol_cache.hpp"
 #include "util/rng.hpp"
 
@@ -63,9 +67,8 @@ Message bench_message(const Graph& g, Rng& rng) {
 struct DrillClient {
   std::unique_ptr<net::ReliableClient> client;
   std::uint64_t confirmed = 0;
-  std::chrono::steady_clock::time_point dropped_at{};
+  std::uint64_t dropped_at_ns = 0;
   bool down = false;
-  std::vector<double> recoveries_ms;  // drop -> reconnected, per drop
   std::atomic<std::uint64_t> acked{0};
   std::atomic<bool> gave_up{false};
 };
@@ -76,7 +79,9 @@ struct DrillResult {
   std::size_t complete = 0;
   std::uint64_t reconnects = 0;
   std::uint64_t resent = 0;
-  std::vector<double> recoveries_ms;
+  // Drop -> serving-again latency, all clients pooled. Histogram::record
+  // is thread-safe, so the loop threads feed it directly.
+  obs::Histogram::Snapshot recovery;
 };
 
 DrillResult run_drill(std::shared_ptr<const ObfuscatedProtocol> protocol,
@@ -84,6 +89,9 @@ DrillResult run_drill(std::shared_ptr<const ObfuscatedProtocol> protocol,
                       net::FaultInjector* server_faults,
                       net::FaultInjector* client_faults,
                       std::uint64_t seed) {
+  // Heap-allocated: a Histogram carries its padded per-thread blocks
+  // inline (~tens of KB) — too big for comfort on the stack.
+  auto recovery_hist = std::make_unique<obs::Histogram>();
   net::Server::Config scfg;
   scfg.endpoint = {"127.0.0.1", 0};
   scfg.shards = 2;
@@ -126,16 +134,15 @@ DrillResult run_drill(std::shared_ptr<const ObfuscatedProtocol> protocol,
       state.client->ack(++state.confirmed);
       state.acked.store(state.client->stats().acked);
     });
-    state.client->on_state([&state](bool connected) {
-      const auto now = std::chrono::steady_clock::now();
+    state.client->on_state([&state, hist = recovery_hist.get()](
+                               bool connected) {
+      const std::uint64_t now = obs::now_ns();
       if (!connected) {
         state.down = true;
-        state.dropped_at = now;
+        state.dropped_at_ns = now;
       } else if (state.down) {
         state.down = false;
-        state.recoveries_ms.push_back(
-            std::chrono::duration<double, std::milli>(now - state.dropped_at)
-                .count());
+        hist->record(now - state.dropped_at_ns);
       }
     });
     state.client->on_gave_up(
@@ -199,11 +206,7 @@ DrillResult run_drill(std::shared_ptr<const ObfuscatedProtocol> protocol,
   server.drain(std::chrono::milliseconds(5000));
   for (auto& loop : loops) loop->stop();
   for (auto& thread : threads) thread.join();
-  for (DrillClient& state : clients) {
-    result.recoveries_ms.insert(result.recoveries_ms.end(),
-                                state.recoveries_ms.begin(),
-                                state.recoveries_ms.end());
-  }
+  result.recovery = recovery_hist->snapshot();
   result.reconnects = reconnects.load();
   result.resent = resent.load();
   result.msgs_per_sec = result.elapsed_ms > 0
@@ -213,21 +216,6 @@ DrillResult run_drill(std::shared_ptr<const ObfuscatedProtocol> protocol,
                             : 0;
   clients.clear();  // after their loops stopped
   return result;
-}
-
-double mean(const std::vector<double>& v) {
-  if (v.empty()) return 0;
-  double sum = 0;
-  for (double x : v) sum += x;
-  return sum / static_cast<double>(v.size());
-}
-
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(v.size() - 1) + 0.5);
-  return v[std::min(idx, v.size() - 1)];
 }
 
 }  // namespace
@@ -281,8 +269,13 @@ int main(int argc, char** argv) {
   const double ratio = clean.msgs_per_sec > 0
                            ? faulty.msgs_per_sec / clean.msgs_per_sec
                            : 0;
-  const double mean_recovery = mean(faulty.recoveries_ms);
-  const double p99_recovery = percentile(faulty.recoveries_ms, 0.99);
+  // Histogram quantiles come back in nanoseconds; the report speaks ms.
+  const obs::Histogram::Snapshot& rec = faulty.recovery;
+  const double mean_recovery = rec.mean() / 1e6;
+  const double p50_recovery = rec.p50 / 1e6;
+  const double p95_recovery = rec.p95 / 1e6;
+  const double p99_recovery = rec.p99 / 1e6;
+  const double max_recovery = static_cast<double>(rec.max) / 1e6;
   const double cap_ms =
       std::chrono::duration<double, std::milli>(kBackoffCap).count();
   const double recovery_vs_cap = mean_recovery / cap_ms;
@@ -298,9 +291,11 @@ int main(int argc, char** argv) {
               faulty.msgs_per_sec, faulty.complete, conns);
   std::printf("  faulty/clean: %.3fx\n", ratio);
   std::printf(
-      "  recovery: %zu drops healed, mean %.1f ms, p99 %.1f ms "
+      "  recovery: %llu drops healed, mean %.1f ms, p50 %.1f ms, "
+      "p95 %.1f ms, p99 %.1f ms, max %.1f ms "
       "(backoff cap %.0f ms, mean/cap %.2f)\n",
-      faulty.recoveries_ms.size(), mean_recovery, p99_recovery, cap_ms,
+      static_cast<unsigned long long>(rec.count), mean_recovery,
+      p50_recovery, p95_recovery, p99_recovery, max_recovery, cap_ms,
       recovery_vs_cap);
   std::printf("  faults: %llu kills, %llu reconnects, %llu resends\n",
               static_cast<unsigned long long>(kills),
@@ -325,9 +320,12 @@ int main(int argc, char** argv) {
                  "  \"clean_msgs_per_sec\": %.1f,\n"
                  "  \"faulty_msgs_per_sec\": %.1f,\n"
                  "  \"faulty_vs_clean_ratio\": %.4f,\n"
-                 "  \"recoveries\": %zu,\n"
+                 "  \"recoveries\": %llu,\n"
                  "  \"mean_recovery_ms\": %.2f,\n"
+                 "  \"p50_recovery_ms\": %.2f,\n"
+                 "  \"p95_recovery_ms\": %.2f,\n"
                  "  \"p99_recovery_ms\": %.2f,\n"
+                 "  \"max_recovery_ms\": %.2f,\n"
                  "  \"backoff_cap_ms\": %.0f,\n"
                  "  \"recovery_vs_cap_ratio\": %.4f,\n"
                  "  \"kills\": %llu,\n"
@@ -336,8 +334,10 @@ int main(int argc, char** argv) {
                  "}\n",
                  conns, static_cast<unsigned long long>(msgs),
                  static_cast<unsigned long long>(seed), clean.msgs_per_sec,
-                 faulty.msgs_per_sec, ratio, faulty.recoveries_ms.size(),
-                 mean_recovery, p99_recovery, cap_ms, recovery_vs_cap,
+                 faulty.msgs_per_sec, ratio,
+                 static_cast<unsigned long long>(rec.count), mean_recovery,
+                 p50_recovery, p95_recovery, p99_recovery, max_recovery,
+                 cap_ms, recovery_vs_cap,
                  static_cast<unsigned long long>(kills),
                  static_cast<unsigned long long>(faulty.reconnects),
                  static_cast<unsigned long long>(faulty.resent));

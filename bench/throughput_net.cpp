@@ -24,11 +24,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <memory>
 #include <vector>
 
 #include "harness.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "session/protocol_cache.hpp"
 #include "stream/channel.hpp"
 
@@ -145,18 +148,29 @@ int main(int argc, char** argv) {
   LengthPrefixFramer f5, f6;
   Channel net_out(net_tx, f5), net_in(net_rx, f6);
 
+  // Per-echo round-trip latency, recorded into the same log-bucketed
+  // histogram the live /metrics endpoint uses. TCP plus the echo handler
+  // preserve message order on one connection, so a FIFO of send stamps
+  // pairs each receive with its originating send.
+  auto echo_hist = std::make_unique<obs::Histogram>();
+  std::deque<std::uint64_t> sent_at_ns;
+
   const auto run_net = [&]() {
     std::size_t got = 0;
     Bytes pending;         // frames not yet accepted by the kernel
     std::size_t head = 0;  // consumed prefix of pending
     std::size_t next = 0;  // next message to frame
     Byte buf[16 * 1024];
+    sent_at_ns.clear();
     while (got < messages) {
       // Top up the send queue (bounded so both directions keep moving).
       while (next < messages && pending.size() - head < 64 * 1024) {
         auto framed = net_out.send(msgs[next].root(), msg_seed_of(next));
         ++next;
-        if (framed) append(pending, *framed);
+        if (framed) {
+          append(pending, *framed);
+          sent_at_ns.push_back(obs::now_ns());
+        }
       }
       pollfd pfd{fd->get(), POLLIN, 0};
       if (head < pending.size()) pfd.events |= POLLOUT;
@@ -185,6 +199,10 @@ int main(int argc, char** argv) {
         while (auto m = net_in.receive()) {
           checksum += m->ok() ? (**m)->children.size() : 0;
           ++got;
+          if (!sent_at_ns.empty()) {
+            echo_hist->record(obs::now_ns() - sent_at_ns.front());
+            sent_at_ns.pop_front();
+          }
         }
       }
     }
@@ -195,6 +213,7 @@ int main(int argc, char** argv) {
   // (same discipline as the other throughput benches).
   (void)run_memory();
   (void)run_net();
+  echo_hist->reset();  // quantiles cover the timed trials only
 
   double memory_rate = 0;
   double net_rate = 0;
@@ -236,6 +255,13 @@ int main(int argc, char** argv) {
   std::snprintf(net_label, sizeof net_label, "echo/net@%zu", shards);
   std::printf("  %-20s %12.0f msgs/s\n", net_label, net_rate);
   std::printf("  net/in-memory: %.3fx\n", net_rate / memory_rate);
+  const obs::Histogram::Snapshot echo = echo_hist->snapshot();
+  std::printf(
+      "  echo latency: p50 %.1f us, p95 %.1f us, p99 %.1f us, "
+      "max %.1f us (%llu round trips)\n",
+      echo.p50 / 1e3, echo.p95 / 1e3, echo.p99 / 1e3,
+      static_cast<double>(echo.max) / 1e3,
+      static_cast<unsigned long long>(echo.count));
   std::printf("  (checksum %zu, server accepted %llu connections)\n",
               checksum, static_cast<unsigned long long>(stats.accepted));
 
@@ -250,10 +276,16 @@ int main(int argc, char** argv) {
                  "  \"shards\": %zu,\n"
                  "  \"echo_memory_msgs_per_sec\": %.1f,\n"
                  "  \"echo_net_msgs_per_sec\": %.1f,\n"
-                 "  \"net_vs_memory_ratio\": %.4f\n"
+                 "  \"net_vs_memory_ratio\": %.4f,\n"
+                 "  \"echo_p50_us\": %.2f,\n"
+                 "  \"echo_p95_us\": %.2f,\n"
+                 "  \"echo_p99_us\": %.2f,\n"
+                 "  \"echo_max_us\": %.2f\n"
                  "}\n",
                  workload.name.c_str(), per_node, messages, repeats, shards,
-                 memory_rate, net_rate, net_rate / memory_rate);
+                 memory_rate, net_rate, net_rate / memory_rate,
+                 echo.p50 / 1e3, echo.p95 / 1e3, echo.p99 / 1e3,
+                 static_cast<double>(echo.max) / 1e3);
     std::fclose(f);
     std::printf("  wrote %s\n", json_path);
   } else {

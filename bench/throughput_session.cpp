@@ -31,6 +31,7 @@
 #include "harness.hpp"
 #include "native/compiler.hpp"
 #include "native/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "session/protocol_cache.hpp"
 #include "session/session.hpp"
 
@@ -259,6 +260,57 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Metrics A/B: the instrumented arena paths rerun with the registry
+  // kill-switch thrown and again with it live, interleaved within each
+  // trial so thermal/cache drift hits both arms equally, so the on/off
+  // ratios price the telemetry itself (counters, 1/64 latency sampling).
+  // The acceptance bar is < 2%.
+  Rate ser_arena_on, ser_arena_off, parse_arena_on, parse_arena_off;
+  ser_arena_on.messages = messages * static_cast<std::size_t>(repeats);
+  ser_arena_off.messages = ser_arena_on.messages;
+  parse_arena_on.messages = ser_arena_on.messages;
+  parse_arena_off.messages = ser_arena_on.messages;
+  const auto run_serialize = [&](Rate& rate) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (std::size_t i = 0; i < messages; ++i) {
+        auto wire = session.serialize(msgs[i].root(), msg_seed_of(i));
+        checksum += wire ? wire->size() : 0;
+      }
+    }
+    const double rate_now =
+        static_cast<double>(rate.messages) / seconds_since(start);
+    if (rate_now > rate.msgs_per_sec) rate.msgs_per_sec = rate_now;
+  };
+  const auto run_parse = [&](Rate& rate) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (const Bytes& wire : wires) {
+        auto tree = session.parse(wire);
+        checksum += tree ? (*tree)->children.size() : 0;
+      }
+    }
+    const double rate_now =
+        static_cast<double>(rate.messages) / seconds_since(start);
+    if (rate_now > rate.msgs_per_sec) rate.msgs_per_sec = rate_now;
+  };
+  for (int t = 0; t < kTrials; ++t) {
+    obs::set_enabled(false);
+    run_serialize(ser_arena_off);
+    run_parse(parse_arena_off);
+    obs::set_enabled(true);
+    run_serialize(ser_arena_on);
+    run_parse(parse_arena_on);
+  }
+  const double ser_onoff =
+      ser_arena_off.msgs_per_sec > 0
+          ? ser_arena_on.msgs_per_sec / ser_arena_off.msgs_per_sec
+          : 0;
+  const double parse_onoff =
+      parse_arena_off.msgs_per_sec > 0
+          ? parse_arena_on.msgs_per_sec / parse_arena_off.msgs_per_sec
+          : 0;
+
   std::printf("throughput_session — %s, per_node=%d, %zu msgs x %d repeats, "
               "%zu-way batches\n",
               workload.name.c_str(), per_node, messages, repeats,
@@ -279,6 +331,8 @@ int main(int argc, char** argv) {
               ser_arena.msgs_per_sec / ser_single.msgs_per_sec);
   std::printf("  parse     arena/single:   %.3fx\n",
               parse_arena.msgs_per_sec / parse_single.msgs_per_sec);
+  std::printf("  serialize metrics on/off: %.3fx\n", ser_onoff);
+  std::printf("  parse     metrics on/off: %.3fx\n", parse_onoff);
   if (native_backend != nullptr) {
     print_rate("serialize/native", ser_native);
     print_rate("parse/native", parse_native);
@@ -309,14 +363,20 @@ int main(int argc, char** argv) {
                  "  \"parse_batched_msgs_per_sec\": %.0f,\n"
                  "  \"serialize_native_msgs_per_sec\": %.0f,\n"
                  "  \"parse_native_msgs_per_sec\": %.0f,\n"
-                 "  \"native_compile_ms\": %.1f\n"
+                 "  \"native_compile_ms\": %.1f,\n"
+                 "  \"serialize_arena_metrics_off_msgs_per_sec\": %.0f,\n"
+                 "  \"parse_arena_metrics_off_msgs_per_sec\": %.0f,\n"
+                 "  \"serialize_metrics_on_off_ratio\": %.4f,\n"
+                 "  \"parse_metrics_on_off_ratio\": %.4f\n"
                  "}\n",
                  workload.name.c_str(), per_node, messages, repeats,
                  session.batch_width(), ser_single.msgs_per_sec,
                  ser_arena.msgs_per_sec, ser_batched.msgs_per_sec,
                  parse_single.msgs_per_sec, parse_arena.msgs_per_sec,
                  parse_batched.msgs_per_sec, ser_native.msgs_per_sec,
-                 parse_native.msgs_per_sec, native_compile_ms);
+                 parse_native.msgs_per_sec, native_compile_ms,
+                 ser_arena_off.msgs_per_sec, parse_arena_off.msgs_per_sec,
+                 ser_onoff, parse_onoff);
     std::fclose(f);
     std::printf("  wrote %s\n", json_path);
   } else {

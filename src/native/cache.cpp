@@ -1,6 +1,7 @@
 #include "native/cache.hpp"
 
 #include "codegen/native_unit.hpp"
+#include "obs/families.hpp"
 
 namespace protoobf::native {
 
@@ -46,12 +47,21 @@ Expected<NativeCache::Backend> NativeCache::build(
   const std::string base = NativeCompiler::cache_file_base(
       protocol, key.spec_hash, key.seed,
       static_cast<std::size_t>(key.per_node));
+  const std::uint64_t t0 = obs::now_ns();
   auto compiled = compiler_.compile(protocol, base);
   if (!compiled) return Unexpected(compiled.error());
+  obs::NativeMetrics& m = obs::NativeMetrics::get();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (compiled->disk_hit) ++stats_.disk_hits;
     if (compiled->recompiled) ++stats_.recompiles;
+  }
+  if (compiled->disk_hit) m.disk_hits.add(1);
+  if (compiled->recompiled) {
+    m.recompiles.add(1);
+    // Only a true compiler run lands in the latency histogram — a
+    // fingerprint-validated disk reuse is a different population.
+    m.compile_ns.record(obs::now_ns() - t0);
   }
   if (compiled->unit->fingerprint() != fingerprint) {
     return Unexpected("native unit fingerprint mismatch after build");
@@ -71,6 +81,7 @@ std::optional<Error> NativeCache::check_poison(const Key& key,
     return std::nullopt;
   }
   ++stats_.poisoned;
+  obs::NativeMetrics::get().poisoned.add(1);
   return it->second.error;
 }
 
@@ -87,6 +98,7 @@ Expected<NativeCache::Backend> NativeCache::get_or_compile(
     if (auto it = index_.find(key); it != index_.end()) {
       if (it->second->fingerprint == fingerprint) {
         ++stats_.hits;
+        obs::NativeMetrics::get().hits.add(1);
         lru_.splice(lru_.begin(), lru_, it->second);
         return it->second->backend;
       }
@@ -100,12 +112,14 @@ Expected<NativeCache::Backend> NativeCache::get_or_compile(
         it != inflight_.end() && it->second->fingerprint == fingerprint) {
       flight = it->second;
       ++stats_.coalesced;
+      obs::NativeMetrics::get().coalesced.add(1);
     } else {
       flight = std::make_shared<InFlight>();
       flight->fingerprint = fingerprint;
       inflight_[key] = flight;
       leader = true;
       ++stats_.misses;
+      obs::NativeMetrics::get().misses.add(1);
     }
   }
 
@@ -137,12 +151,15 @@ Expected<NativeCache::Backend> NativeCache::get_or_compile(
         }
       }
       stats_.size = lru_.size();
+      obs::NativeMetrics::get().cache_size.set(
+          static_cast<std::int64_t>(lru_.size()));
     } else {
       // Count the failure once, then poison the key: every request inside
       // the TTL fails fast with this error instead of re-running a build
       // that will fail the same way (compile_and_attach callers keep
       // serving interpreted throughout).
       ++stats_.errors;
+      obs::NativeMetrics::get().errors.add(1);
       poisoned_[key] = Poison{fingerprint,
                               std::chrono::steady_clock::now() + poison_ttl_,
                               result.error()};

@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 namespace protoobf::net {
 
 FramerFactory length_prefix_framer_factory(LengthPrefixFramer::Config config) {
@@ -32,6 +34,9 @@ Connection::Connection(EventLoop& loop, Fd fd,
     : loop_(loop),
       fd_(std::move(fd)),
       config_(config),
+      metrics_(config.metrics != nullptr ? *config.metrics
+                                         : obs::NetMetrics::client()),
+      trace_id_(obs::Tracer::global().next_conn_id()),
       session_(std::move(protocol)),
       framer_(std::move(framer)),
       channel_(session_, *framer_) {
@@ -47,6 +52,11 @@ Connection::~Connection() {
     loop_.unwatch(fd_.get());
     ops().on_close(fd_.get());
     state_ = State::Closed;
+    if (counted_active_) {
+      counted_active_ = false;
+      metrics_.active.sub(1);
+      metrics_.closed.add(1);
+    }
   }
 }
 
@@ -72,6 +82,9 @@ Status Connection::open() {
     return s;
   }
   ops().on_open(fd_.get());
+  metrics_.accepted.add(1);
+  metrics_.active.add(1);
+  counted_active_ = true;
   if (config_.idle_timeout > std::chrono::milliseconds::zero()) {
     // One periodic check instead of a re-armed one-shot per byte: activity
     // just stamps a timestamp, and the sweep fires at most one period late.
@@ -110,12 +123,21 @@ Status Connection::send(const Inst& message, std::uint64_t msg_seed) {
       return Unexpected("send failed: connection closed");
     }
   }
+  if (off > 0) metrics_.bytes_out.add(off);
   if (off < framed->size()) {
     append(outbuf_, framed->subspan(off));
     want_write(true);
-    if (!writable()) above_watermark_ = true;
+    if (!writable() && !above_watermark_) {
+      above_watermark_ = true;
+      metrics_.backpressure.add(1);
+      obs::Tracer::global().record(trace_id_, obs::TraceEvent::Backpressure,
+                                   queued());
+    }
   }
   ++stats_.messages_out;
+  metrics_.messages_out.add(1);
+  obs::Tracer::global().record(trace_id_, obs::TraceEvent::FrameOut,
+                               framed->size());
   touch();
   return Status::success();
 }
@@ -184,13 +206,19 @@ void Connection::handle_readable() {
                                  read_buf_.size());
     if (n > 0) {
       stats_.bytes_in += static_cast<std::uint64_t>(n);
+      metrics_.bytes_in.add(static_cast<std::uint64_t>(n));
       touch();
       if (config_.capture != nullptr) {
         config_.capture->record_in(
             BytesView(read_buf_).first(static_cast<std::size_t>(n)));
       }
+      // Frame latency per readable slice: decode + parse of everything this
+      // read delivered. Two clock reads per recv(), so the cost is tied to
+      // syscall rate, not message rate.
+      const std::uint64_t t0 = obs::now_ns();
       channel_.on_bytes(BytesView(read_buf_).first(static_cast<std::size_t>(n)));
       pump_receive();
+      metrics_.frame_ns.record(obs::now_ns() - t0);
       if (state_ != State::Open) return;
       if (static_cast<std::size_t>(n) < read_buf_.size()) return;
       continue;  // the slice was full — more may be pending
@@ -238,6 +266,9 @@ void Connection::handle_writable() {
 void Connection::pump_receive() {
   while (auto message = channel_.receive()) {
     ++stats_.messages_in;
+    metrics_.messages_in.add(1);
+    obs::Tracer::global().record(trace_id_, obs::TraceEvent::FrameIn,
+                                 stats_.messages_in);
     if (message_cb_) message_cb_(*this, std::move(*message));
     if (state_ != State::Open) return;  // handler closed the connection
   }
@@ -255,6 +286,7 @@ Status Connection::flush_out() {
     if (n > 0) {
       outhead_ += static_cast<std::size_t>(n);
       stats_.bytes_out += static_cast<std::uint64_t>(n);
+      metrics_.bytes_out.add(static_cast<std::uint64_t>(n));
       touch();
       continue;
     }
@@ -308,6 +340,28 @@ void Connection::fail_close(Error err) { do_close(&err); }
 void Connection::do_close(const Error* err) {
   if (state_ == State::Closed) return;
   state_ = State::Closed;
+  if (counted_active_) {
+    counted_active_ = false;
+    metrics_.active.sub(1);
+    metrics_.closed.add(1);
+  }
+  // Close taxonomy: clean (no error), Truncated (transport broke), or
+  // Malformed (framing/parse failure) — the DPI-facing distinction.
+  std::uint64_t taxonomy = 0;
+  if (err != nullptr) {
+    if (err->kind == ErrorKind::Malformed) {
+      taxonomy = 2;
+      metrics_.close_malformed.add(1);
+      obs::Tracer::global().record(trace_id_, obs::TraceEvent::ParseError,
+                                   channel_.reader().buffered());
+    } else {
+      taxonomy = 1;
+      metrics_.close_truncated.add(1);
+    }
+  } else {
+    metrics_.close_clean.add(1);
+  }
+  obs::Tracer::global().record(trace_id_, obs::TraceEvent::Close, taxonomy);
   if (idle_timer_ != 0) {
     loop_.cancel_timer(idle_timer_);
     idle_timer_ = 0;

@@ -36,6 +36,7 @@
 #include "net/event_loop.hpp"
 #include "net/fault.hpp"
 #include "net/socket.hpp"
+#include "obs/families.hpp"
 #include "session/session.hpp"
 #include "stream/channel.hpp"
 
@@ -77,6 +78,10 @@ class Connection {
     // syscalls; a FaultInjector here puts the connection on a replayable
     // hostile network. Must outlive the connection.
     SocketOps* ops = nullptr;
+    // Registry bundle this connection's traffic lands in. Server wires the
+    // owning shard's bundle; null = the process-wide "client" series
+    // (outbound dials). Instruments live for the process lifetime.
+    obs::NetMetrics* metrics = nullptr;
   };
 
   struct Stats {
@@ -151,6 +156,8 @@ class Connection {
   Channel& channel() { return channel_; }
   const Stats& stats() const { return stats_; }
   const Config& config() const { return config_; }
+  /// Tracer connection id — correlates this connection's ring events.
+  std::uint64_t trace_id() const { return trace_id_; }
 
  private:
   enum class State { Open, Draining, Closed };
@@ -176,6 +183,9 @@ class Connection {
   EventLoop& loop_;
   Fd fd_;
   Config config_;
+  obs::NetMetrics& metrics_;
+  std::uint64_t trace_id_;
+  bool counted_active_ = false;  // active gauge incremented, not yet undone
   Session session_;                 // per-connection arenas + node pool
   std::unique_ptr<Framer> framer_;  // per-connection decode state
   Channel channel_;

@@ -5,9 +5,24 @@
 
 #include <cerrno>
 
+#include "obs/families.hpp"
+#include "obs/trace.hpp"
+
 namespace protoobf::net {
 
 namespace {
+
+// Registry mirror of every injected fault, keyed by the same taxonomy as
+// FaultInjector::Stats — the soak test cross-checks the two tallies. `kind`
+// doubles as the trace-event argument so a ring dump shows which fault hit.
+enum FaultOrd : std::uint64_t {
+  kShortRead = 0, kShortWrite, kEagain, kReset, kEpipe, kFin, kRefused
+};
+
+void count_fault(obs::Counter& counter, FaultOrd kind) {
+  counter.add(1);
+  obs::Tracer::global().record(0, obs::TraceEvent::FaultInjected, kind);
+}
 
 /// SplitMix64-style mix so nearby connection indexes get unrelated streams.
 std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
@@ -53,6 +68,7 @@ void FaultInjector::on_open(int fd) {
   // per-connection fates no matter which fd numbers the kernel hands out.
   FlowState flow(mix_seed(plan_.seed, next_flow_++));
   ++stats_.connections;
+  obs::FaultMetrics::get().connections.add(1);
   if (roll(flow, plan_.kill_rate)) {
     flow.kill_at = plan_.kill_window_bytes > 0
                        ? flow.rng.below(plan_.kill_window_bytes)
@@ -77,9 +93,11 @@ ssize_t FaultInjector::maybe_kill_recv(FlowState& flow) {
   flow.dead = true;
   if (flow.kill == KillKind::Fin) {
     ++stats_.fins;
+    count_fault(obs::FaultMetrics::get().fins, kFin);
     return 0;  // mid-frame FIN: clean EOF while bytes are still buffered
   }
   ++stats_.resets;
+  count_fault(obs::FaultMetrics::get().resets, kReset);
   errno = ECONNRESET;
   return -1;
 }
@@ -87,6 +105,7 @@ ssize_t FaultInjector::maybe_kill_recv(FlowState& flow) {
 ssize_t FaultInjector::maybe_kill_send(FlowState& flow) {
   flow.dead = true;
   ++stats_.epipes;
+  count_fault(obs::FaultMetrics::get().epipes, kEpipe);
   errno = EPIPE;
   return -1;
 }
@@ -109,11 +128,13 @@ ssize_t FaultInjector::recv(int fd, void* buf, std::size_t len) {
       }
       if (roll(flow, plan_.eagain)) {
         ++stats_.eagains;
+        count_fault(obs::FaultMetrics::get().eagains, kEagain);
         errno = EAGAIN;
         return -1;
       }
       if (len > 1 && roll(flow, plan_.short_read)) {
         ++stats_.short_reads;
+        count_fault(obs::FaultMetrics::get().short_reads, kShortRead);
         want = 1 + static_cast<std::size_t>(flow.rng.below(len - 1));
       }
     }
@@ -145,11 +166,13 @@ ssize_t FaultInjector::send(int fd, const void* buf, std::size_t len,
       }
       if (roll(flow, plan_.eagain)) {
         ++stats_.eagains;
+        count_fault(obs::FaultMetrics::get().eagains, kEagain);
         errno = EAGAIN;
         return -1;
       }
       if (len > 1 && roll(flow, plan_.short_write)) {
         ++stats_.short_writes;
+        count_fault(obs::FaultMetrics::get().short_writes, kShortWrite);
         want = 1 + static_cast<std::size_t>(flow.rng.below(len - 1));
       }
     }
@@ -169,6 +192,7 @@ int FaultInjector::connect_gate() {
   const std::uint64_t attempt = next_attempt_++;
   if (plan_.refuse_every > 0 && attempt % plan_.refuse_every == 0) {
     ++stats_.refused;
+    count_fault(obs::FaultMetrics::get().refused, kRefused);
     return ECONNREFUSED;
   }
   return 0;

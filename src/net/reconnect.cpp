@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "ast/ast.hpp"
+#include "obs/families.hpp"
+#include "obs/trace.hpp"
 
 namespace protoobf::net {
 
@@ -57,6 +59,7 @@ Expected<std::uint64_t> ReliableClient::send(const Inst& message) {
   }
   if (queue_.size() >= config_.max_unacked) {
     ++stats_.overflows;
+    obs::ReconnectMetrics::get().overflows.add(1);
     above_queue_watermark_ = true;
     if (backpressure_cb_) backpressure_cb_(queue_.size());
     return Unexpected("resend queue full (" +
@@ -82,6 +85,11 @@ Expected<std::uint64_t> ReliableClient::send(const Inst& message) {
       }
     }
   }
+  // Counted only once the message is actually queued for delivery — the
+  // serialization-failure branch above unwinds the local stats instead.
+  obs::ReconnectMetrics::get().sent.add(1);
+  obs::ReconnectMetrics::get().unacked.set(
+      static_cast<std::int64_t>(queue_.size()));
   return seq;
 }
 
@@ -89,7 +97,10 @@ void ReliableClient::ack(std::uint64_t seq) {
   while (!queue_.empty() && queue_.front().seq <= seq) {
     queue_.pop_front();
     ++stats_.acked;
+    obs::ReconnectMetrics::get().acked.add(1);
   }
+  obs::ReconnectMetrics::get().unacked.set(
+      static_cast<std::int64_t>(queue_.size()));
   if (above_queue_watermark_ && queue_.size() < config_.max_unacked / 2) {
     above_queue_watermark_ = false;
   }
@@ -113,6 +124,8 @@ void ReliableClient::stop() {
 void ReliableClient::dial() {
   state_ = State::Dialing;
   ++stats_.dials;
+  obs::ReconnectMetrics::get().dials.add(1);
+  obs::Tracer::global().record(0, obs::TraceEvent::Dial, stats_.dials);
 
   // The injector's connect gate stands in for a refusing/blackholed server
   // (see net/fault.hpp) — a refused attempt backs off like a real one.
@@ -193,7 +206,12 @@ void ReliableClient::attach(Fd fd) {
     return;
   }
   state_ = State::Connected;
-  if (ever_connected_) ++stats_.reconnects;
+  if (ever_connected_) {
+    ++stats_.reconnects;
+    obs::ReconnectMetrics::get().reconnects.add(1);
+    obs::Tracer::global().record(conn_->trace_id(),
+                                 obs::TraceEvent::Reconnect, queue_.size());
+  }
   ever_connected_ = true;
   if (state_cb_) state_cb_(true);
   resend_unacked();
@@ -220,6 +238,7 @@ void ReliableClient::handle_drop(const Error* err) {
     return;
   }
   ++stats_.drops;
+  obs::ReconnectMetrics::get().drops.add(1);
   schedule_retry(err != nullptr
                      ? *err
                      : Error{"peer closed", Error::kNoOffset,
@@ -264,6 +283,7 @@ void ReliableClient::resend_unacked() {
   for (const Pending& pending : queue_) {
     if (conn_ == nullptr || !conn_->open_for_traffic()) return;  // dropped
     ++stats_.resent;
+    obs::ReconnectMetrics::get().resent.add(1);
     (void)conn_->send(*pending.message, pending.seq);
   }
 }

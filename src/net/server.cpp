@@ -3,8 +3,11 @@
 #include <sys/epoll.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <thread>
+
+#include "obs/trace.hpp"
 
 namespace protoobf::net {
 
@@ -24,6 +27,8 @@ Status Server::start() {
   std::vector<std::unique_ptr<Shard>> shards;
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards.push_back(std::make_unique<Shard>());
+    shards.back()->index = i;
+    shards.back()->metrics = &obs::NetMetrics::for_shard(i);
   }
 
   // Bind. In reuse_port mode every shard listens; the first bind resolves
@@ -121,12 +126,17 @@ void Server::drain(std::chrono::milliseconds grace) {
       for (Connection* conn : live) conn->close();
     });
   }
+  obs::Tracer::global().record(0, obs::TraceEvent::Drain, total_occupancy());
   const auto deadline = std::chrono::steady_clock::now() + grace;
   while (total_occupancy() > 0 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   stop();
+  if (config_.log_drain_snapshot) {
+    std::fprintf(stderr, "[drain] final metrics snapshot:\n%s",
+                 obs::MetricsRegistry::global().json_snapshot().c_str());
+  }
 }
 
 Server::Stats Server::stats() const {
@@ -233,6 +243,9 @@ void Server::sweep_pending(Shard& shard) {
     if (pending <= config_.shard_pending_limit) break;
     pending -= conn->queued();
     shard.shed.fetch_add(1, std::memory_order_relaxed);
+    shard.metrics->shed.add(1);
+    obs::Tracer::global().record(conn->trace_id(), obs::TraceEvent::Shed,
+                                 conn->queued());
     conn->abort();  // discards the queue; retire() parks the object
   }
 }
@@ -289,13 +302,16 @@ void Server::adopt(Shard& shard, Fd fd) {
   auto framer = framer_factory_();
   if (!framer) {
     shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    shard.metrics->rejected.add(1);
     shard.occupancy.fetch_sub(1, std::memory_order_acq_rel);
     maybe_resume_accepts();
     return;  // fd closes on scope exit — the peer sees a reset
   }
+  Connection::Config conn_config = config_.connection;
+  conn_config.metrics = shard.metrics;  // traffic lands in this shard's series
   auto conn = std::make_unique<Connection>(shard.loop, std::move(fd),
                                            protocol_, std::move(*framer),
-                                           config_.connection);
+                                           conn_config);
   Connection& ref = *conn;
   // The close path resets the connection's fd before the owner hook runs,
   // so the table key is captured here while it is still valid.
@@ -311,10 +327,13 @@ void Server::adopt(Shard& shard, Fd fd) {
   }
   if (Status s = ref.open(); !s) {
     shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    shard.metrics->rejected.add(1);
     shard.occupancy.fetch_sub(1, std::memory_order_acq_rel);
     maybe_resume_accepts();
     return;  // conn (and its fd) dies here; open() registered nothing
   }
+  obs::Tracer::global().record(ref.trace_id(), obs::TraceEvent::Accept,
+                               shard.index);
   shard.conns.emplace(ref.fd(), std::move(conn));
 }
 

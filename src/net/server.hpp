@@ -57,6 +57,10 @@ class Server {
     // the shard is back under. 0 = no ceiling.
     std::size_t shard_pending_limit = 0;
     std::chrono::milliseconds pending_sweep_interval{100};
+    // drain() logs a final registry snapshot (JSON, stderr) once every
+    // connection is gone — the operator's shutdown report. Off by default;
+    // `protoobf serve` turns it on unless --no-metrics.
+    bool log_drain_snapshot = false;
   };
 
   struct Stats {
@@ -107,6 +111,8 @@ class Server {
 
  private:
   struct Shard {
+    std::size_t index = 0;
+    obs::NetMetrics* metrics = nullptr;  // this shard's registry bundle
     EventLoop loop;
     std::thread thread;
     Fd listen;

@@ -1,0 +1,184 @@
+#include "obs/export.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include "obs/families.hpp"
+#include "obs/trace.hpp"
+
+namespace protoobf::obs {
+
+namespace {
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  const char* reason = status == 200 ? "OK" : "Not Found";
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+}  // namespace
+
+AdminServer::AdminServer(Config config, MetricsRegistry* registry)
+    : config_(std::move(config)), registry_(registry) {}
+
+AdminServer::~AdminServer() { stop(); }
+
+Status AdminServer::start() {
+  if (started_) return {};
+  touch_all();  // a scrape of an idle process still shows the whole catalog
+  auto listener = net::listen_tcp(config_.endpoint, /*backlog=*/16);
+  if (!listener) return Unexpected(listener.error());
+  listen_ = std::move(*listener);
+  auto port = net::local_port(listen_.get());
+  if (!port) return Unexpected(port.error());
+  port_ = *port;
+
+  Status st = loop_.watch(listen_.get(), EPOLLIN,
+                          [this](std::uint32_t) { handle_accept(); });
+  if (!st) return st;
+
+  started_ = true;
+  thread_ = std::thread([this] { loop_.run(); });
+  return {};
+}
+
+void AdminServer::stop() {
+  if (!started_) return;
+  started_ = false;
+  loop_.post([this] {
+    // Tear down watches on the loop thread, then stop the loop.
+    for (auto& [fd, client] : clients_) loop_.unwatch(fd);
+    clients_.clear();
+    loop_.unwatch(listen_.get());
+    loop_.stop();
+  });
+  if (thread_.joinable()) thread_.join();
+  listen_.reset();
+  port_ = 0;
+}
+
+void AdminServer::handle_accept() {
+  for (;;) {
+    auto accepted = net::accept_tcp(listen_.get());
+    if (!accepted || !accepted->valid()) return;  // drained or error
+    auto client = std::make_unique<Client>();
+    client->fd = std::move(*accepted);
+    const int fd = client->fd.get();
+    clients_.emplace(fd, std::move(client));
+    Status st = loop_.watch(
+        fd, EPOLLIN, [this, fd](std::uint32_t ev) { handle_client(fd, ev); });
+    if (!st) drop(fd);
+  }
+}
+
+void AdminServer::handle_client(int fd, std::uint32_t events) {
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  Client& c = *it->second;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    drop(fd);
+    return;
+  }
+
+  if (c.out.empty() && (events & EPOLLIN)) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        if (c.in.size() > kMaxRequestBytes) {
+          drop(fd);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {  // peer closed before a full request
+        if (c.in.find("\r\n\r\n") == std::string::npos &&
+            c.in.find('\n') == std::string::npos) {
+          drop(fd);
+          return;
+        }
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      drop(fd);
+      return;
+    }
+    // A request is complete at the header terminator; curl sends it in one
+    // segment, but accept a bare request line too.
+    if (c.in.find("\r\n\r\n") != std::string::npos ||
+        c.in.find('\n') != std::string::npos) {
+      respond(c);
+      loop_.rearm(fd, EPOLLOUT);
+    }
+  }
+
+  if (!c.out.empty() && (events & (EPOLLOUT | EPOLLIN))) {
+    while (c.out_head < c.out.size()) {
+      const ssize_t n = ::send(fd, c.out.data() + c.out_head,
+                               c.out.size() - c.out_head, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_head += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer vanished — close below
+    }
+    drop(fd);  // HTTP/1.0 close-after-response
+  }
+}
+
+void AdminServer::respond(Client& c) {
+  // "GET /path HTTP/1.x" — everything except the path is decoration.
+  std::string path = "/";
+  const std::size_t sp1 = c.in.find(' ');
+  if (sp1 != std::string::npos) {
+    const std::size_t sp2 = c.in.find(' ', sp1 + 1);
+    path = c.in.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                         : sp2 - sp1 - 1);
+  }
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  const std::string body = body_for(path, content_type, status);
+  c.out = http_response(status, content_type, body);
+  c.out_head = 0;
+}
+
+std::string AdminServer::body_for(const std::string& path,
+                                  std::string& content_type, int& status) {
+  if (path == "/metrics") return registry_->prometheus_text();
+  if (path == "/metrics.json" || path == "/json") {
+    content_type = "application/json";
+    return registry_->json_snapshot();
+  }
+  if (path == "/trace") {
+    content_type = "text/plain; charset=utf-8";
+    return Tracer::global().dump();
+  }
+  if (path == "/healthz") {
+    content_type = "text/plain; charset=utf-8";
+    return "ok\n";
+  }
+  status = 404;
+  content_type = "text/plain; charset=utf-8";
+  return "not found\n";
+}
+
+void AdminServer::drop(int fd) {
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  loop_.unwatch(fd);
+  clients_.erase(it);  // Fd destructor closes
+}
+
+}  // namespace protoobf::obs

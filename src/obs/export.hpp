@@ -1,0 +1,75 @@
+// Admin exposition endpoint: a tiny HTTP/1.0 server on its own EventLoop
+// thread, serving the metrics registry and the trace ring.
+//
+//   GET /metrics       Prometheus text exposition
+//   GET /metrics.json  flat JSON snapshot (what `protoobf top` polls)
+//   GET /trace         trace-ring dump, oldest-first
+//   GET /healthz       "ok"
+//
+// This is deliberately not a Connection/Channel stack: admin traffic is
+// plaintext HTTP for curl and scrapers, one request per connection,
+// close-after-response. It shares nothing with the serving path except the
+// EventLoop class, so a scrape can never perturb protocol state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "util/result.hpp"
+
+namespace protoobf::obs {
+
+class AdminServer {
+ public:
+  struct Config {
+    net::Endpoint endpoint;  // default 127.0.0.1:0 — port 0 = ephemeral
+  };
+
+  explicit AdminServer(Config config = Config(),
+                       MetricsRegistry* registry = &MetricsRegistry::global());
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds the listener and starts the loop thread. Fails fast on a busy
+  /// port. Registers the full metric catalog (touch_all) so the first
+  /// scrape already shows every family.
+  Status start();
+  void stop();
+
+  /// Port actually bound (resolves ephemeral binds). 0 before start().
+  std::uint16_t port() const { return port_; }
+
+ private:
+  struct Client {
+    net::Fd fd;
+    std::string in;
+    std::string out;
+    std::size_t out_head = 0;
+  };
+
+  void handle_accept();
+  void handle_client(int fd, std::uint32_t events);
+  void respond(Client& c);
+  void drop(int fd);
+  std::string body_for(const std::string& path, std::string& content_type,
+                       int& status);
+
+  Config config_;
+  MetricsRegistry* registry_;
+  net::EventLoop loop_;
+  net::Fd listen_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  bool started_ = false;
+  std::unordered_map<int, std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace protoobf::obs

@@ -1,0 +1,339 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace protoobf::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+
+bool env_disabled() {
+  const char* v = std::getenv("PROTOOBF_NO_METRICS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Formats a double with enough precision for quantiles without trailing
+// noise; integers render without a decimal point.
+std::string fmt_double(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v < 1e15 && v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+}  // namespace
+
+bool enabled() {
+  static const bool env_off = env_disabled();
+  if (env_off) return false;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace detail {
+std::size_t thread_slot() {
+  // Dense ids handed out once per thread; modulo keeps neighbours on
+  // different slots until more than kSlots threads are live.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+  return slot;
+}
+}  // namespace detail
+
+void Histogram::aggregate(std::array<std::uint64_t, kBuckets>& out,
+                          Snapshot& snap) const {
+  out.fill(0);
+  for (const auto& b : blocks_) {
+    snap.count += b.count.load(std::memory_order_relaxed);
+    snap.sum += b.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, b.max.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out[i] += b.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+namespace {
+// Quantile from an aggregated bucket array: walk to the bucket holding the
+// q-th sample, estimate at its midpoint (exact for unit-wide buckets).
+double quantile_from(const std::array<std::uint64_t, Histogram::kBuckets>& b,
+                     std::uint64_t count, double q) {
+  if (count == 0) return 0.0;
+  // Nearest-rank (ceil) of the target sample, 1-based, clamped into
+  // [1, count] — q close to 1.0 lands on the max's bucket.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    seen += b[i];
+    if (seen >= rank) {
+      const std::uint64_t floor = Histogram::bucket_floor(i);
+      const std::uint64_t width = Histogram::bucket_width(i);
+      return width <= 1 ? static_cast<double>(floor)
+                        : static_cast<double>(floor) +
+                              static_cast<double>(width) / 2.0;
+    }
+  }
+  return 0.0;  // unreachable: counts sum to `count`
+}
+}  // namespace
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::array<std::uint64_t, kBuckets> agg;
+  Snapshot s;
+  aggregate(agg, s);
+  s.p50 = quantile_from(agg, s.count, 0.50);
+  s.p95 = quantile_from(agg, s.count, 0.95);
+  s.p99 = quantile_from(agg, s.count, 0.99);
+  return s;
+}
+
+double Histogram::quantile(double q) const {
+  std::array<std::uint64_t, kBuckets> agg;
+  Snapshot s;
+  aggregate(agg, s);
+  return quantile_from(agg, s.count, q);
+}
+
+void Histogram::reset() {
+  for (auto& b : blocks_) {
+    for (auto& bucket : b.buckets) bucket.store(0, std::memory_order_relaxed);
+    b.count.store(0, std::memory_order_relaxed);
+    b.sum.store(0, std::memory_order_relaxed);
+    b.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+std::string MetricsRegistry::render_series(std::string_view name,
+                                           const Labels& labels) {
+  std::string out(name);
+  if (labels.empty()) return out;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        std::string_view help,
+                                                        Labels labels,
+                                                        Kind kind) {
+  std::string series = render_series(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->series == series) return *e;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->labels = std::move(labels);
+  e->series = std::move(series);
+  e->kind = kind;
+  switch (kind) {
+    case Kind::Counter:
+      e->counter = std::make_unique<Counter>();
+      break;
+    case Kind::Gauge:
+      e->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::Histogram:
+      e->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  Labels labels) {
+  return *find_or_create(name, help, std::move(labels), Kind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  return *find_or_create(name, help, std::move(labels), Kind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help, Labels labels) {
+  return *find_or_create(name, help, std::move(labels), Kind::Histogram)
+              .histogram;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  // Snapshot the entry list under the lock, render outside it: series
+  // addresses are stable and instrument reads are lock-free.
+  std::vector<const Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& e : entries_) entries.push_back(e.get());
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->name < b->name;
+                   });
+
+  std::string out;
+  out.reserve(entries.size() * 96);
+  std::string_view last_family;
+  for (const Entry* e : entries) {
+    if (e->name != last_family) {
+      last_family = e->name;
+      out += "# HELP ";
+      out += e->name;
+      out.push_back(' ');
+      out += e->help;
+      out.push_back('\n');
+      out += "# TYPE ";
+      out += e->name;
+      out += e->kind == Kind::Counter    ? " counter\n"
+             : e->kind == Kind::Gauge    ? " gauge\n"
+                                         : " summary\n";
+    }
+    switch (e->kind) {
+      case Kind::Counter:
+        out += e->series;
+        out.push_back(' ');
+        out += std::to_string(e->counter->value());
+        out.push_back('\n');
+        break;
+      case Kind::Gauge:
+        out += e->series;
+        out.push_back(' ');
+        out += std::to_string(e->gauge->value());
+        out.push_back('\n');
+        break;
+      case Kind::Histogram: {
+        const Histogram::Snapshot s = e->histogram->snapshot();
+        // Quantile series share the family's existing labels.
+        const auto q_series = [&](const char* q) {
+          std::string series(e->name);
+          series.push_back('{');
+          for (const auto& [k, v] : e->labels) {
+            series += k;
+            series += "=\"";
+            series += v;
+            series += "\",";
+          }
+          series += "quantile=\"";
+          series += q;
+          series += "\"}";
+          return series;
+        };
+        out += q_series("0.5") + " " + fmt_double(s.p50) + "\n";
+        out += q_series("0.95") + " " + fmt_double(s.p95) + "\n";
+        out += q_series("0.99") + " " + fmt_double(s.p99) + "\n";
+        out += render_series(e->name + "_sum", e->labels) + " " +
+               std::to_string(s.sum) + "\n";
+        out += render_series(e->name + "_count", e->labels) + " " +
+               std::to_string(s.count) + "\n";
+        out += render_series(e->name + "_max", e->labels) + " " +
+               std::to_string(s.max) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+  std::vector<const Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& e : entries_) entries.push_back(e.get());
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->series < b->series;
+                   });
+
+  std::string counters, gauges, histograms;
+  for (const Entry* e : entries) {
+    std::string key = "\"";
+    json_escape_into(key, e->series);
+    key += "\"";
+    switch (e->kind) {
+      case Kind::Counter:
+        if (!counters.empty()) counters += ",";
+        counters += key + ":" + std::to_string(e->counter->value());
+        break;
+      case Kind::Gauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += key + ":" + std::to_string(e->gauge->value());
+        break;
+      case Kind::Histogram: {
+        const Histogram::Snapshot s = e->histogram->snapshot();
+        if (!histograms.empty()) histograms += ",";
+        histograms += key + ":{\"count\":" + std::to_string(s.count) +
+                      ",\"sum\":" + std::to_string(s.sum) +
+                      ",\"max\":" + std::to_string(s.max) +
+                      ",\"mean\":" + fmt_double(s.mean()) +
+                      ",\"p50\":" + fmt_double(s.p50) +
+                      ",\"p95\":" + fmt_double(s.p95) +
+                      ",\"p99\":" + fmt_double(s.p99) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}\n";
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::Counter:
+        e->counter->reset();
+        break;
+      case Kind::Gauge:
+        e->gauge->reset();
+        break;
+      case Kind::Histogram:
+        e->histogram->reset();
+        break;
+    }
+  }
+}
+
+}  // namespace protoobf::obs

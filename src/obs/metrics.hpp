@@ -1,0 +1,258 @@
+// Process-wide metrics: sharded counters, gauges, log-bucketed histograms,
+// and a registry that exposes them as Prometheus text or a flat JSON
+// snapshot.
+//
+// Design constraints, in order:
+//   1. Hot-path cost is one uncontended relaxed add. Counters and histograms
+//      spread increments over cache-line-padded slots indexed by a per-thread
+//      hash, so two shard threads bumping the same logical counter never
+//      bounce a line. Aggregation happens on read, which is rare (a scrape).
+//   2. Registration is slow-path only. Components look their instruments up
+//      once at construction (mutex-protected, deduplicated by name+labels)
+//      and keep raw references; instrument addresses are stable for the
+//      registry's lifetime.
+//   3. Everything is readable concurrently with writers. Reads are relaxed
+//      sums — a scrape sees a consistent-enough snapshot, never torn values.
+//
+// Histograms are log-linear (HdrHistogram-style): each power-of-two octave
+// is split into kSubBuckets linear sub-buckets, giving a bounded relative
+// error of 1/kSubBuckets on any recorded value while covering the full
+// uint64 range in a few hundred buckets. Quantiles interpolate within the
+// winning bucket.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace protoobf::obs {
+
+/// Global kill-switch (PROTOOBF_NO_METRICS=1 in the environment, or
+/// set_enabled(false)). Instruments still exist and read as zero; the
+/// hot-path add degrades to one relaxed load and a predictable branch.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic nanoseconds — the timebase every histogram record and trace
+/// event uses, so exposition output is internally comparable.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace detail {
+/// Dense per-thread slot index in [0, kSlots): threads hash onto padded
+/// slots so concurrent increments land on distinct cache lines.
+inline constexpr std::size_t kSlots = 8;
+std::size_t thread_slot();
+}  // namespace detail
+
+/// Monotonic counter. add() is a single relaxed fetch_add on a
+/// thread-private cache line; value() sums the slots.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    slots_[detail::thread_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (auto& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, detail::kSlots> slots_{};
+};
+
+/// Signed point-in-time value (occupancy, queue depth, retained bytes).
+/// Single atomic: gauges move at connection/lifecycle rate, not per-message.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  /// set() if `v` exceeds the current value (racy max — fine for high-water
+  /// marks sampled from one writer at a time).
+  void set_max(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-linear histogram over uint64 values (latency in ns, sizes in bytes).
+/// record() touches one thread-private padded block: bucket add + count add
+/// + sum add + relaxed max. Quantiles are estimated at bucket midpoints,
+/// bounded relative error 1 / kSubBuckets (12.5%); values below
+/// kSubBuckets*2 are exact (unit-wide buckets).
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  // Highest octave is bit 63: index(h=63, sub=7) + 1.
+  static constexpr std::size_t kBuckets = (64 - kSubBits + 1) * kSubBuckets;
+
+  void record(std::uint64_t v) {
+    if (!enabled()) return;
+    Block& b = blocks_[detail::thread_slot()];
+    b.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    b.count.fetch_add(1, std::memory_order_relaxed);
+    b.sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = b.max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !b.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+    double mean() const {
+      return count ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+  };
+  /// Aggregates all slots and derives the standard quantiles.
+  Snapshot snapshot() const;
+  /// Arbitrary quantile (q in [0,1]) from a fresh aggregation.
+  double quantile(double q) const;
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : blocks_)
+      total += b.count.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset();
+
+  /// Bucket geometry, exposed for the oracle test.
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int h = std::bit_width(v) - 1;  // position of the MSB, >= kSubBits
+    const std::size_t sub =
+        static_cast<std::size_t>(v >> (h - kSubBits)) - kSubBuckets;
+    return static_cast<std::size_t>(h - kSubBits + 1) * kSubBuckets + sub;
+  }
+  static std::uint64_t bucket_floor(std::size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const std::size_t o = idx >> kSubBits;  // >= 1
+    const std::size_t sub = idx & (kSubBuckets - 1);
+    return (kSubBuckets + sub) << (o - 1);
+  }
+  static std::uint64_t bucket_width(std::size_t idx) {
+    if (idx < kSubBuckets) return 1;
+    return std::uint64_t{1} << ((idx >> kSubBits) - 1);
+  }
+
+ private:
+  struct alignas(64) Block {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  void aggregate(std::array<std::uint64_t, kBuckets>& out,
+                 Snapshot& snap) const;
+  std::array<Block, detail::kSlots> blocks_{};
+};
+
+/// Times a scope into a histogram in nanoseconds. Null histogram → no-op.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram* h) : h_(h), t0_(h ? now_ns() : 0) {}
+  ~ScopedTimerNs() {
+    if (h_) h_->record(now_ns() - t0_);
+  }
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t t0_;
+};
+
+/// Label set attached to an instrument; rendered `{k="v",...}` in
+/// exposition. Order is preserved as given (callers pass a stable order).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named instruments, deduplicated by (name, labels). Lookup is
+/// mutex-protected and meant for component construction; returned
+/// references stay valid for the registry's lifetime. Exposition renders
+/// families sorted by name with their label series in registration order.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem instruments into.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name, std::string_view help,
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       Labels labels = {});
+
+  /// Prometheus text exposition. Counters/gauges map directly; histograms
+  /// render as summaries (quantile series + _sum/_count) plus a `_max`
+  /// gauge, which keeps a scrape to a handful of series per family.
+  std::string prometheus_text() const;
+
+  /// Flat JSON snapshot: {"counters":{"name{labels}":v,...},"gauges":{...},
+  /// "histograms":{"name{labels}":{"count":..,"sum":..,"max":..,"mean":..,
+  /// "p50":..,"p95":..,"p99":..},...}}. Keys match the Prometheus series
+  /// names so `protoobf top` can join them trivially.
+  std::string json_snapshot() const;
+
+  /// Zeroes every instrument's value; registrations (and addresses)
+  /// survive. Test isolation for the process-global registry.
+  void reset_values();
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::string series;  // name{labels} — the dedup and exposition key
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(std::string_view name, std::string_view help,
+                        Labels labels, Kind kind);
+  static std::string render_series(std::string_view name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace protoobf::obs

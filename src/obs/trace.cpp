@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace protoobf::obs {
+
+const char* trace_event_name(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::Dial: return "Dial";
+    case TraceEvent::Accept: return "Accept";
+    case TraceEvent::FrameIn: return "FrameIn";
+    case TraceEvent::FrameOut: return "FrameOut";
+    case TraceEvent::ParseError: return "ParseError";
+    case TraceEvent::Backpressure: return "Backpressure";
+    case TraceEvent::FaultInjected: return "FaultInjected";
+    case TraceEvent::Reconnect: return "Reconnect";
+    case TraceEvent::Drain: return "Drain";
+    case TraceEvent::Shed: return "Shed";
+    case TraceEvent::Close: return "Close";
+  }
+  return "Unknown";
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+Tracer::Tracer() : epoch_ns_(now_ns()) {}
+
+std::uint64_t Tracer::elapsed_ns() const { return now_ns() - epoch_ns_; }
+
+std::string Tracer::dump(std::size_t max_events) const {
+  struct Ev {
+    std::uint64_t seq, conn, kind_arg, t_ns;
+  };
+  std::vector<Ev> evs;
+  evs.reserve(kCapacity);
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    const Slot& s = slots_[i];
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 == 0) continue;
+    Ev e{s1, s.conn.load(std::memory_order_relaxed),
+         s.kind_arg.load(std::memory_order_relaxed),
+         s.t_ns.load(std::memory_order_relaxed)};
+    // Re-check: a writer racing us bumped or zeroed seq; drop torn slots.
+    if (s.seq.load(std::memory_order_acquire) != s1) continue;
+    evs.push_back(e);
+  }
+  std::sort(evs.begin(), evs.end(),
+            [](const Ev& a, const Ev& b) { return a.seq < b.seq; });
+  if (max_events != 0 && evs.size() > max_events) {
+    evs.erase(evs.begin(), evs.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+
+  std::string out;
+  out.reserve(evs.size() * 48);
+  char line[128];
+  for (const Ev& e : evs) {
+    const auto ev = static_cast<TraceEvent>(e.kind_arg >> 56);
+    const std::uint64_t arg = e.kind_arg & 0x00FFFFFFFFFFFFFFull;
+    std::snprintf(line, sizeof(line),
+                  "+%lluus conn=%llu %s arg=%llu\n",
+                  static_cast<unsigned long long>(e.t_ns / 1000),
+                  static_cast<unsigned long long>(e.conn),
+                  trace_event_name(ev), static_cast<unsigned long long>(arg));
+    out += line;
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  for (auto& s : slots_) s.seq.store(0, std::memory_order_release);
+}
+
+}  // namespace protoobf::obs

@@ -2,6 +2,7 @@
 
 #include "core/protoobf.hpp"
 #include "graph/dot.hpp"
+#include "obs/families.hpp"
 
 namespace protoobf {
 
@@ -66,6 +67,7 @@ ProtocolCache::LruList::iterator ProtocolCache::find_slot(
     return lru_.end();
   }
   ++stats_.hits;
+  obs::SessionMetrics::get().cache_hits.add(1);
   lru_.splice(lru_.begin(), lru_, it->second);
   return lru_.begin();
 }
@@ -152,6 +154,7 @@ Expected<ProtocolCache::Entry> ProtocolCache::lookup_or_compile(
           std::make_shared<const ObfuscatedProtocol>(std::move(*compiled));
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.misses;
+      obs::SessionMetrics::get().cache_misses.add(1);
       // One slot per key: a colliding occupant (different source) is
       // displaced rather than kept alongside.
       if (auto it = index_.find(key); it != index_.end()) {
@@ -164,6 +167,7 @@ Expected<ProtocolCache::Entry> ProtocolCache::lookup_or_compile(
         index_.erase(lru_.back().key);
         lru_.pop_back();
         ++stats_.evictions;
+        obs::SessionMetrics::get().cache_evictions.add(1);
       }
       outcome.emplace(std::move(entry));
     }

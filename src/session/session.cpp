@@ -1,6 +1,37 @@
 #include "session/session.hpp"
 
+#include "obs/families.hpp"
+
 namespace protoobf {
+
+namespace {
+
+// Per-message instrumentation, kept off the critical path: counters are one
+// relaxed add; latency is recorded for one message in kSampleEvery per
+// thread, so the steady_clock reads never become a per-message cost.
+inline std::uint64_t maybe_start_sample() {
+  return obs::SessionMetrics::sample() ? obs::now_ns() : 0;
+}
+
+inline void finish_serialize(obs::SessionMetrics& m, std::uint64_t t0,
+                             std::size_t wire_capacity) {
+  m.serialized.add(1);
+  if (t0 != 0) {
+    m.serialize_ns.record(obs::now_ns() - t0);
+    m.arena_retained_bytes.set_max(static_cast<std::int64_t>(wire_capacity));
+  }
+}
+
+inline void finish_parse(obs::SessionMetrics& m, std::uint64_t t0, bool ok) {
+  if (ok) {
+    m.parsed.add(1);
+  } else {
+    m.parse_errors.add(1);
+  }
+  if (t0 != 0) m.parse_ns.record(obs::now_ns() - t0);
+}
+
+}  // namespace
 
 Session::Session(std::shared_ptr<const ObfuscatedProtocol> protocol,
                  WorkerPool* pool)
@@ -11,21 +42,29 @@ Session::Session(std::shared_ptr<const ObfuscatedProtocol> protocol,
 Expected<BytesView> Session::serialize(const Inst& message,
                                        std::uint64_t msg_seed,
                                        std::vector<FieldSpan>* spans) {
+  obs::SessionMetrics& m = obs::SessionMetrics::get();
+  const std::uint64_t t0 = maybe_start_sample();
   wire_hint_.reserve(arena_.wire());
   if (Status s = protocol_->serialize_into(message, msg_seed, arena_.wire(),
                                            spans, &arena_.nodes(),
                                            &arena_.scopes(),
                                            &arena_.derive());
       !s) {
+    m.serialize_errors.add(1);
     return Unexpected(s.error());
   }
   wire_hint_.note(arena_.wire().size());
+  finish_serialize(m, t0, arena_.wire().capacity());
   return BytesView(arena_.wire());
 }
 
 Expected<InstPtr> Session::parse(BytesView wire) {
-  return protocol_->parse(wire, &arena_.scratch(), &arena_.scopes(),
-                          &arena_.nodes(), &arena_.derive());
+  obs::SessionMetrics& m = obs::SessionMetrics::get();
+  const std::uint64_t t0 = maybe_start_sample();
+  auto result = protocol_->parse(wire, &arena_.scratch(), &arena_.scopes(),
+                                 &arena_.nodes(), &arena_.derive());
+  finish_parse(m, t0, static_cast<bool>(result));
+  return result;
 }
 
 Expected<Bytes> Session::serialize_one(SessionArena& arena,
@@ -33,15 +72,19 @@ Expected<Bytes> Session::serialize_one(SessionArena& arena,
   if (item.message == nullptr) {
     return Unexpected("batch item has no message");
   }
+  obs::SessionMetrics& m = obs::SessionMetrics::get();
+  const std::uint64_t t0 = maybe_start_sample();
   wire_hint_.reserve(arena.wire());
   if (Status s = protocol_->serialize_into(*item.message, item.msg_seed,
                                            arena.wire(), /*spans=*/nullptr,
                                            &arena.nodes(), &arena.scopes(),
                                            &arena.derive());
       !s) {
+    m.serialize_errors.add(1);
     return Unexpected(s.error());
   }
   wire_hint_.note(arena.wire().size());
+  finish_serialize(m, t0, arena.wire().capacity());
   // The arena buffer is reused for the next item; the result is a
   // right-sized copy the caller owns.
   return Bytes(arena.wire());
@@ -80,12 +123,19 @@ std::vector<Expected<InstPtr>> Session::parse_batch(
   std::vector<Expected<InstPtr>> results;
   results.reserve(wires.size());
 
+  obs::SessionMetrics& m = obs::SessionMetrics::get();
+  const auto parse_into = [&](SessionArena& arena, BytesView wire,
+                              Expected<InstPtr>& out) {
+    const std::uint64_t t0 = maybe_start_sample();
+    out = protocol_->parse(wire, &arena.scratch(), &arena.scopes(),
+                           &arena.nodes(), &arena.derive());
+    finish_parse(m, t0, static_cast<bool>(out));
+  };
+
   if (pool_ == nullptr || pool_->width() == 1 || wires.size() <= 1) {
     for (const BytesView wire : wires) {
-      results.emplace_back(protocol_->parse(wire, &shards_[0].scratch(),
-                                            &shards_[0].scopes(),
-                                            &shards_[0].nodes(),
-                                            &shards_[0].derive()));
+      results.emplace_back(Unexpected(std::string()));
+      parse_into(shards_[0], wire, results.back());
     }
     return results;
   }
@@ -97,10 +147,7 @@ std::vector<Expected<InstPtr>> Session::parse_batch(
       wires.size(), [&](std::size_t shard, std::size_t begin,
                         std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          results[i] = protocol_->parse(wires[i], &shards_[shard].scratch(),
-                                        &shards_[shard].scopes(),
-                                        &shards_[shard].nodes(),
-                                        &shards_[shard].derive());
+          parse_into(shards_[shard], wires[i], results[i]);
         }
       });
   return results;

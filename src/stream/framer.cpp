@@ -5,9 +5,39 @@
 
 #include "ast/ast.hpp"
 #include "core/protoobf.hpp"
+#include "obs/families.hpp"
 #include "runtime/parse.hpp"
 
 namespace protoobf {
+
+namespace {
+
+// Mirrors the per-framer ParseResume::Stats deltas of one decode() into the
+// process-wide resume counters on every exit path. Deltas (not absolutes):
+// each framer keeps its own stats, the registry aggregates all of them.
+struct ResumeStatsMirror {
+  const ParseResume& resume;
+  ParseResume::Stats before;
+
+  explicit ResumeStatsMirror(const ParseResume& r)
+      : resume(r), before(r.stats()) {}
+  ~ResumeStatsMirror() {
+    const ParseResume::Stats after = resume.stats();
+    obs::ResumeMetrics& m = obs::ResumeMetrics::get();
+    if (after.attempts > before.attempts)
+      m.attempts.add(after.attempts - before.attempts);
+    if (after.resumed > before.resumed)
+      m.resumed.add(after.resumed - before.resumed);
+    if (after.suspensions > before.suspensions)
+      m.suspensions.add(after.suspensions - before.suspensions);
+    if (after.invalidations > before.invalidations)
+      m.invalidations.add(after.invalidations - before.invalidations);
+    if (after.scanned_bytes > before.scanned_bytes)
+      m.scanned_bytes.add(after.scanned_bytes - before.scanned_bytes);
+  }
+};
+
+}  // namespace
 
 // --- LengthPrefixFramer -----------------------------------------------------
 
@@ -185,6 +215,7 @@ FrameDecode ObfuscatedFramer::decode(BytesView buffer) {
   if (buffer.size() < min_need_) {
     return FrameDecode::need_more(min_need_ - buffer.size());
   }
+  ResumeStatsMirror mirror(resume_);
   // The prefix parse runs resumably: a Truncated attempt suspends into
   // resume_ (partial pooled tree, delimiter-scan cursors, scopes) and the
   // next decode() on the grown front continues from the truncation point.

@@ -42,6 +42,8 @@
 #include "net/fault.hpp"
 #include "net/reconnect.hpp"
 #include "net/server.hpp"
+#include "obs/families.hpp"
+#include "obs/metrics.hpp"
 #include "session/protocol_cache.hpp"
 #include "util/rng.hpp"
 
@@ -112,6 +114,10 @@ TEST(Soak, FaultScheduleLosesNothing) {
   // The reproduction recipe: a failing run is replayed by exporting this.
   std::printf("[soak] SOAK_CONNS=%zu SOAK_MSGS=%u SOAK_SEED=%llu\n", conns,
               msgs, static_cast<unsigned long long>(seed));
+
+  // The metrics registry is process-global; zero it so the consistency
+  // checks below count only this run's traffic.
+  obs::MetricsRegistry::global().reset_values();
 
   auto g = Framework::load_spec(kSpec).value();
   ProtocolCache cache;
@@ -298,9 +304,55 @@ TEST(Soak, FaultScheduleLosesNothing) {
   // Clients destroyed here, after their loops stopped.
   clients.clear();
 
+  // Metrics consistency (ISSUE 9): the registry's view of the run must
+  // agree with the test's own ground-truth bookkeeping.
+  //
+  // Server-side parsed messages == receipts the handler saw: every client's
+  // dedup'd window plus the wire duplicates. At-least-once means resends
+  // can repeat on the wire, but the counter and the handler must agree
+  // exactly — a gap either way is a lost or phantom message.
+  EXPECT_EQ(obs::NetMetrics::sum(
+                [](obs::NetMetrics& m) -> obs::Counter& {
+                  return m.messages_in;
+                },
+                /*include_client=*/false),
+            static_cast<std::uint64_t>(conns) * msgs +
+                wire_duplicates.load());
+  // Client-side confirmed sends: the acked counter is the sum of every
+  // client's confirmed window.
+  EXPECT_EQ(obs::ReconnectMetrics::get().acked.value(),
+            static_cast<std::uint64_t>(conns) * msgs);
+  EXPECT_EQ(obs::ReconnectMetrics::get().unacked.value(), 0);
+  // Occupancy returns to zero once the drain finished and every client
+  // connection was destroyed — leaks show up as a stuck gauge.
+  EXPECT_EQ(
+      obs::NetMetrics::sum(
+          [](obs::NetMetrics& m) -> obs::Gauge& { return m.active; },
+          /*include_client=*/true),
+      0);
+  // The close-taxonomy view of "no transport fault surfaces as Malformed".
+  EXPECT_EQ(obs::NetMetrics::sum(
+                [](obs::NetMetrics& m) -> obs::Counter& {
+                  return m.close_malformed;
+                },
+                /*include_client=*/true),
+            0u);
+
   if (faults) {
     const FaultInjector::Stats sf = server_faults.stats();
     const FaultInjector::Stats cf = client_faults.stats();
+    // Injected-fault counters mirror the injectors one-for-one: both
+    // injectors feed the same labeled registry family, so each kind must
+    // equal the sum of the two tallies.
+    const obs::FaultMetrics& fm = obs::FaultMetrics::get();
+    EXPECT_EQ(fm.short_reads.value(), sf.short_reads + cf.short_reads);
+    EXPECT_EQ(fm.short_writes.value(), sf.short_writes + cf.short_writes);
+    EXPECT_EQ(fm.eagains.value(), sf.eagains + cf.eagains);
+    EXPECT_EQ(fm.resets.value(), sf.resets + cf.resets);
+    EXPECT_EQ(fm.epipes.value(), sf.epipes + cf.epipes);
+    EXPECT_EQ(fm.fins.value(), sf.fins + cf.fins);
+    EXPECT_EQ(fm.refused.value(), sf.refused + cf.refused);
+    EXPECT_EQ(fm.connections.value(), sf.connections + cf.connections);
     std::printf(
         "[soak] faults: kills=%llu (server %llu / client %llu) "
         "short_r=%llu short_w=%llu eagain=%llu refused=%llu dup_wire=%llu\n",

@@ -40,6 +40,12 @@
 //       window despite the chaos. --no-faults runs the same drill on a
 //       clean transport (a throughput baseline). Prints the fault and
 //       recovery counters; exits nonzero on any unconfirmed message.
+//   protoobf top --port P [--host H] [--interval-ms N] [--once]
+//       Live metrics viewer: polls /metrics.json on the admin endpoint a
+//       serve/soak run exposes (--metrics-port) and redraws a per-shard
+//       table of connections, traffic rates and frame-latency quantiles,
+//       plus session/native/reconnect summary lines. --once prints a
+//       single plain snapshot and exits (CI-friendly).
 //   protoobf compile <spec-file> --seed N --per-node K
 //       Pre-build the native unit for (spec, seed, per_node) into the
 //       shared on-disk cache ($PROTOOBF_NATIVE_CACHE, default
@@ -54,13 +60,21 @@
 // the command says so and falls back to the interpreter.
 //
 // Spec files use the ProtoSpec language (see README.md).
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -77,6 +91,8 @@
 #include "net/fault.hpp"
 #include "net/reconnect.hpp"
 #include "net/server.hpp"
+#include "obs/export.hpp"
+#include "obs/families.hpp"
 #include "runtime/parse.hpp"
 #include "session/protocol_cache.hpp"
 #include "stream/channel.hpp"
@@ -89,7 +105,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: protoobf <validate|graph|obfuscate|codegen|compile|stream|"
-      "serve|connect|soak|fuzz> <spec-file> [--seed N] [--per-node K] "
+      "serve|connect|soak|fuzz|top> <spec-file> [--seed N] [--per-node K] "
       "[-o FILE]\n"
       "       stream extras: [--emit COUNT] [--expect COUNT] "
       "[--msg-seed N] [--frame-width W] "
@@ -105,7 +121,12 @@ int usage() {
       "[--expect COUNT] [--msg-seed N] [--retry MS] [--backoff-ms N]\n"
       "       soak extras: [--conns N] [--emit MSGS_PER_CLIENT] "
       "[--fault-seed N] [--no-faults] [--shards N] [--max-conns N] "
-      "[--retry MS] [--backoff-ms N]\n");
+      "[--retry MS] [--backoff-ms N]\n"
+      "       serve/soak: [--metrics-port P] [--no-metrics]  (admin HTTP "
+      "endpoint: /metrics, /metrics.json, /trace; serve defaults to an "
+      "ephemeral port, soak needs the flag)\n"
+      "       top (no spec file): --port P [--host H] [--interval-ms N] "
+      "[--once]  (poll a running admin endpoint, live table)\n");
   return 2;
 }
 
@@ -144,13 +165,25 @@ struct Options {
   bool whole = false;    // force whole-message parses (no prefix replay)
   // native backend (stream/serve/connect)
   bool native = false;
+  // observability (serve/soak/top)
+  std::uint16_t metrics_port = 0;  // 0 = ephemeral
+  bool metrics_port_set = false;
+  bool no_metrics = false;  // skip the admin endpoint AND the instruments
+  std::size_t interval_ms = 1000;  // top refresh period
+  bool once = false;               // top: one plain snapshot, then exit
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
-  if (argc < 3) return false;
+  if (argc < 2) return false;
   opts.command = argv[1];
-  opts.spec_path = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int first_flag = 2;
+  // `top` talks to a running server; it takes flags only, no spec file.
+  if (opts.command != "top") {
+    if (argc < 3) return false;
+    opts.spec_path = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
       opts.seed = std::strtoull(argv[++i], nullptr, 0);
@@ -217,6 +250,21 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.whole = true;
     } else if (arg == "--native") {
       opts.native = true;
+    } else if (arg == "--metrics-port" && i + 1 < argc) {
+      const unsigned long value = std::strtoul(argv[++i], nullptr, 0);
+      if (value > 65535) {
+        std::fprintf(stderr, "--metrics-port out of range: %lu\n", value);
+        return false;
+      }
+      opts.metrics_port = static_cast<std::uint16_t>(value);
+      opts.metrics_port_set = true;
+    } else if (arg == "--no-metrics") {
+      opts.no_metrics = true;
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      opts.interval_ms =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--once") {
+      opts.once = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -602,7 +650,27 @@ std::atomic<int> g_stop_signal{0};
 
 void stop_signal(int sig) { g_stop_signal.store(sig); }
 
+/// Starts the admin exposition endpoint for serve/soak. Returns nullptr
+/// (with a stderr note) when the port is busy — metrics stay on, only the
+/// scrape surface is missing, so the serving command keeps going.
+std::unique_ptr<obs::AdminServer> start_admin(std::uint16_t port) {
+  obs::AdminServer::Config cfg;
+  cfg.endpoint = {"127.0.0.1", port};
+  auto admin = std::make_unique<obs::AdminServer>(cfg);
+  if (Status s = admin->start(); !s) {
+    std::fprintf(stderr, "metrics endpoint disabled: %s\n",
+                 s.error().message.c_str());
+    return nullptr;
+  }
+  std::printf("metrics on http://127.0.0.1:%u/metrics "
+              "(also /metrics.json, /trace)\n",
+              admin->port());
+  std::fflush(stdout);
+  return admin;
+}
+
 int cmd_serve(const Options& opts) {
+  if (opts.no_metrics) obs::set_enabled(false);
   auto protocol = compile_protocol(opts);
   if (!protocol.ok()) {
     std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
@@ -621,6 +689,9 @@ int cmd_serve(const Options& opts) {
   cfg.reuse_port = !opts.round_robin;
   cfg.connection.idle_timeout = std::chrono::milliseconds(opts.idle_ms);
   cfg.max_connections = opts.max_conns;
+  // The drain path doubles as the operator's shutdown report: a final
+  // registry snapshot on stderr once the last connection is gone.
+  cfg.log_drain_snapshot = !opts.no_metrics;
 
   net::Server server(*protocol, *factory, cfg);
   server.on_accept([](net::Connection& conn) {
@@ -667,6 +738,8 @@ int cmd_serve(const Options& opts) {
               opts.round_robin ? "round-robin" : "SO_REUSEPORT",
               opts.obf_frame ? "obfuscated" : "length-prefix");
   std::fflush(stdout);
+  std::unique_ptr<obs::AdminServer> admin;
+  if (!opts.no_metrics) admin = start_admin(opts.metrics_port);
 
   std::signal(SIGINT, stop_signal);
   std::signal(SIGTERM, stop_signal);
@@ -814,6 +887,7 @@ struct SoakClient {
 /// rigorous zero-loss/zero-duplication proof lives in tests/soak_test.cpp;
 /// this command is the operator-facing drill and throughput probe.
 int cmd_soak(const Options& opts) {
+  if (opts.no_metrics) obs::set_enabled(false);
   const std::size_t conns = opts.conns > 0 ? opts.conns : 1;
   const std::uint64_t msgs = opts.emit > 0 ? opts.emit : 16;
   const bool faults = !opts.no_faults;
@@ -868,6 +942,12 @@ int cmd_soak(const Options& opts) {
   if (Status s = server.start(); !s) {
     std::fprintf(stderr, "error: %s\n", s.error().message.c_str());
     return 1;
+  }
+  // soak only exposes the scrape endpoint when asked: the drill is a batch
+  // run, but --metrics-port lets `protoobf top` watch the chaos live.
+  std::unique_ptr<obs::AdminServer> admin;
+  if (opts.metrics_port_set && !opts.no_metrics) {
+    admin = start_admin(opts.metrics_port);
   }
 
   const std::size_t n_loops = conns < 4 ? conns : 4;
@@ -995,7 +1075,387 @@ int cmd_soak(const Options& opts) {
         static_cast<unsigned long long>(sf.eagains + cf.eagains),
         static_cast<unsigned long long>(cf.refused));
   }
+  if (!opts.no_metrics) {
+    const obs::Histogram::Snapshot parse =
+        obs::SessionMetrics::get().parse_ns.snapshot();
+    const obs::Histogram::Snapshot serialize =
+        obs::SessionMetrics::get().serialize_ns.snapshot();
+    std::printf(
+        "latency (1/64 sampled): parse p50=%.1fus p95=%.1fus p99=%.1fus, "
+        "serialize p50=%.1fus p95=%.1fus p99=%.1fus\n",
+        parse.p50 / 1e3, parse.p95 / 1e3, parse.p99 / 1e3,
+        serialize.p50 / 1e3, serialize.p95 / 1e3, serialize.p99 / 1e3);
+  }
   return complete == conns ? 0 : 1;
+}
+
+// --- top --------------------------------------------------------------------
+
+/// One blocking HTTP/1.0 GET against the admin endpoint. Deliberately
+/// plain BSD sockets: `top` is the observer and must not depend on the
+/// event-loop machinery it is observing.
+Expected<std::string> http_get(const std::string& host, std::uint16_t port,
+                               const std::string& path) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc =
+          ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+      rc != 0) {
+    return Unexpected("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return Unexpected("connect " + host + ":" + service + ": " +
+                      std::strerror(errno));
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  for (std::size_t off = 0; off < request.size();) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Unexpected("send: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Unexpected("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Unexpected("malformed HTTP response");
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    return Unexpected("HTTP error: " + status_line);
+  }
+  return response.substr(header_end + 4);
+}
+
+/// Quantile summary of one histogram series in the snapshot.
+struct HistRow {
+  double count = 0, sum = 0, max = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0;
+};
+
+/// The flat shape /metrics.json serves (see MetricsRegistry::
+/// json_snapshot). Keys are full Prometheus series names.
+struct FlatSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistRow> hists;
+};
+
+/// Minimal scanner for the snapshot's fixed two-level shape — objects of
+/// numbers, one extra nesting level under "histograms", string keys with
+/// backslash escapes. Not a general JSON parser and not meant to be one.
+class SnapshotParser {
+ public:
+  explicit SnapshotParser(const std::string& text) : s_(text) {}
+
+  bool parse(FlatSnapshot& out) {
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      std::string section;
+      if (!string(section) || !consume(':')) return false;
+      if (section == "histograms") {
+        if (!hist_section(out)) return false;
+      } else if (!number_section(section == "counters" ? out.counters
+                                                       : out.gauges)) {
+        return false;
+      }
+    } while (consume(','));
+    return consume('}');
+  }
+
+ private:
+  char peek() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+    return i_ < s_.size() ? s_[i_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (i_ >= s_.size()) return false;
+      const char esc = s_[i_++];
+      switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u': i_ += 4; out.push_back('?'); break;
+        default: out.push_back(esc); break;  // \" \\ \/ pass through
+      }
+    }
+    return false;
+  }
+
+  bool number(double& out) {
+    peek();  // position past whitespace
+    const char* begin = s_.c_str() + i_;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    i_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool number_section(std::map<std::string, double>& out) {
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      std::string key;
+      double value = 0;
+      if (!string(key) || !consume(':') || !number(value)) return false;
+      out[key] = value;
+    } while (consume(','));
+    return consume('}');
+  }
+
+  bool hist_section(FlatSnapshot& out) {
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      std::string key;
+      if (!string(key) || !consume(':')) return false;
+      std::map<std::string, double> fields;
+      if (!number_section(fields)) return false;
+      HistRow row;
+      row.count = fields["count"];
+      row.sum = fields["sum"];
+      row.max = fields["max"];
+      row.mean = fields["mean"];
+      row.p50 = fields["p50"];
+      row.p95 = fields["p95"];
+      row.p99 = fields["p99"];
+      out.hists[key] = row;
+    } while (consume(','));
+    return consume('}');
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+double value_or(const std::map<std::string, double>& m,
+                const std::string& key) {
+  const auto it = m.find(key);
+  return it != m.end() ? it->second : 0.0;
+}
+
+std::string shard_series(const char* name, const std::string& shard) {
+  return std::string(name) + "{shard=\"" + shard + "\"}";
+}
+
+void render_top(const Options& opts, const FlatSnapshot& snap,
+                const FlatSnapshot* prev, double dt,
+                std::uint64_t poll) {
+  std::string out;
+  char line[512];
+  const auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof line, fmt, args...);
+    out += line;
+  };
+  if (!opts.once) out += "\x1b[H\x1b[2J";  // home + clear for the redraw
+  emit("protoobf top - %s:%u  poll #%llu  (refresh %.1fs, q: Ctrl-C)\n\n",
+       opts.host.c_str(), opts.port,
+       static_cast<unsigned long long>(poll),
+       static_cast<double>(opts.interval_ms) / 1000.0);
+
+  // Shard rows come from the label sets actually registered: numeric
+  // server shards first, then the client-side bundle.
+  std::vector<std::string> shards;
+  const std::string probe =
+      "protoobf_net_connections_accepted_total{shard=\"";
+  for (const auto& [key, value] : snap.counters) {
+    if (key.rfind(probe, 0) != 0) continue;
+    const std::size_t end = key.find('"', probe.size());
+    if (end == std::string::npos) continue;
+    shards.push_back(key.substr(probe.size(), end - probe.size()));
+  }
+  const auto rank = [](const std::string& s) {
+    const bool numeric =
+        !s.empty() && std::isdigit(static_cast<unsigned char>(s[0]));
+    return std::make_pair(numeric ? 0 : 1,
+                          numeric ? std::atol(s.c_str()) : 0L);
+  };
+  std::sort(shards.begin(), shards.end(),
+            [&](const std::string& a, const std::string& b) {
+              return rank(a) < rank(b);
+            });
+
+  emit("%-7s %7s %9s %8s %6s %11s %11s %9s %13s %13s %11s\n", "SHARD",
+       "ACTIVE", "ACCEPTED", "CLOSED", "SHED", "MSGS_IN", "MSGS_OUT",
+       "MSG/S", "BYTES_IN", "BYTES_OUT", "FRAME_P95");
+  double total_active = 0, total_msgs_in = 0, total_rate = 0;
+  for (const std::string& shard : shards) {
+    const double msgs_in = value_or(
+        snap.counters, shard_series("protoobf_net_messages_in_total", shard));
+    double rate = 0;
+    if (prev != nullptr && dt > 0) {
+      rate = (msgs_in -
+              value_or(prev->counters,
+                       shard_series("protoobf_net_messages_in_total", shard))) /
+             dt;
+    }
+    const double active = value_or(
+        snap.gauges, shard_series("protoobf_net_connections_active", shard));
+    const auto frame =
+        snap.hists.find(shard_series("protoobf_net_frame_ns", shard));
+    const double p95_us =
+        frame != snap.hists.end() ? frame->second.p95 / 1e3 : 0.0;
+    emit("%-7s %7.0f %9.0f %8.0f %6.0f %11.0f %11.0f %9.1f %13.0f %13.0f "
+         "%9.0fus\n",
+         shard.c_str(), active,
+         value_or(snap.counters,
+                  shard_series("protoobf_net_connections_accepted_total",
+                               shard)),
+         value_or(snap.counters,
+                  shard_series("protoobf_net_connections_closed_total",
+                               shard)),
+         value_or(snap.counters,
+                  shard_series("protoobf_net_connections_shed_total", shard)),
+         msgs_in,
+         value_or(snap.counters,
+                  shard_series("protoobf_net_messages_out_total", shard)),
+         rate,
+         value_or(snap.counters,
+                  shard_series("protoobf_net_bytes_in_total", shard)),
+         value_or(snap.counters,
+                  shard_series("protoobf_net_bytes_out_total", shard)),
+         p95_us);
+    total_active += active;
+    total_msgs_in += msgs_in;
+    total_rate += rate;
+  }
+  emit("%-7s %7.0f %9s %8s %6s %11.0f %11s %9.1f\n\n", "TOTAL", total_active,
+       "", "", "", total_msgs_in, "", total_rate);
+
+  const auto hist = [&](const char* name) {
+    const auto it = snap.hists.find(name);
+    return it != snap.hists.end() ? it->second : HistRow{};
+  };
+  const HistRow serialize = hist("protoobf_session_serialize_ns");
+  const HistRow parse = hist("protoobf_session_parse_ns");
+  emit("session    serialized %.0f (p50 %.1fus p99 %.1fus)  parsed %.0f "
+       "(p50 %.1fus p99 %.1fus)  cache hit/miss %.0f/%.0f\n",
+       value_or(snap.counters, "protoobf_session_serialized_total"),
+       serialize.p50 / 1e3, serialize.p99 / 1e3,
+       value_or(snap.counters, "protoobf_session_parsed_total"),
+       parse.p50 / 1e3, parse.p99 / 1e3,
+       value_or(snap.counters, "protoobf_session_protocol_cache_hits_total"),
+       value_or(snap.counters,
+                "protoobf_session_protocol_cache_misses_total"));
+  const HistRow compile = hist("protoobf_native_compile_ns");
+  emit("native     hits %.0f  disk %.0f  recompiles %.0f (p50 %.0fms)  "
+       "poisoned %.0f\n",
+       value_or(snap.counters, "protoobf_native_cache_hits_total"),
+       value_or(snap.counters, "protoobf_native_disk_hits_total"),
+       value_or(snap.counters, "protoobf_native_recompiles_total"),
+       compile.p50 / 1e6,
+       value_or(snap.counters, "protoobf_native_poisoned_total"));
+  emit("reconnect  sent %.0f  resent %.0f  acked %.0f  dials %.0f  "
+       "reconnects %.0f  unacked %.0f\n",
+       value_or(snap.counters, "protoobf_reconnect_sent_total"),
+       value_or(snap.counters, "protoobf_reconnect_resent_total"),
+       value_or(snap.counters, "protoobf_reconnect_acked_total"),
+       value_or(snap.counters, "protoobf_reconnect_dials_total"),
+       value_or(snap.counters, "protoobf_reconnect_reconnects_total"),
+       value_or(snap.gauges, "protoobf_reconnect_unacked"));
+  double faults = 0;
+  for (const auto& [key, value] : snap.counters) {
+    if (key.rfind("protoobf_fault_injected_total{", 0) == 0) faults += value;
+  }
+  emit("resume     attempts %.0f  resumed %.0f  suspensions %.0f  "
+       "scanned %.0fB   faults injected %.0f\n",
+       value_or(snap.counters, "protoobf_resume_attempts_total"),
+       value_or(snap.counters, "protoobf_resume_resumed_total"),
+       value_or(snap.counters, "protoobf_resume_suspensions_total"),
+       value_or(snap.counters, "protoobf_resume_scanned_bytes_total"),
+       faults);
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  std::fflush(stdout);
+}
+
+int cmd_top(const Options& opts) {
+  if (opts.port == 0) {
+    std::fprintf(stderr,
+                 "error: top requires --port (the metrics endpoint a "
+                 "running serve/soak printed)\n");
+    return 2;
+  }
+  std::signal(SIGINT, stop_signal);
+  std::signal(SIGTERM, stop_signal);
+  const auto interval = std::chrono::milliseconds(
+      opts.interval_ms > 0 ? opts.interval_ms : 1000);
+
+  FlatSnapshot prev;
+  bool have_prev = false;
+  std::uint64_t prev_ns = 0;
+  std::uint64_t polls = 0;
+  while (g_stop_signal.load() == 0) {
+    auto body = http_get(opts.host, opts.port, "/metrics.json");
+    if (!body.ok()) {
+      std::fprintf(stderr, "error: %s\n", body.error().message.c_str());
+      return 1;
+    }
+    FlatSnapshot snap;
+    if (!SnapshotParser(*body).parse(snap)) {
+      std::fprintf(stderr, "error: malformed /metrics.json snapshot\n");
+      return 1;
+    }
+    const std::uint64_t now = obs::now_ns();
+    ++polls;
+    render_top(opts, snap, have_prev ? &prev : nullptr,
+               static_cast<double>(now - prev_ns) / 1e9, polls);
+    if (opts.once) return 0;
+    prev = std::move(snap);
+    have_prev = true;
+    prev_ns = now;
+    for (auto waited = std::chrono::milliseconds(0);
+         waited < interval && g_stop_signal.load() == 0;
+         waited += std::chrono::milliseconds(50)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  return 0;
 }
 
 int cmd_fuzz(const Options& opts) {
@@ -1091,5 +1551,6 @@ int main(int argc, char** argv) {
   if (opts.command == "connect") return cmd_connect(opts);
   if (opts.command == "soak") return cmd_soak(opts);
   if (opts.command == "fuzz") return cmd_fuzz(opts);
+  if (opts.command == "top") return cmd_top(opts);
   return usage();
 }
