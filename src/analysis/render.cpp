@@ -1,0 +1,136 @@
+// Report rendering: the human block format for `protoobf lint` and the
+// single-object JSON for tooling. Kept apart from the analyzer core so the
+// diagnostics stay a pure data model.
+#include "analysis/analyzer.hpp"
+
+#include <string>
+
+namespace protoobf::analysis {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string count_phrase(std::size_t n, const char* noun) {
+  return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+}
+
+}  // namespace
+
+std::string summary(const Report& report) {
+  const std::size_t errors = report.errors();
+  const std::size_t warnings = report.warnings();
+  const std::size_t notes = report.notes();
+  std::string out;
+  if (errors == 0) {
+    out = "clean (" + count_phrase(warnings, "warning") + ", " +
+          count_phrase(notes, "note") + ")";
+  } else {
+    out = count_phrase(errors, "error");
+    std::string ids;
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.severity != Severity::Error) continue;
+      if (!ids.empty()) ids += ", ";
+      ids += d.id;
+    }
+    out += " (" + ids + ")";
+  }
+  return out;
+}
+
+std::string render_text(const Report& report) {
+  std::string out = "protocol '" + report.protocol + "': " + summary(report);
+  out += '\n';
+  for (const Diagnostic& d : report.diagnostics) {
+    out += "  ";
+    out += to_string(d.severity);
+    out += " ";
+    out += d.id;
+    out += " ";
+    out += d.name;
+    if (!d.path.empty()) {
+      out += " at ";
+      out += d.path;
+    }
+    out += '\n';
+    out += "      ";
+    out += d.message;
+    out += '\n';
+    if (!d.hint.empty()) {
+      out += "      hint: ";
+      out += d.hint;
+      out += '\n';
+    }
+  }
+  out += "  min wire size: " + std::to_string(report.min_need) + "; max: ";
+  out += report.max_wire ? std::to_string(*report.max_wire) : "unbounded";
+  out += std::string("; stream-safe: ") +
+         (report.is_stream_safe ? "yes" : "no");
+  out += std::string("; datagram-safe: ") +
+         (report.is_datagram_safe ? "yes" : "no");
+  out += '\n';
+  return out;
+}
+
+std::string render_json(const Report& report) {
+  std::string out = "{\"protocol\":";
+  append_json_string(out, report.protocol);
+  out += ",\"clean\":";
+  out += report.clean() ? "true" : "false";
+  out += ",\"errors\":" + std::to_string(report.errors());
+  out += ",\"warnings\":" + std::to_string(report.warnings());
+  out += ",\"notes\":" + std::to_string(report.notes());
+  out += ",\"min_wire\":" + std::to_string(report.min_need);
+  out += ",\"max_wire\":";
+  out += report.max_wire ? std::to_string(*report.max_wire) : "null";
+  out += ",\"stream_safe\":";
+  out += report.is_stream_safe ? "true" : "false";
+  out += ",\"datagram_safe\":";
+  out += report.is_datagram_safe ? "true" : "false";
+  out += ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    append_json_string(out, d.id);
+    out += ",\"name\":";
+    append_json_string(out, d.name);
+    out += ",\"severity\":";
+    append_json_string(out, to_string(d.severity));
+    out += ",\"node\":";
+    out += d.node == kNoNode ? std::string("null") : std::to_string(d.node);
+    out += ",\"path\":";
+    append_json_string(out, d.path);
+    out += ",\"message\":";
+    append_json_string(out, d.message);
+    out += ",\"hint\":";
+    append_json_string(out, d.hint);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace protoobf::analysis

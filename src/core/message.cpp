@@ -110,7 +110,12 @@ Expected<Inst*> Message::locate(std::string_view path, bool materialize) {
   if (index >= 0) {
     const Node& n = graph_->node(cursor->schema);
     if (n.type != NodeType::Repetition && n.type != NodeType::Tabular) {
-      return Unexpected("'" + std::string(head) + "' is not repeated");
+      // Built up in place: `"'" + std::string(head)` takes a rvalue-insert
+      // path that GCC 12's -Wrestrict misdiagnoses under -O2 (PR 105329).
+      std::string msg = "'";
+      msg += head;
+      msg += "' is not repeated";
+      return Unexpected(std::move(msg));
     }
     if (static_cast<std::size_t>(index) >= cursor->children.size()) {
       return Unexpected("index " + std::to_string(index) + " out of range in '" +

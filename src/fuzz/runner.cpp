@@ -32,7 +32,9 @@ const char* to_string(Verdict::Kind kind) {
 }
 
 FuzzRunner::FuzzRunner(const ObfuscatedProtocol& protocol, Config config)
-    : protocol_(&protocol), config_(config) {}
+    : protocol_(&protocol),
+      config_(config),
+      lint_(analysis::analyze(protocol)) {}
 
 FuzzRunner::Attempt FuzzRunner::parse_full(BytesView wire) {
   Attempt a;
@@ -207,7 +209,15 @@ std::string FuzzRunner::check(BytesView wire, Rng& chunks) {
                 std::to_string(arena_.nodes().stats().live - live_before) +
                 " pooled nodes";
   }
-  if (!violation.empty()) ++totals_.violations;
+  if (!violation.empty()) {
+    ++totals_.violations;
+    // The static/dynamic cross-oracle: on a lint-clean spec the parser had
+    // no excuse, so the bug is in the runtime — or in the analyzer that
+    // called the spec clean. Either way the stamp routes the triage.
+    violation += lint_.clean()
+                     ? " [spec lint-clean: runtime or analyzer at fault]"
+                     : " [spec lint: " + analysis::summary(lint_) + "]";
+  }
   return violation;
 }
 

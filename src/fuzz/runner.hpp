@@ -23,6 +23,11 @@
 // keeps the native engine honest against hostile bytes, not just valid
 // round-trips.
 //
+// The runner also lints the protocol once at construction (the static
+// analyzer over the same wire graph) and stamps every violation with that
+// verdict: a taxonomy violation on a lint-clean spec means either the
+// runtime or the analyzer is wrong — the static/dynamic cross-oracle.
+//
 // The runner owns one SessionArena and one ParseResume and reuses them
 // across inputs — exactly the shape of a long-lived connection fed by an
 // adversary, which is the scenario under test.
@@ -32,6 +37,7 @@
 #include <cstdint>
 #include <string>
 
+#include "analysis/analyzer.hpp"
 #include "runtime/protocol.hpp"
 #include "runtime/resume.hpp"
 #include "session/arena.hpp"
@@ -103,6 +109,11 @@ class FuzzRunner {
   /// nullptr to detach. The backend must outlive the runner.
   void set_native_backend(const WireBackend* backend) { native_ = backend; }
 
+  /// The static analyzer's verdict on the protocol under test, computed
+  /// once at construction. check() stamps violations with it: a violation
+  /// on a lint-clean spec is a bug in the runtime or in the analyzer.
+  const analysis::Report& lint() const { return lint_; }
+
  private:
   struct Attempt {
     Verdict verdict;
@@ -118,6 +129,7 @@ class FuzzRunner {
   SessionArena arena_;
   ParseResume resume_;  // reused across replays; invalidated between inputs
   const WireBackend* native_ = nullptr;
+  analysis::Report lint_;
   Totals totals_;
 };
 

@@ -133,8 +133,14 @@ Message random_request(const Graph& g, Rng& rng) {
     if (i > 0) uri += "/";
     uri += kPathWords[rng.below(8)];
   }
-  if (rng.chance(0.4)) uri += "?" + random_token(rng, 3, 8) + "=" +
-                               random_token(rng, 1, 12);
+  if (rng.chance(0.4)) {
+    // Appended piecewise: `"?" + random_token(...)` takes a rvalue-insert
+    // path that GCC 12's -Wrestrict misdiagnoses under -O2 (PR 105329).
+    uri += "?";
+    uri += random_token(rng, 3, 8);
+    uri += "=";
+    uri += random_token(rng, 1, 12);
+  }
   msg.set_text("uri", uri);
 
   const std::size_t header_count = rng.between(1, 6);

@@ -141,8 +141,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Case{0, 2018}, Case{1, 2018}, Case{2, 2018},
                       Case{3, 2018}, Case{2, 0}, Case{4, 0xfeedface}),
     [](const ::testing::TestParamInfo<Case>& info) {
-      return "o" + std::to_string(info.param.per_node) + "_s" +
-             std::to_string(info.param.seed);
+      // Built up in place: `"o" + std::to_string(...)` takes a
+      // rvalue-insert path that GCC 12's -Wrestrict misdiagnoses under
+      // -O2 (PR 105329).
+      std::string name = "o";
+      name += std::to_string(info.param.per_node);
+      name += "_s";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 // The identity protocol's wire image is fully pinned by the specification

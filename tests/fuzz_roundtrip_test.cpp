@@ -52,7 +52,11 @@ m: seq end {
 Message random_message(const Graph& g, Rng& rng) {
   Message msg(g);
   msg.set("flags", Bytes{static_cast<Byte>(rng.below(2))});
-  msg.set_text("title", "t" + std::to_string(rng.below(1000)));
+  // Built up in place: `"t" + std::to_string(...)` takes a rvalue-insert
+  // path that GCC 12's -Wrestrict misdiagnoses under -O2 (PR 105329).
+  std::string title = "t";
+  title += std::to_string(rng.below(1000));
+  msg.set_text("title", title);
 
   const std::size_t records = rng.below(3);
   for (std::size_t i = 0; i < records; ++i) {

@@ -231,7 +231,9 @@ TEST(NativeAttach, AttachedBackendServesDefaultEntryPoints) {
   auto iprefixed =
       protocol.parse_prefix_with(nullptr, attached, &iconsumed);
   ASSERT_EQ(prefixed.ok(), iprefixed.ok());
-  if (prefixed.ok()) EXPECT_EQ(consumed, iconsumed);
+  if (prefixed.ok()) {
+    EXPECT_EQ(consumed, iconsumed);
+  }
 
   // Copies share the attachment (one serving protocol, many holders).
   ObfuscatedProtocol copy = protocol;

@@ -46,6 +46,15 @@
 //       table of connections, traffic rates and frame-latency quantiles,
 //       plus session/native/reconnect summary lines. --once prints a
 //       single plain snapshot and exits (CI-friendly).
+//   protoobf lint <spec-file> [--seed N --per-node K] [--json] [--deny]
+//       Static analysis over the wire graph (src/analysis): decode
+//       ambiguity, frame bounds, holder-chain integrity, stream/datagram
+//       safety, DPI fingerprint bytes — as structured diagnostics with
+//       node locations and fix hints. Without --per-node the identity
+//       graph (the spec's own wire syntax) is linted; with --seed and
+//       --per-node a specific compiled artifact is. --json emits one JSON
+//       object; --deny promotes warnings to the failing exit. Exit 0 =
+//       clean, 1 = gated findings, 2 = load error.
 //   protoobf compile <spec-file> --seed N --per-node K
 //       Pre-build the native unit for (spec, seed, per_node) into the
 //       shared on-disk cache ($PROTOOBF_NATIVE_CACHE, default
@@ -81,6 +90,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/analyzer.hpp"
 #include "codegen/generator.hpp"
 #include "core/protoobf.hpp"
 #include "fuzz/mutator.hpp"
@@ -104,9 +114,13 @@ using namespace protoobf;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: protoobf <validate|graph|obfuscate|codegen|compile|stream|"
-      "serve|connect|soak|fuzz|top> <spec-file> [--seed N] [--per-node K] "
-      "[-o FILE]\n"
+      "usage: protoobf <validate|lint|graph|obfuscate|codegen|compile|"
+      "stream|serve|connect|soak|fuzz|top> <spec-file> [--seed N] "
+      "[--per-node K] [-o FILE]\n"
+      "       lint extras: [--json] [--deny]  (identity graph by default; "
+      "--per-node K lints the compiled artifact; --deny fails on warnings)\n"
+      "       serve/compile: [--no-lint]  (serve/compile refuse artifacts "
+      "with error-severity lint findings unless overridden)\n"
       "       stream extras: [--emit COUNT] [--expect COUNT] "
       "[--msg-seed N] [--frame-width W] "
       "[--obf-frame SEED:PER_NODE] [--dump]\n"
@@ -135,7 +149,12 @@ struct Options {
   std::string spec_path;
   std::uint64_t seed = 1;
   int per_node = 1;
+  bool per_node_set = false;  // --per-node given explicitly (lint cares)
   std::string output;
+  // lint
+  bool json = false;
+  bool deny = false;     // promote warnings to the failing exit
+  bool no_lint = false;  // serve/compile: skip the error-severity gate
   // stream command
   std::size_t emit = 0;         // 0 = decode mode
   std::size_t expect = 0;       // decode: fail unless exactly N recovered
@@ -189,6 +208,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--per-node" && i + 1 < argc) {
       opts.per_node = std::atoi(argv[++i]);
+      opts.per_node_set = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--deny") {
+      opts.deny = true;
+    } else if (arg == "--no-lint") {
+      opts.no_lint = true;
     } else if (arg == "-o" && i + 1 < argc) {
       opts.output = argv[++i];
     } else if (arg == "--emit" && i + 1 < argc) {
@@ -327,6 +353,55 @@ void maybe_attach_native(const ObfuscatedProtocol& protocol,
   std::fprintf(stderr, "native unit attached: %s\n", so.c_str());
 }
 
+// --- lint -------------------------------------------------------------------
+
+int cmd_lint(const Options& opts) {
+  auto graph = load(opts.spec_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.error().message.c_str());
+    return 2;
+  }
+  analysis::Report report;
+  if (opts.per_node_set && opts.per_node > 0) {
+    ObfuscationConfig cfg;
+    cfg.seed = opts.seed;
+    cfg.per_node = opts.per_node;
+    auto protocol = Framework::generate(*graph, cfg);
+    if (!protocol.ok()) {
+      std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
+      return 2;
+    }
+    report = analysis::analyze(*protocol);
+  } else {
+    // Identity: the specification's own wire syntax, before obfuscation.
+    report = analysis::analyze_graph(*graph);
+  }
+  if (opts.json) {
+    std::printf("%s\n", analysis::render_json(report).c_str());
+  } else {
+    std::fputs(analysis::render_text(report).c_str(), stdout);
+  }
+  const bool gated =
+      report.errors() > 0 || (opts.deny && report.warnings() > 0);
+  return gated ? 1 : 0;
+}
+
+/// The serve/compile hard gate: error-severity lint findings refuse the
+/// artifact (a wrong artifact on the wire is worse than a refused start).
+/// --no-lint is the operator's escape hatch.
+bool lint_gate(const ObfuscatedProtocol& protocol, const Options& opts,
+               const char* action) {
+  if (opts.no_lint) return true;
+  const analysis::Report report = analysis::analyze(protocol);
+  if (report.clean()) return true;
+  std::fputs(analysis::render_text(report).c_str(), stderr);
+  std::fprintf(stderr,
+               "refusing to %s: %zu error-severity lint finding(s) "
+               "(--no-lint overrides)\n",
+               action, report.errors());
+  return false;
+}
+
 int cmd_compile(const Options& opts) {
   auto text = read_text(opts.spec_path);
   if (!text.ok()) {
@@ -346,6 +421,7 @@ int cmd_compile(const Options& opts) {
     std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
     return 1;
   }
+  if (!lint_gate(*protocol, opts, "compile the native unit")) return 1;
   if (!native::NativeCompiler::toolchain_available()) {
     std::fprintf(stderr, "error: no usable native toolchain: %s\n",
                  native::NativeCompiler::toolchain_status().c_str());
@@ -676,6 +752,7 @@ int cmd_serve(const Options& opts) {
     std::fprintf(stderr, "error: %s\n", protocol.error().message.c_str());
     return 1;
   }
+  if (!lint_gate(**protocol, opts, "serve this artifact")) return 1;
   maybe_attach_native(**protocol, opts);
   auto factory = framer_factory_of(opts);
   if (!factory.ok()) {
@@ -1498,6 +1575,11 @@ int cmd_fuzz(const Options& opts) {
   run_cfg.whole_message = opts.whole || !prefix_capable;
   fuzz::FuzzRunner runner(*compiled, run_cfg);
 
+  // Campaign header carries the static analyzer's verdict, so a crasher
+  // found today records whether the spec was lint-clean when it was found
+  // (the static/dynamic cross-oracle's paper trail).
+  std::printf("lint: %s\n", analysis::summary(runner.lint()).c_str());
+
   Rng chunks(rng_seed ^ 0xC4A7);
   for (std::size_t i = 0; i < opts.iters; ++i) {
     const fuzz::Mutant m = mutator->next();
@@ -1542,6 +1624,7 @@ int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return usage();
   if (opts.command == "validate") return cmd_validate(opts);
+  if (opts.command == "lint") return cmd_lint(opts);
   if (opts.command == "graph") return cmd_graph(opts);
   if (opts.command == "obfuscate") return cmd_obfuscate(opts);
   if (opts.command == "codegen") return cmd_codegen(opts);
